@@ -1,0 +1,59 @@
+//! Criterion benches of the PXC toolchain: lexing/parsing/compiling the
+//! largest workload source, assembling, and binary encode/decode.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use px_isa::{decode_program, encode_program};
+use px_lang::{compile, parse, CompileOptions};
+
+fn biggest_source() -> &'static str {
+    // print_tokens2 is the largest PXC source in the suite.
+    px_workloads::by_name("print_tokens2").expect("pt2").source
+}
+
+fn toolchain(c: &mut Criterion) {
+    let src = biggest_source();
+    let mut group = c.benchmark_group("compiler");
+    group.throughput(Throughput::Bytes(src.len() as u64));
+    group.bench_function("parse_pt2", |b| b.iter(|| parse(src).expect("parses")));
+    group.bench_function("compile_pt2_ccured", |b| {
+        b.iter(|| compile(src, &CompileOptions::ccured()).expect("compiles"))
+    });
+    group.finish();
+}
+
+fn encoding(c: &mut Criterion) {
+    let compiled = compile(biggest_source(), &CompileOptions::ccured()).expect("compiles");
+    let code = compiled.program.code;
+    let bytes = encode_program(&code);
+    let mut group = c.benchmark_group("encoding");
+    group.throughput(Throughput::Elements(code.len() as u64));
+    group.bench_function("encode_program", |b| b.iter(|| encode_program(&code)));
+    group.bench_function("decode_program", |b| {
+        b.iter(|| decode_program(&bytes).expect("round-trips"))
+    });
+    group.finish();
+}
+
+fn assembler(c: &mut Criterion) {
+    let src = r"
+    .data
+    buf: .space 256
+    .code
+    main:
+        li r1, 0
+        li r2, 100
+    loop:
+        addi r1, r1, 3
+        subi r2, r2, 1
+        bgt r2, zero, loop
+        mv r2, r1
+        printi
+        exit
+    ";
+    c.bench_function("assemble_small", |b| {
+        b.iter(|| px_isa::asm::assemble(src).expect("assembles"))
+    });
+}
+
+criterion_group!(benches, toolchain, encoding, assembler);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches of the machine substrate: interpreter throughput,
+//! cache-hierarchy accesses and BTB updates — the structures on the
+//! simulator's critical path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use px_detect::Tool;
+use px_mach::{run_baseline, Btb, Edge, Hierarchy, IoState, MachConfig, COMMITTED};
+
+fn interpreter_throughput(c: &mut Criterion) {
+    let w = px_workloads::by_name("164.gzip").expect("gzip");
+    let compiled = w.compile_for(Tool::Assertions).expect("compiles");
+    let probe = run_baseline(
+        &compiled.program,
+        &MachConfig::single_core(),
+        IoState::new(w.general_input(1), 1),
+        50_000_000,
+    );
+    let mut group = c.benchmark_group("interpreter");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(probe.instructions));
+    group.bench_function("baseline_gzip", |b| {
+        b.iter(|| {
+            run_baseline(
+                &compiled.program,
+                &MachConfig::single_core(),
+                IoState::new(w.general_input(1), 1),
+                50_000_000,
+            )
+        });
+    });
+    group.finish();
+}
+
+fn cache_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("hierarchy_10k_accesses", |b| {
+        let cfg = MachConfig::default();
+        b.iter(|| {
+            let mut h = Hierarchy::new(&cfg);
+            let mut sum = 0u64;
+            for i in 0..10_000u32 {
+                let addr = 0x1000 + (i.wrapping_mul(2654435761) % (1 << 18));
+                let a = h.access(0, addr, i % 4 == 0, COMMITTED);
+                sum += u64::from(a.cycles);
+            }
+            sum
+        });
+    });
+    group.finish();
+}
+
+fn btb_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btb");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("exercise_10k", |b| {
+        b.iter(|| {
+            let mut btb = Btb::new(2048, 2);
+            for i in 0..10_000u32 {
+                btb.exercise(i % 700, Edge::from_taken(i % 3 == 0));
+            }
+            btb.edge_count(13, Edge::Taken)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, interpreter_throughput, cache_hierarchy, btb_updates);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Regenerates the cumulative-coverage experiment over 50 random inputs per
+//! application (experiment E7).
+
+use px_bench::experiments::coverage::{coverage_cumulative, cumulative_improvement};
+use px_bench::fmt::{pct, render_table};
+
+fn main() {
+    let inputs = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    let rows = coverage_cumulative(inputs);
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.clone(),
+                r.inputs.to_string(),
+                pct(r.baseline),
+                pct(r.pathexpander),
+                format!("+{:.1}", (r.pathexpander - r.baseline) * 100.0),
+            ]
+        })
+        .collect();
+    println!("Cumulative branch coverage over {inputs} random inputs\n");
+    println!(
+        "{}",
+        render_table(
+            &["Application", "Inputs", "Baseline", "PathExpander", "Improvement"],
+            &cells
+        )
+    );
+    println!(
+        "Average improvement: +{:.1} points (paper: +19%)",
+        cumulative_improvement(&rows) * 100.0
+    );
+    println!("\nGrowth curves (inputs, baseline, pathexpander):");
+    for r in &rows {
+        let pts: Vec<String> = r
+            .curve
+            .iter()
+            .map(|(k, b, p)| format!("({k}, {:.1}%, {:.1}%)", b * 100.0, p * 100.0))
+            .collect();
+        println!("{:>14}: {}", r.app, pts.join(" "));
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates the single-input branch-coverage comparison (experiment E6).
+
+use px_bench::experiments::coverage::{coverage_averages, CoverageRow};
+use px_bench::fmt::{pct, render_table};
+
+fn main() {
+    let rows: Vec<CoverageRow> = px_bench::coverage();
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.app.clone(), pct(r.baseline), pct(r.pathexpander)])
+        .collect();
+    println!("Branch coverage of a single monitored run\n");
+    println!("{}", render_table(&["Application", "Baseline", "PathExpander"], &cells));
+    let (b, p) = coverage_averages(&rows);
+    println!("Average: {} -> {} (paper: 40% -> 65%)", pct(b), pct(p));
+}

@@ -1,0 +1,30 @@
+//! Regenerates the execution-overhead comparison (experiment E8).
+
+use px_bench::experiments::overhead::{overhead_averages, OverheadRow};
+use px_bench::fmt::{pct, render_table};
+
+fn main() {
+    let rows: Vec<OverheadRow> = px_bench::overhead();
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.clone(),
+                r.baseline_cycles.to_string(),
+                pct(r.standard),
+                pct(r.cmp),
+                r.nt_paths.to_string(),
+            ]
+        })
+        .collect();
+    println!("PathExpander execution overhead\n");
+    println!(
+        "{}",
+        render_table(
+            &["Application", "Baseline cycles", "Standard", "CMP option", "NT-paths"],
+            &cells
+        )
+    );
+    let (s, c) = overhead_averages(&rows);
+    println!("Average overhead: standard {} | CMP {} (paper: CMP < 9.9%)", pct(s), pct(c));
+}

@@ -1,0 +1,27 @@
+//! Regenerates the parameter-sensitivity sweeps (experiment E10).
+
+use px_bench::fmt::{pct, render_table};
+
+fn main() {
+    let points = px_bench::sensitivity();
+    for param in ["max_nt_path_len", "counter_threshold", "max_outstanding"] {
+        println!("Sweep of {param}:\n");
+        let cells: Vec<Vec<String>> = points
+            .iter()
+            .filter(|p| p.param == param)
+            .map(|p| {
+                vec![
+                    p.app.clone(),
+                    p.value.to_string(),
+                    pct(p.coverage),
+                    pct(p.overhead),
+                    p.spawns.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["Application", "Value", "Coverage", "Overhead", "Spawns"], &cells)
+        );
+    }
+}

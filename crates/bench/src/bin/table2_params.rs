@@ -1,0 +1,12 @@
+//! Prints the simulator parameters (paper Table 2).
+
+fn main() {
+    println!("Table 2: Parameters of the simulation\n");
+    println!("{}", px_mach::MachConfig::default().table2());
+    println!("\nPathExpander defaults (paper §6.3):");
+    let px = pathexpander::PxConfig::default();
+    println!("MaxNTPathLength        {} (100 for Siemens benchmarks)", px.max_nt_path_len);
+    println!("NTPathCounterThreshold {}", px.counter_threshold);
+    println!("MaxNumNTPaths          {}", px.max_outstanding);
+    println!("CounterResetInterval   {} instructions", px.counter_reset_interval);
+}

@@ -1,0 +1,115 @@
+//! The coverage experiments: single-input branch coverage (the paper's
+//! 40% → 65% claim) and cumulative coverage over 50 random inputs per
+//! application (+19%).
+
+use crossbeam::thread;
+use px_mach::Coverage;
+use px_workloads::buggy;
+use serde::Serialize;
+
+use super::{compile, primary_tool, run_px, SEED};
+
+/// One application's single-input coverage.
+#[derive(Debug, Clone, Serialize)]
+pub struct CoverageRow {
+    /// Application name.
+    pub app: String,
+    /// Branch coverage of the plain monitored run.
+    pub baseline: f64,
+    /// Branch coverage with PathExpander (taken + NT edges).
+    pub pathexpander: f64,
+}
+
+/// One application's cumulative-coverage series over multiple inputs.
+#[derive(Debug, Clone, Serialize)]
+pub struct CumulativeRow {
+    /// Application name.
+    pub app: String,
+    /// Inputs used.
+    pub inputs: usize,
+    /// Cumulative baseline coverage after all inputs.
+    pub baseline: f64,
+    /// Cumulative PathExpander coverage after all inputs.
+    pub pathexpander: f64,
+    /// `(after_k_inputs, baseline, pathexpander)` growth curve.
+    pub curve: Vec<(usize, f64, f64)>,
+}
+
+/// Single-input coverage for the seven buggy applications (experiment E6).
+#[must_use]
+pub fn coverage() -> Vec<CoverageRow> {
+    buggy()
+        .iter()
+        .map(|w| {
+            let tool = primary_tool(w);
+            let compiled = compile(w, tool);
+            let r = run_px(w, &compiled, SEED, |c| c);
+            CoverageRow {
+                app: w.name.to_owned(),
+                baseline: r.taken_coverage.branch_coverage(&compiled.program),
+                pathexpander: r.total_coverage.branch_coverage(&compiled.program),
+            }
+        })
+        .collect()
+}
+
+/// Average (baseline, PathExpander) coverage over rows.
+#[must_use]
+pub fn coverage_averages(rows: &[CoverageRow]) -> (f64, f64) {
+    let n = rows.len() as f64;
+    (
+        rows.iter().map(|r| r.baseline).sum::<f64>() / n,
+        rows.iter().map(|r| r.pathexpander).sum::<f64>() / n,
+    )
+}
+
+/// Cumulative coverage over `inputs` random inputs per application
+/// (experiment E7; the paper uses 50 test cases, §6.3). Applications are
+/// processed in parallel.
+#[must_use]
+pub fn coverage_cumulative(inputs: usize) -> Vec<CumulativeRow> {
+    let workloads = buggy();
+    thread::scope(|s| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                s.spawn(move |_| {
+                    let tool = primary_tool(w);
+                    let compiled = compile(w, tool);
+                    let mut cum_base = Coverage::for_program(&compiled.program);
+                    let mut cum_px = Coverage::for_program(&compiled.program);
+                    let mut curve = Vec::new();
+                    for k in 0..inputs {
+                        let r = run_px(w, &compiled, SEED + k as u64, |c| c);
+                        cum_base.merge(&r.taken_coverage);
+                        cum_px.merge(&r.total_coverage);
+                        if (k + 1) % 10 == 0 || k + 1 == inputs || k == 0 {
+                            curve.push((
+                                k + 1,
+                                cum_base.branch_coverage(&compiled.program),
+                                cum_px.branch_coverage(&compiled.program),
+                            ));
+                        }
+                    }
+                    CumulativeRow {
+                        app: w.name.to_owned(),
+                        inputs,
+                        baseline: cum_base.branch_coverage(&compiled.program),
+                        pathexpander: cum_px.branch_coverage(&compiled.program),
+                        curve,
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    })
+    .expect("scope")
+}
+
+/// Average cumulative improvement (PathExpander − baseline), in coverage
+/// points — the paper's +19%.
+#[must_use]
+pub fn cumulative_improvement(rows: &[CumulativeRow]) -> f64 {
+    let n = rows.len() as f64;
+    rows.iter().map(|r| r.pathexpander - r.baseline).sum::<f64>() / n
+}

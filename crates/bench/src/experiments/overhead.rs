@@ -1,0 +1,118 @@
+//! The execution-overhead experiments (E8: standard vs CMP, E9: hardware
+//! vs software implementation).
+
+use crossbeam::thread;
+use px_mach::{run_baseline, MachConfig};
+use px_soft::{compare_hw_sw, SoftConfig};
+use px_workloads::{all, Workload};
+use serde::Serialize;
+
+use super::{compile, io_for, primary_tool, run_px, BUDGET, SEED};
+
+/// One application's overhead numbers.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadRow {
+    /// Application name.
+    pub app: String,
+    /// Baseline (no PathExpander) cycles.
+    pub baseline_cycles: u64,
+    /// Standard-configuration overhead, as a fraction.
+    pub standard: f64,
+    /// CMP-option overhead, as a fraction.
+    pub cmp: f64,
+    /// NT-paths explored in the standard run (the paper's "hundreds to
+    /// thousands of new paths per run").
+    pub nt_paths: u64,
+}
+
+/// Measures PathExpander execution overhead on every workload.
+#[must_use]
+pub fn overhead() -> Vec<OverheadRow> {
+    let workloads = all();
+    thread::scope(|s| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| s.spawn(move |_| overhead_row(w)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    })
+    .expect("scope")
+}
+
+fn overhead_row(w: &Workload) -> OverheadRow {
+    let compiled = compile(w, primary_tool(w));
+    let base = run_baseline(
+        &compiled.program,
+        &MachConfig::single_core(),
+        io_for(w, SEED),
+        BUDGET,
+    );
+    let std_run = run_px(w, &compiled, SEED, |c| c);
+    let cmp_run = run_px(w, &compiled, SEED, pathexpander::PxConfig::cmp);
+    let b = base.cycles.max(1) as f64;
+    OverheadRow {
+        app: w.name.to_owned(),
+        baseline_cycles: base.cycles,
+        standard: (std_run.cycles as f64 / b - 1.0).max(0.0),
+        cmp: (cmp_run.cycles as f64 / b - 1.0).max(0.0),
+        nt_paths: std_run.stats.spawns,
+    }
+}
+
+/// Average overheads (standard, CMP) over rows.
+#[must_use]
+pub fn overhead_averages(rows: &[OverheadRow]) -> (f64, f64) {
+    let n = rows.len() as f64;
+    (
+        rows.iter().map(|r| r.standard).sum::<f64>() / n,
+        rows.iter().map(|r| r.cmp).sum::<f64>() / n,
+    )
+}
+
+/// One application's hardware-vs-software comparison (E9).
+#[derive(Debug, Clone, Serialize)]
+pub struct HwSwRow {
+    /// Application name.
+    pub app: String,
+    /// Hardware standard-configuration overhead.
+    pub hw_standard: f64,
+    /// Hardware CMP-option overhead.
+    pub hw_cmp: f64,
+    /// Software (PIN-style) implementation overhead.
+    pub software: f64,
+    /// Orders of magnitude between software and CMP hardware.
+    pub orders_vs_cmp: f64,
+}
+
+/// Runs the hardware/software comparison on every workload.
+#[must_use]
+pub fn hw_vs_sw() -> Vec<HwSwRow> {
+    let workloads = all();
+    thread::scope(|s| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                s.spawn(move |_| {
+                    let compiled = compile(w, primary_tool(w));
+                    let px = w.px_config().with_max_instructions(BUDGET);
+                    let c = compare_hw_sw(
+                        &compiled.program,
+                        &MachConfig::default(),
+                        &px,
+                        &SoftConfig::default(),
+                        &io_for(w, SEED),
+                    );
+                    HwSwRow {
+                        app: w.name.to_owned(),
+                        hw_standard: c.hw_standard_overhead,
+                        hw_cmp: c.hw_cmp_overhead,
+                        software: c.soft_overhead,
+                        orders_vs_cmp: c.orders_vs_cmp(),
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    })
+    .expect("scope")
+}

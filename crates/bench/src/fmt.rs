@@ -1,0 +1,67 @@
+//! Minimal fixed-width table rendering for the regenerator binaries.
+
+/// Renders rows as an aligned text table with a header row.
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            for _ in cell.len()..widths[i] {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+    };
+    let headers: Vec<String> = headers.iter().map(|s| (*s).to_owned()).collect();
+    line(&headers, &widths, &mut out);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["app", "value"],
+            &[
+                vec!["go".into(), "1".into()],
+                vec!["print_tokens".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].starts_with("app"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[3].starts_with("print_tokens  22"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.403), "40.3%");
+    }
+}

@@ -1,0 +1,175 @@
+//! `pxc` — compile and run PXC (or PXVM assembly) programs under
+//! PathExpander from the command line.
+//!
+//! ```text
+//! pxc run   prog.pxc [options]     compile + run with PathExpander
+//! pxc base  prog.pxc [options]     compile + plain monitored run
+//! pxc build prog.pxc [options]     compile only; print stats / disassembly
+//! pxc bench <workload> [options]   run a bundled workload by name
+//! pxc list                         list bundled workloads
+//! ```
+//!
+//! See `pxc help` for the full option list.
+
+use std::process::ExitCode;
+
+use pathexpander::{Mode, PxConfig};
+use px_detect::Tool;
+use px_lang::{CompileOptions, CompiledProgram};
+use px_mach::{IoState, MachConfig};
+
+mod options;
+mod report;
+
+use options::{Action, Options};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match Options::parse(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("pxc: {msg}");
+            eprintln!("{}", options::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("pxc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(opts: &Options) -> Result<ExitCode, String> {
+    match &opts.action {
+        Action::Help => {
+            println!("{}", options::USAGE);
+            Ok(ExitCode::SUCCESS)
+        }
+        Action::List => {
+            println!("bundled workloads:");
+            for w in px_workloads::all() {
+                let bugs = w.bugs.len();
+                let tools: Vec<&str> = w.tools.iter().map(|t| t.name()).collect();
+                println!(
+                    "  {:16} {:4} LOC, {} seeded bug(s), tools: {}",
+                    w.name,
+                    w.loc(),
+                    bugs,
+                    tools.join("/")
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Action::Build(path) => {
+            let compiled = load(path, opts)?;
+            println!(
+                "{}: {} instructions, {} static branches ({} edges), {} check sites, {} watch tags",
+                path,
+                compiled.program.code.len(),
+                compiled.program.static_branch_count(),
+                compiled.program.static_edge_count(),
+                compiled.sites.len(),
+                compiled.watches.len()
+            );
+            if opts.disasm {
+                println!("\n{}", compiled.program.disassemble());
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Action::Run(path) | Action::Base(path) => {
+            let mut compiled = load(path, opts)?;
+            let io = opts.io()?;
+            if opts.refit {
+                refit(&mut compiled, io.clone(), opts);
+            }
+            let with_px = matches!(opts.action, Action::Run(_));
+            execute(&compiled, io, opts, with_px)
+        }
+        Action::Bench(name) => {
+            let workload = px_workloads::by_name(name)
+                .ok_or_else(|| format!("unknown workload `{name}` (try `pxc list`)"))?;
+            let tool = opts.tool.unwrap_or(workload.tools[0]);
+            let compiled = workload
+                .compile_for(tool)
+                .map_err(|e| format!("compile error: {e}"))?;
+            let io = IoState::new(workload.general_input(opts.seed), opts.seed);
+            let mut opts = opts.clone();
+            if opts.px.max_nt_path_len == PxConfig::default().max_nt_path_len {
+                opts.px.max_nt_path_len = workload.max_nt_path_len;
+            }
+            opts.bug_lines = workload.bug_lines_for(tool);
+            let mut compiled = compiled;
+            if opts.refit {
+                refit(&mut compiled, io.clone(), &opts);
+            }
+            execute(&compiled, io, &opts, true)
+        }
+    }
+}
+
+fn load(path: &str, opts: &Options) -> Result<CompiledProgram, String> {
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    if path.ends_with(".pxs") || path.ends_with(".s") {
+        let program =
+            px_isa::asm::assemble(&source).map_err(|e| format!("assembly error: {e}"))?;
+        return Ok(CompiledProgram {
+            program,
+            sites: Vec::new(),
+            watches: Vec::new(),
+            fix_sites: Vec::new(),
+        });
+    }
+    let tool = opts.tool.unwrap_or(Tool::Assertions);
+    let mut copts: CompileOptions = tool.compile_options();
+    copts.insert_fixes = opts.px.apply_fixes || copts.insert_fixes;
+    px_lang::compile(&source, &copts).map_err(|e| format!("compile error: {e}"))
+}
+
+fn execute(
+    compiled: &CompiledProgram,
+    io: IoState,
+    opts: &Options,
+    with_px: bool,
+) -> Result<ExitCode, String> {
+    let tool = opts.tool.unwrap_or(Tool::Assertions);
+    if !with_px {
+        let r = px_mach::run_baseline(
+            &compiled.program,
+            &MachConfig::single_core(),
+            io,
+            opts.px.max_instructions,
+        );
+        report::print_baseline(compiled, &r, tool, opts);
+        return Ok(exit_code(matches!(r.exit, px_mach::RunExit::Exited(0))));
+    }
+    let mach = match opts.px.mode {
+        Mode::Standard => MachConfig::single_core(),
+        Mode::Cmp => MachConfig::default(),
+    };
+    let r = pathexpander::run(&compiled.program, &mach, &opts.px, io);
+    report::print_px(compiled, &r, tool, opts);
+    Ok(exit_code(matches!(r.exit, px_mach::RunExit::Exited(0))))
+}
+
+fn refit(compiled: &mut CompiledProgram, io: IoState, opts: &Options) {
+    let profile = px_lang::refit::collect_branch_profile(
+        &compiled.program,
+        &MachConfig::single_core(),
+        io,
+        opts.px.max_instructions,
+    );
+    let patched = px_lang::refit_fixes(compiled, &profile);
+    println!("refit:        {patched} fix value(s) moved into observed ranges");
+}
+
+fn exit_code(ok: bool) -> ExitCode {
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

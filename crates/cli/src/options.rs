@@ -1,0 +1,238 @@
+//! Command-line parsing for `pxc` (no external dependencies).
+
+use pathexpander::PxConfig;
+use px_detect::Tool;
+use px_mach::IoState;
+
+/// Usage text.
+pub const USAGE: &str = "\
+pxc — PathExpander command-line driver
+
+USAGE:
+    pxc run   <file.pxc|file.pxs> [options]   compile + run under PathExpander
+    pxc base  <file.pxc|file.pxs> [options]   compile + plain monitored run
+    pxc build <file.pxc|file.pxs> [options]   compile only
+    pxc bench <workload>          [options]   run a bundled workload
+    pxc list                                  list bundled workloads
+    pxc help                                  this text
+
+OPTIONS:
+    --tool <ccured|iwatcher|assertions>  detector to arm (default: assertions)
+    --cmp                                use the CMP option (4 cores)
+    --max-nt-len <n>                     MaxNTPathLength (default 1000)
+    --threshold <n>                      NTPathCounterThreshold (default 5)
+    --max-outstanding <n>                MaxNumNTPaths for --cmp (default 32)
+    --no-fixes                           disable §4.4 variable fixing
+    --os-sandbox                         sandbox unsafe events (§3.2 extension)
+    --random-factor <n>                  1-in-n spawns from hot edges (§7.1(2))
+    --refit                              profile-guided fix refitting (§4.4
+                                         value-invariants extension): profile
+                                         on the run's input, then refit
+    --input <file>                       program stdin from a file
+    --input-text <string>                program stdin from the argument
+    --seed <n>                           input/rand seed (default 1)
+    --budget <n>                         instruction budget (default 100M)
+    --disasm                             (build) print the disassembly
+    --annotate                           (run) print coverage-annotated
+                                         disassembly: [T./N] per branch edge
+    --verbose                            print NT-path stop breakdown
+";
+
+/// What to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    Run(String),
+    Base(String),
+    Build(String),
+    Bench(String),
+    List,
+    Help,
+}
+
+/// Parsed options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    pub action: Action,
+    pub tool: Option<Tool>,
+    pub px: PxConfig,
+    pub input_file: Option<String>,
+    pub input_text: Option<String>,
+    pub seed: u64,
+    pub disasm: bool,
+    pub verbose: bool,
+    pub refit: bool,
+    pub annotate: bool,
+    /// Known bug lines (set by `bench` from the workload manifest).
+    pub bug_lines: Vec<u32>,
+}
+
+impl Options {
+    /// Parses a raw argument list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message for unknown flags or missing values.
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        let mut it = args.iter().peekable();
+        let action = match it.next().map(String::as_str) {
+            None | Some("help" | "--help" | "-h") => Action::Help,
+            Some("list") => Action::List,
+            Some(verb @ ("run" | "base" | "build" | "bench")) => {
+                let target = it
+                    .next()
+                    .ok_or_else(|| format!("`{verb}` needs a file or workload name"))?
+                    .clone();
+                match verb {
+                    "run" => Action::Run(target),
+                    "base" => Action::Base(target),
+                    "build" => Action::Build(target),
+                    _ => Action::Bench(target),
+                }
+            }
+            Some(other) => return Err(format!("unknown command `{other}`")),
+        };
+
+        let mut opts = Options {
+            action,
+            tool: None,
+            px: PxConfig::default().with_max_instructions(100_000_000),
+            input_file: None,
+            input_text: None,
+            seed: 1,
+            disasm: false,
+            verbose: false,
+            refit: false,
+            annotate: false,
+            bug_lines: Vec::new(),
+        };
+
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("`{name}` needs a value"))
+            };
+            match flag.as_str() {
+                "--tool" => {
+                    opts.tool = Some(match value("--tool")?.as_str() {
+                        "ccured" => Tool::Ccured,
+                        "iwatcher" => Tool::Iwatcher,
+                        "assertions" => Tool::Assertions,
+                        other => return Err(format!("unknown tool `{other}`")),
+                    });
+                }
+                "--cmp" => opts.px = opts.px.clone().cmp(),
+                "--max-nt-len" => {
+                    opts.px = opts.px.clone().with_max_nt_path_len(parse_num(&value("--max-nt-len")?)?);
+                }
+                "--threshold" => {
+                    let n: u32 = parse_num(&value("--threshold")?)?;
+                    opts.px = opts.px.clone().with_counter_threshold(n.min(255) as u8);
+                }
+                "--max-outstanding" => {
+                    opts.px =
+                        opts.px.clone().with_max_outstanding(parse_num(&value("--max-outstanding")?)?);
+                }
+                "--no-fixes" => opts.px = opts.px.clone().with_fixes(false),
+                "--os-sandbox" => opts.px = opts.px.clone().with_os_sandbox(true),
+                "--random-factor" => {
+                    opts.px = opts
+                        .px
+                        .clone()
+                        .with_random_factor(Some(parse_num(&value("--random-factor")?)?));
+                }
+                "--input" => opts.input_file = Some(value("--input")?),
+                "--input-text" => opts.input_text = Some(value("--input-text")?),
+                "--seed" => opts.seed = u64::from(parse_num(&value("--seed")?)?),
+                "--budget" => {
+                    let n: u32 = parse_num(&value("--budget")?)?;
+                    opts.px = opts.px.clone().with_max_instructions(u64::from(n));
+                }
+                "--disasm" => opts.disasm = true,
+                "--verbose" => opts.verbose = true,
+                "--refit" => opts.refit = true,
+                "--annotate" => opts.annotate = true,
+                other => return Err(format!("unknown option `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Builds the program's input state.
+    ///
+    /// # Errors
+    ///
+    /// Reports unreadable input files.
+    pub fn io(&self) -> Result<IoState, String> {
+        let bytes = if let Some(path) = &self.input_file {
+            std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?
+        } else if let Some(text) = &self.input_text {
+            text.clone().into_bytes()
+        } else {
+            Vec::new()
+        };
+        Ok(IoState::new(bytes, self.seed))
+    }
+}
+
+fn parse_num(s: &str) -> Result<u32, String> {
+    s.replace('_', "")
+        .parse()
+        .map_err(|_| format!("`{s}` is not a number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        Options::parse(&owned)
+    }
+
+    #[test]
+    fn verbs_parse() {
+        assert_eq!(parse(&["help"]).unwrap().action, Action::Help);
+        assert_eq!(parse(&[]).unwrap().action, Action::Help);
+        assert_eq!(parse(&["list"]).unwrap().action, Action::List);
+        assert_eq!(parse(&["run", "x.pxc"]).unwrap().action, Action::Run("x.pxc".into()));
+        assert_eq!(parse(&["bench", "bc"]).unwrap().action, Action::Bench("bc".into()));
+        assert!(parse(&["run"]).is_err());
+        assert!(parse(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn options_apply() {
+        let o = parse(&[
+            "run", "x.pxc", "--tool", "ccured", "--cmp", "--max-nt-len", "50",
+            "--threshold", "2", "--no-fixes", "--os-sandbox", "--random-factor", "9",
+            "--seed", "7", "--verbose",
+        ])
+        .unwrap();
+        assert_eq!(o.tool, Some(Tool::Ccured));
+        assert_eq!(o.px.mode, pathexpander::Mode::Cmp);
+        assert_eq!(o.px.max_nt_path_len, 50);
+        assert_eq!(o.px.counter_threshold, 2);
+        assert!(!o.px.apply_fixes);
+        assert!(o.px.os_sandbox_unsafe);
+        assert_eq!(o.px.random_factor, Some(9));
+        assert_eq!(o.seed, 7);
+        assert!(o.verbose);
+    }
+
+    #[test]
+    fn bad_values_rejected() {
+        assert!(parse(&["run", "x", "--tool", "purify"]).is_err());
+        assert!(parse(&["run", "x", "--threshold"]).is_err());
+        assert!(parse(&["run", "x", "--seed", "abc"]).is_err());
+        assert!(parse(&["run", "x", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn io_from_text() {
+        let o = parse(&["run", "x", "--input-text", "41 1"]).unwrap();
+        let mut io = o.io().unwrap();
+        assert_eq!(io.read_int(), 41);
+        assert_eq!(io.read_int(), 1);
+    }
+}

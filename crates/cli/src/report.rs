@@ -1,0 +1,108 @@
+//! Human-readable run reports for `pxc`.
+
+use pathexpander::PxRunResult;
+use px_detect::{report as detections, Tool};
+use px_lang::CompiledProgram;
+use px_mach::RunResult;
+
+use crate::options::Options;
+
+/// Prints a plain monitored-run report.
+pub fn print_baseline(compiled: &CompiledProgram, r: &RunResult, tool: Tool, opts: &Options) {
+    println!("exit:         {:?}", r.exit);
+    println!("instructions: {}", r.instructions);
+    println!("cycles:       {}", r.cycles);
+    println!(
+        "coverage:     {:.1}% of {} branch edges",
+        r.coverage.branch_coverage(&compiled.program) * 100.0,
+        compiled.program.static_edge_count()
+    );
+    print_output(r.io.output());
+    print_detections(compiled, &r.monitor, tool, opts);
+}
+
+/// Prints a PathExpander run report.
+pub fn print_px(compiled: &CompiledProgram, r: &PxRunResult, tool: Tool, opts: &Options) {
+    println!("exit:         {:?}", r.exit);
+    println!("cycles:       {}", r.cycles);
+    println!(
+        "coverage:     {:.1}% taken, {:.1}% with NT-paths",
+        r.taken_coverage.branch_coverage(&compiled.program) * 100.0,
+        r.total_coverage.branch_coverage(&compiled.program) * 100.0
+    );
+    println!(
+        "NT-paths:     {} spawned ({} instructions explored, {} skipped hot)",
+        r.stats.spawns, r.stats.nt_instructions, r.stats.skipped_hot
+    );
+    if opts.verbose {
+        for class in ["max-length", "crash", "unsafe", "program-end", "sandbox-overflow"] {
+            let n = r.stats.stops_of(class);
+            if n > 0 {
+                println!("  stops[{class}]: {n}");
+            }
+        }
+        if r.stats.random_spawns > 0 {
+            println!("  random-factor spawns: {}", r.stats.random_spawns);
+        }
+        if r.stats.nt_syscalls_sandboxed > 0 {
+            println!("  OS-sandboxed syscalls: {}", r.stats.nt_syscalls_sandboxed);
+        }
+    }
+    print_output(r.io.output());
+    print_detections(compiled, &r.monitor, tool, opts);
+    if opts.annotate {
+        println!("--- coverage-annotated disassembly ---");
+        print!(
+            "{}",
+            px_mach::Coverage::annotated_listing(
+                &compiled.program,
+                &r.taken_coverage,
+                &r.total_coverage
+            )
+        );
+    }
+}
+
+fn print_output(bytes: &[u8]) {
+    if bytes.is_empty() {
+        return;
+    }
+    let text = String::from_utf8_lossy(bytes);
+    println!("--- program output ({} bytes) ---", bytes.len());
+    for line in text.lines().take(20) {
+        println!("{line}");
+    }
+    if text.lines().count() > 20 {
+        println!("... (truncated)");
+    }
+    println!("---------------------------------");
+}
+
+fn print_detections(
+    compiled: &CompiledProgram,
+    monitor: &px_mach::MonitorArea,
+    tool: Tool,
+    opts: &Options,
+) {
+    let dets = detections(compiled, monitor, tool);
+    if dets.is_empty() {
+        println!("detections:   none");
+        return;
+    }
+    println!("detections ({}):", tool.name());
+    for d in &dets {
+        let origin = match (d.on_taken_path, d.on_nt_path) {
+            (true, true) => "taken path + NT-paths",
+            (true, false) => "taken path",
+            _ => "NT-paths only",
+        };
+        let verdict = if opts.bug_lines.is_empty() {
+            String::new()
+        } else if opts.bug_lines.contains(&d.line) {
+            "  [SEEDED BUG]".to_owned()
+        } else {
+            "  [not in manifest]".to_owned()
+        };
+        println!("  line {:4}  x{:<5} {origin}{verdict}", d.line, d.count);
+    }
+}

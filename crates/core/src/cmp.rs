@@ -1,0 +1,740 @@
+//! The PathExpander **CMP optimization** (paper §4.3, Figure 4(b)).
+//!
+//! The taken path runs on the primary core; each spawned NT-path is copied
+//! (register context) onto an idle core and executes concurrently, sandboxed
+//! in that core's L1 under its own 8-bit path ID. When no core is idle the
+//! NT-path is queued in a free thread context; spawning stops entirely at
+//! `MaxNumNTPaths` outstanding paths.
+//!
+//! Data dependences follow the tree of Figure 6(c): an NT-path reads the
+//! memory image from its spawn point — realized with a copy-on-write
+//! snapshot fed by the primary core's later stores — and its own writes stay
+//! in its sandbox.
+//!
+//! Commit/squash tokens are modeled through the cache version tags: primary
+//! stores issued while any NT-path is live are tagged with a speculative
+//! *segment* tag; if such a line is displaced from the primary L1 the segment
+//! is forced to commit, which squashes the oldest live NT-path (its
+//! squash-token is claimed early, paper §4.3), and the segment's lines are
+//! lazily retagged as committed.
+//!
+//! The run's cost is the primary core's finish time: NT-path work overlaps
+//! with it, so the overhead the paper reports (< 9.9%) is spawn costs plus
+//! cache interference.
+
+use px_isa::{Program, SyscallCode, Width};
+use px_mach::{
+    Btb, Checkpoint, CoreState, Coverage, Edge, Hierarchy, IoState, MachConfig, MemView, Memory,
+    MonitorArea, MonitorRecord, PathKind, RecordKind, RunExit, Sandbox, SandboxView, StepEnv,
+    StepEvent, WatchTable, COMMITTED,
+};
+
+use crate::config::PxConfig;
+use crate::stats::{NtPathRecord, NtStop, PxRunResult, PxStats};
+
+/// Version tag for the primary core's speculative taken-path segment lines.
+const SEGMENT_VTAG: u8 = 255;
+
+/// A live or queued NT-path.
+struct NtPath {
+    id: u8,
+    spawn_pc: u32,
+    executed: u32,
+    core: Option<usize>,
+    state: CoreState,
+    sandbox: Sandbox,
+    /// §3.2 OS-sandbox extension: the NT-path's disposable I/O snapshot.
+    scratch_io: IoState,
+    /// Monotonic spawn order, used to pick the "oldest" for forced commits.
+    seq: u64,
+}
+
+/// A [`MemView`] for the primary core that preserves overwritten bytes into
+/// every live NT-path's snapshot before committing the store (the
+/// copy-on-write realization of the tree data dependence).
+struct PrimaryView<'a> {
+    memory: &'a mut Memory,
+    live: Vec<&'a mut Sandbox>,
+}
+
+impl MemView for PrimaryView<'_> {
+    fn load(&mut self, addr: u32, width: Width) -> Result<i32, px_mach::CrashKind> {
+        self.memory.load(addr, width)
+    }
+
+    fn store(&mut self, addr: u32, value: i32, width: Width) -> Result<(), px_mach::CrashKind> {
+        self.memory.check(addr, width.bytes())?;
+        for i in 0..width.bytes() {
+            let a = addr + i;
+            let old = self.memory.byte(a);
+            for sb in &mut self.live {
+                sb.preserve(a, old);
+            }
+        }
+        self.memory.store(addr, value, width)
+    }
+}
+
+/// Runs `program` under the CMP-optimized PathExpander.
+///
+/// # Panics
+///
+/// Panics if `mach.cores < 2` — the CMP option needs at least one idle core.
+#[must_use]
+pub fn run_cmp(program: &Program, mach: &MachConfig, px: &PxConfig, io: IoState) -> PxRunResult {
+    assert!(mach.cores >= 2, "the CMP optimization needs at least 2 cores");
+
+    let mut memory = Memory::new(mach.mem_size.max(program.mem_size));
+    for item in &program.data {
+        memory.load_blob(item.addr, &item.bytes);
+    }
+    let mut primary = CoreState::at_entry(program.entry, memory.size());
+    let mut caches = Hierarchy::new(mach);
+    let mut btb = Btb::new(mach.btb_entries, mach.btb_assoc);
+    let mut taken_cov = Coverage::for_program(program);
+    let mut nt_cov = Coverage::for_program(program);
+    let mut monitor = MonitorArea::new();
+    let mut stats = PxStats::default();
+    let mut io = io;
+    // NT-paths must not mutate the real watch table; they get a disposable
+    // clone at spawn. The primary's table is authoritative.
+    let mut watches = WatchTable::new();
+
+    let mut paths: Vec<NtPath> = Vec::new();
+    let mut core_busy: Vec<bool> = vec![false; mach.cores]; // index 0 = primary
+    core_busy[0] = true;
+    let mut next_seq: u64 = 0;
+    let mut next_id: u8 = 1;
+
+    // Per-core ready times (discrete event clock).
+    let mut ready: Vec<u64> = vec![0; mach.cores];
+    let mut primary_done: Option<RunExit> = None;
+    let mut instructions: u64 = 0;
+    let mut taken_since_reset: u64 = 0;
+    let mut spawn_rng: u64 = 0x9E37_79B9_7F4A_7C15 ^ (program.code.len() as u64 + 1);
+
+    'event_loop: loop {
+        if instructions >= px.max_instructions && primary_done.is_none() {
+            primary_done = Some(RunExit::BudgetExhausted);
+        }
+        if primary_done.is_some() {
+            // Program over: cut the surviving NT-paths short.
+            for mut p in paths.drain(..) {
+                finish_path(&mut p, NtStop::RunCutShort, &mut caches, &mut stats);
+            }
+            break 'event_loop;
+        }
+
+        // Pick the lowest-ready-time active core (primary is always active).
+        let mut who: usize = 0;
+        let mut best = ready[0];
+        for p in &paths {
+            if let Some(c) = p.core {
+                if ready[c] < best {
+                    best = ready[c];
+                    who = c;
+                }
+            }
+        }
+
+        instructions += 1;
+        if who == 0 {
+            // ---- Primary core step ----
+            if taken_since_reset >= px.counter_reset_interval {
+                btb.reset_counters();
+                stats.counter_resets += 1;
+                taken_since_reset = 0;
+            }
+            let mut env = StepEnv {
+                io: &mut io,
+                watches: &mut watches,
+                suppress_syscalls: false,
+                now_cycles: ready[0],
+                costs: &mach.costs,
+            };
+            let s = {
+                let live: Vec<&mut Sandbox> =
+                    paths.iter_mut().map(|p| &mut p.sandbox).collect();
+                let mut view = PrimaryView { memory: &mut memory, live };
+                px_mach::step(program, &mut primary, &mut view, &mut env)
+            };
+            ready[0] += u64::from(s.base_cost);
+            stats.taken_instructions += 1;
+            taken_since_reset += 1;
+
+            if let Some(access) = s.access {
+                // Primary stores made while NT-paths are live are speculative
+                // segment data (they still need their sibling's squash token).
+                let vtag = if access.write && !paths.is_empty() { SEGMENT_VTAG } else { COMMITTED };
+                let a = caches.access(0, access.addr, access.write, vtag);
+                ready[0] += u64::from(a.cycles);
+                if a.volatile_evicted == Some(SEGMENT_VTAG) {
+                    // Forced commit: squash the oldest live NT-path, commit
+                    // the segment's lines.
+                    if let Some(idx) = oldest_live(&paths) {
+                        let mut victim = paths.swap_remove(idx);
+                        finish_path(&mut victim, NtStop::ForcedCommit, &mut caches, &mut stats);
+                        if let Some(c) = victim.core {
+                            core_busy[c] = false;
+                            start_queued(&mut paths, &mut core_busy, &mut ready, c, mach);
+                        }
+                    }
+                    caches.commit_path(0, SEGMENT_VTAG);
+                }
+            }
+
+            match s.event {
+                StepEvent::Branch { pc, taken, taken_target, not_taken_target, .. } => {
+                    stats.dyn_branches += 1;
+                    let edge = Edge::from_taken(taken);
+                    btb.exercise(pc, edge);
+                    taken_cov.record(pc, edge);
+                    let nt_edge = edge.other();
+                    let hot = btb.edge_count(pc, nt_edge) >= px.counter_threshold;
+                    let random_admit = hot
+                        && px.random_factor.is_some_and(|n| {
+                            spawn_rng ^= spawn_rng << 13;
+                            spawn_rng ^= spawn_rng >> 7;
+                            spawn_rng ^= spawn_rng << 17;
+                            spawn_rng.is_multiple_of(u64::from(n))
+                        });
+                    if program.in_checker_region(pc) {
+                        stats.skipped_checker += 1;
+                    } else if hot && !random_admit {
+                        stats.skipped_hot += 1;
+                    } else if paths.len() as u32 >= px.max_outstanding {
+                        stats.skipped_outstanding += 1;
+                    } else {
+                        if random_admit {
+                            stats.random_spawns += 1;
+                        }
+                        btb.exercise(pc, nt_edge);
+                        nt_cov.record(pc, nt_edge);
+                        stats.spawns += 1;
+                        ready[0] += u64::from(mach.spawn_cycles);
+                        let mut state = Checkpoint::take(&primary).state();
+                        state.pc = if taken { not_taken_target } else { taken_target };
+                        state.pred = px.apply_fixes;
+                        let id = next_id;
+                        next_id = if next_id >= SEGMENT_VTAG - 1 { 1 } else { next_id + 1 };
+                        let scratch_io = if px.os_sandbox_unsafe {
+                            io.clone()
+                        } else {
+                            IoState::default()
+                        };
+                        let mut path = NtPath {
+                            id,
+                            spawn_pc: pc,
+                            executed: 0,
+                            core: None,
+                            state,
+                            sandbox: Sandbox::new(),
+                            scratch_io,
+                            seq: next_seq,
+                        };
+                        next_seq += 1;
+                        if let Some(c) = (1..mach.cores).find(|&c| !core_busy[c]) {
+                            core_busy[c] = true;
+                            path.core = Some(c);
+                            // The register copy lands when the primary issued
+                            // it; the idle core can start then.
+                            ready[c] = ready[c].max(ready[0]);
+                        }
+                        paths.push(path);
+                    }
+                }
+                StepEvent::CheckFailed { kind, site, pc } => monitor.push(MonitorRecord {
+                    kind: RecordKind::Check(kind),
+                    site,
+                    pc,
+                    cycle: ready[0],
+                    path: PathKind::Taken,
+                }),
+                StepEvent::WatchHit { tag, addr, is_write, pc } => monitor.push(MonitorRecord {
+                    kind: RecordKind::Watch { tag, addr, is_write },
+                    site: tag,
+                    pc,
+                    cycle: ready[0],
+                    path: PathKind::Taken,
+                }),
+                StepEvent::Exit { code } => primary_done = Some(RunExit::Exited(code)),
+                StepEvent::Crash { kind, .. } => primary_done = Some(RunExit::Crashed(kind)),
+                StepEvent::UnsafeEvent { .. } => unreachable!("primary never suppresses"),
+                StepEvent::Syscall { .. } | StepEvent::None => {}
+            }
+
+            // When the last NT-path died earlier, the segment lines are no
+            // longer speculative.
+            if paths.is_empty() {
+                caches.commit_path(0, SEGMENT_VTAG);
+            }
+        } else {
+            // ---- NT-path step on core `who` ----
+            let idx = paths
+                .iter()
+                .position(|p| p.core == Some(who))
+                .expect("busy core must host a path");
+            let (stop, cost) = step_nt_path(
+                program,
+                &mut paths[idx],
+                &memory,
+                &mut caches,
+                &mut monitor,
+                &mut btb,
+                &mut nt_cov,
+                &mut stats,
+                px,
+                mach,
+                ready[who],
+            );
+            ready[who] += u64::from(cost);
+            stats.nt_instructions += 1;
+            if let Some(stop) = stop {
+                let mut victim = paths.swap_remove(idx);
+                finish_path(&mut victim, stop, &mut caches, &mut stats);
+                core_busy[who] = false;
+                start_queued(&mut paths, &mut core_busy, &mut ready, who, mach);
+            }
+        }
+    }
+
+    let exit = primary_done.expect("loop exits only when done");
+    let mut total_coverage = taken_cov.clone();
+    total_coverage.merge(&nt_cov);
+    PxRunResult {
+        exit,
+        cycles: ready[0],
+        taken_coverage: taken_cov,
+        total_coverage,
+        monitor,
+        io,
+        stats,
+    }
+}
+
+fn oldest_live(paths: &[NtPath]) -> Option<usize> {
+    paths
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.core.is_some())
+        .min_by_key(|(_, p)| p.seq)
+        .map(|(i, _)| i)
+}
+
+fn start_queued(
+    paths: &mut [NtPath],
+    core_busy: &mut [bool],
+    ready: &mut [u64],
+    freed_core: usize,
+    mach: &MachConfig,
+) {
+    if let Some(p) = paths.iter_mut().filter(|p| p.core.is_none()).min_by_key(|p| p.seq) {
+        p.core = Some(freed_core);
+        core_busy[freed_core] = true;
+        // Register copy onto the freed core.
+        ready[freed_core] += u64::from(mach.spawn_cycles);
+    }
+}
+
+fn finish_path(path: &mut NtPath, stop: NtStop, caches: &mut Hierarchy, stats: &mut PxStats) {
+    if let Some(c) = path.core {
+        caches.squash_path(c, path.id);
+    }
+    path.sandbox.clear();
+    stats.paths.push(NtPathRecord { spawn_pc: path.spawn_pc, executed: path.executed, stop });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn step_nt_path(
+    program: &Program,
+    path: &mut NtPath,
+    memory: &Memory,
+    caches: &mut Hierarchy,
+    monitor: &mut MonitorArea,
+    btb: &mut Btb,
+    nt_cov: &mut Coverage,
+    stats: &mut PxStats,
+    px: &PxConfig,
+    mach: &MachConfig,
+    now: u64,
+) -> (Option<NtStop>, u32) {
+    let core = path.core.expect("only running paths step");
+    // NT-paths get a throwaway watch view (mutations must not leak); under
+    // the OS-sandbox extension their system calls run against the path's
+    // I/O snapshot instead of stopping the path.
+    let mut scratch_watches = WatchTable::new();
+    let mut env = StepEnv {
+        io: &mut path.scratch_io,
+        watches: &mut scratch_watches,
+        suppress_syscalls: !px.os_sandbox_unsafe,
+        now_cycles: now,
+        costs: &mach.costs,
+    };
+    let s = {
+        let mut view = SandboxView::new(memory, &mut path.sandbox);
+        px_mach::step(program, &mut path.state, &mut view, &mut env)
+    };
+    let mut cost = s.base_cost;
+    let mut overflow = false;
+    if let Some(access) = s.access {
+        if access.write {
+            stats.nt_writes += 1;
+        }
+        let vtag = if access.write { path.id } else { COMMITTED };
+        let a = caches.access(core, access.addr, access.write, vtag);
+        cost += a.cycles;
+        if a.volatile_evicted == Some(path.id) {
+            overflow = true;
+        }
+    }
+    path.executed += 1;
+
+    let stop = match s.event {
+        StepEvent::Branch { pc, taken, taken_target, not_taken_target, .. } => {
+            stats.dyn_branches += 1;
+            let edge = Edge::from_taken(taken);
+            nt_cov.record(pc, edge);
+            if px.explore_nt_from_nt {
+                let other = edge.other();
+                if btb.edge_count(pc, other) < px.counter_threshold
+                            && !program.in_checker_region(pc)
+                        {
+                    btb.exercise(pc, other);
+                    nt_cov.record(pc, other);
+                    path.state.pc = if taken { not_taken_target } else { taken_target };
+                }
+            }
+            None
+        }
+        StepEvent::CheckFailed { kind, site, pc } => {
+            monitor.push(MonitorRecord {
+                kind: RecordKind::Check(kind),
+                site,
+                pc,
+                cycle: now,
+                path: PathKind::NtPath { spawn_pc: path.spawn_pc },
+            });
+            None
+        }
+        StepEvent::WatchHit { tag, addr, is_write, pc } => {
+            monitor.push(MonitorRecord {
+                kind: RecordKind::Watch { tag, addr, is_write },
+                site: tag,
+                pc,
+                cycle: now,
+                path: PathKind::NtPath { spawn_pc: path.spawn_pc },
+            });
+            None
+        }
+        StepEvent::UnsafeEvent { code } => Some(if code == SyscallCode::Exit {
+            NtStop::ProgramEnd
+        } else {
+            NtStop::Unsafe(code)
+        }),
+        StepEvent::Crash { kind, .. } => Some(NtStop::Crash(kind)),
+        StepEvent::Exit { .. } => Some(NtStop::ProgramEnd),
+        StepEvent::Syscall { .. } => {
+            stats.nt_syscalls_sandboxed += 1;
+            None
+        }
+        StepEvent::None => None,
+    };
+    let stop = stop.or({
+        if overflow {
+            Some(NtStop::SandboxOverflow)
+        } else if path.executed >= px.max_nt_path_len {
+            Some(NtStop::MaxLength)
+        } else {
+            None
+        }
+    });
+    if stop.is_some() {
+        cost += mach.squash_cycles;
+    }
+    (stop, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use px_isa::asm::assemble;
+
+    fn run(src: &str, px: &PxConfig) -> PxRunResult {
+        let program = assemble(src).unwrap();
+        run_cmp(&program, &MachConfig::default(), px, IoState::default())
+    }
+
+    const HIDDEN_BUG: &str = r"
+        .code
+        main:
+            li r1, 1
+            bne r1, zero, ok
+            li r3, 0
+            assert r3, #77
+            li r6, 500
+        ntspin:
+            subi r6, r6, 1
+            bgt r6, zero, ntspin
+            jmp ok
+        ok:
+            li r4, 200
+        loop:
+            subi r4, r4, 1
+            bgt r4, zero, loop
+            li r2, 0
+            exit
+        ";
+
+    #[test]
+    fn cmp_detects_nt_bug_concurrently() {
+        let r = run(HIDDEN_BUG, &PxConfig::default().cmp());
+        assert_eq!(r.exit, RunExit::Exited(0));
+        assert!(r.monitor.nt_records().any(|rec| rec.site == 77));
+    }
+
+    #[test]
+    fn cmp_overhead_is_small_compared_to_standard() {
+        let program = assemble(HIDDEN_BUG).unwrap();
+        let base = px_mach::run_baseline(
+            &program,
+            &MachConfig::default(),
+            IoState::default(),
+            1_000_000,
+        );
+        let std_r = crate::standard::run_standard(
+            &program,
+            &MachConfig::single_core(),
+            &PxConfig::default(),
+            IoState::default(),
+        );
+        let cmp_r = run(HIDDEN_BUG, &PxConfig::default().cmp());
+        // NT work overlaps in CMP: primary finish time must beat the
+        // standard configuration's serial execution.
+        assert!(cmp_r.cycles < std_r.cycles);
+        // And it should be close to baseline (well under 2x here).
+        assert!(cmp_r.cycles < base.cycles * 2);
+    }
+
+    #[test]
+    fn cmp_sandboxes_roll_back() {
+        let src = r"
+            .data
+            g: .word 7
+            .code
+            main:
+                li r1, 1
+                bne r1, zero, ok
+                la r5, g
+                li r6, 999
+                sw r6, 0(r5)
+                jmp ok
+            ok:
+                li r4, 50
+            loop:
+                subi r4, r4, 1
+                bgt r4, zero, loop
+                la r5, g
+                lw r2, 0(r5)
+                printi
+                li r2, 0
+                exit
+            ";
+        let r = run(src, &PxConfig::default().cmp());
+        assert_eq!(r.io.output_string(), "7");
+    }
+
+    #[test]
+    fn nt_path_reads_spawn_time_memory_not_later_taken_path_writes() {
+        // The NT-path spins a little, then reads `g`. Meanwhile the taken
+        // path overwrites `g`. The NT-path must still see the spawn-time
+        // value (tree data dependence) and reports it via an assert site.
+        let src = r"
+            .data
+            g: .word 7
+            .code
+            main:
+                li r1, 1
+                bne r1, zero, ok
+                ; --- NT path: delay, then check g is still 7 ---
+                li r6, 30
+            ntspin:
+                subi r6, r6, 1
+                bgt r6, zero, ntspin
+                la r5, g
+                lw r7, 0(r5)
+                seq r8, r7, zero    ; r8 = (g == 0)?  we assert g != 0 stayed 7
+                li r9, 7
+                seq r8, r7, r9      ; r8 = (g == 7)
+                assert r8, #55      ; fails if NT saw the taken path's write
+                jmp ok
+            ok:
+                la r5, g
+                sw zero, 0(r5)      ; taken path clobbers g immediately
+                li r4, 400
+            loop:
+                subi r4, r4, 1
+                bgt r4, zero, loop
+                li r2, 0
+                exit
+            ";
+        let r = run(src, &PxConfig::default().cmp());
+        assert_eq!(r.exit, RunExit::Exited(0));
+        let nt_failures: Vec<_> = r.monitor.nt_records().collect();
+        assert!(
+            nt_failures.is_empty(),
+            "NT-path must see spawn-time memory, got {nt_failures:?}"
+        );
+    }
+
+    #[test]
+    fn max_outstanding_limits_concurrency() {
+        // A loop whose never-taken edge leads into a long spin: spawned
+        // NT-paths occupy idle cores for MaxNTPathLength instructions.
+        let src = r"
+            .code
+            main:
+                li r4, 40
+                li r9, -1000
+            loop:
+                subi r4, r4, 1
+                blt r4, r9, spin    ; never taken: NT-paths go spin
+                bgt r4, zero, loop
+                li r2, 0
+                exit
+            spin:
+                addi r8, r8, 1
+                jmp spin
+            ";
+        let px = PxConfig::default()
+            .cmp()
+            .with_counter_threshold(15)
+            .with_max_outstanding(2)
+            .with_max_nt_path_len(10_000);
+        let r = run(src, &px);
+        assert!(r.stats.skipped_outstanding > 0, "outstanding cap must bite");
+        assert!(r.stats.spawns >= 2);
+    }
+
+    #[test]
+    fn forced_commit_squashes_the_oldest_path() {
+        // A tiny primary L1 (2 lines) forces dirty-line displacement while
+        // NT-paths are live, exercising the commit-token path of §4.3.
+        let src = r"
+            .code
+            main:
+                li r1, 1
+                li r9, 0x2000
+                li r10, 0x3000
+                li r4, 120
+            loop:
+                bne r1, zero, work   ; spawn edge: NT spins below
+                jmp work
+            work:
+                sw r4, 0(r9)         ; primary dirty lines in two sets
+                sw r4, 0(r10)
+                addi r9, r9, 32
+                addi r10, r10, 32
+                subi r4, r4, 1
+                bgt r4, zero, loop
+                li r2, 0
+                exit
+            ";
+        let program = px_isa::asm::assemble(src).unwrap();
+        let mach = MachConfig {
+            l1: px_mach::CacheConfig { size_bytes: 64, assoc: 2, line_bytes: 32, hit_cycles: 3 },
+            ..MachConfig::default()
+        };
+        let px = PxConfig::default().with_max_nt_path_len(5_000).with_counter_threshold(15);
+        let r = run_cmp(&program, &mach, &px, IoState::default());
+        assert!(r.exit.is_success());
+        assert!(
+            r.stats.stops_of("forced-commit") > 0,
+            "dirty displacement must force commits: {:?}",
+            r.stats.paths.iter().map(|p| p.stop).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn queued_paths_start_when_cores_free() {
+        // More simultaneous spawn demand than idle cores: queued NT-paths
+        // must still execute (spawns == completed paths).
+        let src = r"
+            .code
+            main:
+                li r4, 30
+                li r9, -1
+            loop:
+                subi r4, r4, 1
+                blt r4, r9, s1      ; never taken: spawn long NT
+                blt r4, r9, s2      ; never taken: spawn long NT
+                blt r4, r9, s3      ; never taken: spawn long NT
+                bgt r4, zero, loop
+                li r2, 0
+                exit
+            s1: jmp s1
+            s2: jmp s2
+            s3: jmp s3
+            ";
+        let program = px_isa::asm::assemble(src).unwrap();
+        let px = PxConfig::default()
+            .with_max_nt_path_len(400)
+            .with_counter_threshold(3)
+            .with_max_outstanding(8);
+        let r = run_cmp(&program, &MachConfig::default(), &px, IoState::default());
+        assert!(r.exit.is_success());
+        assert_eq!(
+            r.stats.paths.len() as u64,
+            r.stats.spawns,
+            "every spawned path completes or is cut short"
+        );
+        assert!(r.stats.spawns >= 6, "all three edges spawn repeatedly");
+    }
+
+    #[test]
+    fn os_sandbox_works_in_cmp_mode() {
+        let src = r"
+            .code
+            main:
+                li r1, 1
+                bne r1, zero, ok
+                li r2, 88
+                putc
+                li r3, 0
+                assert r3, #12
+                jmp ok
+            ok:
+                li r4, 300
+            loop:
+                subi r4, r4, 1
+                bgt r4, zero, loop
+                li r2, 0
+                exit
+            ";
+        let program = px_isa::asm::assemble(src).unwrap();
+        let plain = run_cmp(
+            &program,
+            &MachConfig::default(),
+            &PxConfig::default().cmp(),
+            IoState::default(),
+        );
+        assert_eq!(plain.monitor.len(), 0);
+        let os = run_cmp(
+            &program,
+            &MachConfig::default(),
+            &PxConfig::default().cmp().with_os_sandbox(true),
+            IoState::default(),
+        );
+        assert!(!os.monitor.is_empty(), "the bug past the syscall is reached");
+        assert!(os.io.output().is_empty(), "sandboxed putc must not leak");
+        assert!(os.stats.nt_syscalls_sandboxed >= 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run(HIDDEN_BUG, &PxConfig::default().cmp());
+        let b = run(HIDDEN_BUG, &PxConfig::default().cmp());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.stats.spawns, b.stats.spawns);
+        assert_eq!(a.monitor.len(), b.monitor.len());
+    }
+}

@@ -1,0 +1,190 @@
+//! PathExpander configuration — the paper's §6.3 parameters with a builder.
+
+/// Which PathExpander implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Standard configuration (paper Figure 4(a)): one core, checkpoint at
+    /// the branch, run the NT-path inline, roll back, resume the taken path.
+    Standard,
+    /// CMP optimization (paper Figure 4(b)): NT-paths execute on idle cores
+    /// concurrently with the taken path.
+    Cmp,
+}
+
+/// PathExpander's tunable parameters. `PxConfig::default()` reproduces the
+/// paper's defaults for large applications (§6.3); use
+/// [`PxConfig::siemens_defaults`] for the small Siemens benchmarks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PxConfig {
+    /// Standard configuration or CMP optimization.
+    pub mode: Mode,
+    /// Maximum instructions an NT-path may execute before termination
+    /// (`MaxNTPathLength`: 1000 for large applications, 100 for Siemens).
+    pub max_nt_path_len: u32,
+    /// Spawn an NT-path only when the non-taken edge's exercise counter is
+    /// below this (`NTPathCounterThreshold`, default 5).
+    pub counter_threshold: u8,
+    /// Reset all exercise counters every this many taken-path instructions
+    /// (`CounterResetInterval`).
+    pub counter_reset_interval: u64,
+    /// Maximum outstanding NT-paths in the CMP option (`MaxNumNTPaths`,
+    /// default 32). Ignored by the standard configuration, which runs one
+    /// NT-path at a time by construction.
+    pub max_outstanding: u32,
+    /// Execute the compiler's predicated variable-fixing instructions at
+    /// NT-path entry (paper §4.4). Disabled for the "before fixing" columns
+    /// of Table 5 and for the Figure 3 feasibility measurements.
+    pub apply_fixes: bool,
+    /// Ablation (paper §4.2(3)): also force non-taken edges at branches
+    /// encountered *inside* an NT-path. The paper measured +2% coverage but a
+    /// 5%→16% early-crash ratio on gzip and rejected the idea.
+    pub explore_nt_from_nt: bool,
+    /// Extension (paper §3.2 future work): OS support for sandboxing unsafe
+    /// events. When enabled, NT-paths execute system calls against a
+    /// disposable I/O snapshot taken at spawn instead of stopping — the
+    /// paper projected "more than 90% of NT-Paths may potentially execute up
+    /// to 1000 instructions" with this support.
+    pub os_sandbox_unsafe: bool,
+    /// Extension (paper §7.1(2) remedy): a random factor in NT-path
+    /// selection. `Some(n)` spawns from a hot edge (counter at or above the
+    /// threshold) anyway roughly one time in `n`, deterministically seeded —
+    /// this is what exposes hot-entry escapes like bc's second bug.
+    pub random_factor: Option<u32>,
+    /// Safety valve: stop the whole run after this many retired instructions
+    /// (taken + NT).
+    pub max_instructions: u64,
+}
+
+impl Default for PxConfig {
+    fn default() -> PxConfig {
+        PxConfig {
+            mode: Mode::Standard,
+            max_nt_path_len: 1000,
+            counter_threshold: 5,
+            counter_reset_interval: 1_000_000,
+            max_outstanding: 32,
+            apply_fixes: true,
+            explore_nt_from_nt: false,
+            os_sandbox_unsafe: false,
+            random_factor: None,
+            max_instructions: 500_000_000,
+        }
+    }
+}
+
+impl PxConfig {
+    /// The paper's defaults for the small Siemens benchmarks
+    /// (`MaxNTPathLength` = 100, §6.3).
+    #[must_use]
+    pub fn siemens_defaults() -> PxConfig {
+        PxConfig { max_nt_path_len: 100, ..PxConfig::default() }
+    }
+
+    /// Switches to the CMP optimization.
+    #[must_use]
+    pub fn cmp(mut self) -> PxConfig {
+        self.mode = Mode::Cmp;
+        self
+    }
+
+    /// Sets `MaxNTPathLength`.
+    #[must_use]
+    pub fn with_max_nt_path_len(mut self, len: u32) -> PxConfig {
+        self.max_nt_path_len = len;
+        self
+    }
+
+    /// Sets `NTPathCounterThreshold`.
+    #[must_use]
+    pub fn with_counter_threshold(mut self, t: u8) -> PxConfig {
+        self.counter_threshold = t;
+        self
+    }
+
+    /// Sets `CounterResetInterval`.
+    #[must_use]
+    pub fn with_counter_reset_interval(mut self, interval: u64) -> PxConfig {
+        self.counter_reset_interval = interval;
+        self
+    }
+
+    /// Sets `MaxNumNTPaths` (CMP option).
+    #[must_use]
+    pub fn with_max_outstanding(mut self, n: u32) -> PxConfig {
+        self.max_outstanding = n.max(1);
+        self
+    }
+
+    /// Enables or disables the §4.4 variable fixing.
+    #[must_use]
+    pub fn with_fixes(mut self, apply: bool) -> PxConfig {
+        self.apply_fixes = apply;
+        self
+    }
+
+    /// Enables the §4.2(3) explore-from-NT ablation.
+    #[must_use]
+    pub fn with_explore_nt_from_nt(mut self, enable: bool) -> PxConfig {
+        self.explore_nt_from_nt = enable;
+        self
+    }
+
+    /// Enables the §3.2 OS-sandbox extension for unsafe events.
+    #[must_use]
+    pub fn with_os_sandbox(mut self, enable: bool) -> PxConfig {
+        self.os_sandbox_unsafe = enable;
+        self
+    }
+
+    /// Enables the §7.1(2) random spawn factor (roughly 1-in-`n` spawns from
+    /// hot edges).
+    #[must_use]
+    pub fn with_random_factor(mut self, one_in: Option<u32>) -> PxConfig {
+        self.random_factor = one_in.filter(|&n| n > 0);
+        self
+    }
+
+    /// Sets the total instruction budget.
+    #[must_use]
+    pub fn with_max_instructions(mut self, n: u64) -> PxConfig {
+        self.max_instructions = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_section_6_3() {
+        let c = PxConfig::default();
+        assert_eq!(c.max_nt_path_len, 1000);
+        assert_eq!(c.counter_threshold, 5);
+        assert_eq!(c.max_outstanding, 32);
+        assert!(c.apply_fixes);
+        assert!(!c.explore_nt_from_nt);
+        assert_eq!(PxConfig::siemens_defaults().max_nt_path_len, 100);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = PxConfig::default()
+            .cmp()
+            .with_max_nt_path_len(10)
+            .with_counter_threshold(1)
+            .with_max_outstanding(0)
+            .with_fixes(false)
+            .with_explore_nt_from_nt(true)
+            .with_counter_reset_interval(5)
+            .with_max_instructions(99);
+        assert_eq!(c.mode, Mode::Cmp);
+        assert_eq!(c.max_nt_path_len, 10);
+        assert_eq!(c.counter_threshold, 1);
+        assert_eq!(c.max_outstanding, 1, "clamped to at least one");
+        assert!(!c.apply_fixes);
+        assert!(c.explore_nt_from_nt);
+        assert_eq!(c.counter_reset_interval, 5);
+        assert_eq!(c.max_instructions, 99);
+    }
+}

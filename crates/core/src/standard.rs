@@ -1,0 +1,646 @@
+//! The PathExpander **standard configuration** (paper §4.2, Figure 4(a)).
+//!
+//! One core runs the program. When a branch resolves and the *non-taken*
+//! edge's exercise counter is below `NTPathCounterThreshold`, the engine:
+//!
+//! 1. bumps the non-taken edge's counter (counters are updated "during
+//!    taken-path execution and at the entry of an NT-Path", §4.2(1)),
+//! 2. checkpoints the registers and program counter,
+//! 3. sets the NT-entry predicate (so the compiler's variable-fixing
+//!    instructions at the edge head execute) and redirects the PC to the
+//!    non-taken target,
+//! 4. runs the NT-path with memory writes sandboxed in L1 (volatile tag) and
+//!    system calls suppressed,
+//! 5. on termination — `MaxNTPathLength`, crash, unsafe event, program end,
+//!    or sandbox overflow — gang-invalidates the volatile lines, restores the
+//!    checkpoint and resumes the taken path.
+//!
+//! Checker records produced on the NT-path go to the monitor memory area and
+//! survive the squash.
+
+use px_isa::{Program, SyscallCode};
+use px_mach::{
+    Btb, Checkpoint, CoreState, Coverage, Edge, Hierarchy, IoState, MachConfig, Memory,
+    MonitorArea, MonitorRecord, PathKind, RecordKind, RunExit, Sandbox, SandboxView, StepEnv,
+    StepEvent, WatchTable, COMMITTED,
+};
+
+use crate::config::PxConfig;
+use crate::stats::{NtPathRecord, NtStop, PxRunResult, PxStats};
+
+/// Volatile tag used for NT-path lines in the standard configuration — the
+/// paper's single-bit Vtag.
+const NT_VTAG: u8 = 1;
+
+struct NtContext {
+    spawn_pc: u32,
+    executed: u32,
+    checkpoint: Checkpoint,
+    /// §3.2 OS-sandbox extension: a disposable I/O snapshot the NT-path's
+    /// system calls run against (discarded at squash).
+    scratch_io: Option<IoState>,
+}
+
+/// Runs `program` under the standard PathExpander configuration.
+///
+/// `cfg.mode` is ignored — this function *is* the standard engine; the
+/// [`crate::cmp`] module implements the CMP optimization.
+#[must_use]
+pub fn run_standard(
+    program: &Program,
+    mach: &MachConfig,
+    px: &PxConfig,
+    io: IoState,
+) -> PxRunResult {
+    let mut memory = Memory::new(mach.mem_size.max(program.mem_size));
+    for item in &program.data {
+        memory.load_blob(item.addr, &item.bytes);
+    }
+    let mut core = CoreState::at_entry(program.entry, memory.size());
+    let mut caches = Hierarchy::new(mach);
+    let mut btb = Btb::new(mach.btb_entries, mach.btb_assoc);
+    let mut watches = WatchTable::new();
+    let mut taken_cov = Coverage::for_program(program);
+    let mut nt_cov = Coverage::for_program(program);
+    let mut monitor = MonitorArea::new();
+    let mut stats = PxStats::default();
+    let mut io = io;
+    let mut sandbox = Sandbox::new();
+    let mut nt: Option<NtContext> = None;
+
+    let mut cycles: u64 = 0;
+    let mut instructions: u64 = 0;
+    let mut taken_since_reset: u64 = 0;
+    // Deterministic source for the §7.1(2) random spawn factor.
+    let mut spawn_rng: u64 = 0x9E37_79B9_7F4A_7C15 ^ (program.code.len() as u64 + 1);
+
+    let exit = 'run: loop {
+        if instructions >= px.max_instructions {
+            break RunExit::BudgetExhausted;
+        }
+        instructions += 1;
+
+        // Periodic exercise-counter reset (per CounterResetInterval
+        // taken-path instructions, §4.2(1)).
+        if nt.is_none() && taken_since_reset >= px.counter_reset_interval {
+            btb.reset_counters();
+            stats.counter_resets += 1;
+            taken_since_reset = 0;
+        }
+
+        let in_nt = nt.is_some();
+        let os_sandboxed = in_nt && px.os_sandbox_unsafe;
+        let s = {
+            let io_ref: &mut IoState = match nt.as_mut().and_then(|c| c.scratch_io.as_mut()) {
+                Some(scratch) => scratch,
+                None => &mut io,
+            };
+            let mut env = StepEnv {
+                io: io_ref,
+                watches: &mut watches,
+                suppress_syscalls: in_nt && !px.os_sandbox_unsafe,
+                now_cycles: cycles,
+                costs: &mach.costs,
+            };
+            if in_nt {
+                let mut view = SandboxView::new(&memory, &mut sandbox);
+                px_mach::step(program, &mut core, &mut view, &mut env)
+            } else {
+                px_mach::step(program, &mut core, &mut memory, &mut env)
+            }
+        };
+
+        cycles += u64::from(s.base_cost);
+        let mut overflow = false;
+        if let Some(access) = s.access {
+            if in_nt && access.write {
+                stats.nt_writes += 1;
+            }
+            let vtag = if in_nt && access.write { NT_VTAG } else { COMMITTED };
+            let a = caches.access(0, access.addr, access.write, vtag);
+            cycles += u64::from(a.cycles);
+            if in_nt && a.volatile_evicted == Some(NT_VTAG) {
+                overflow = true;
+            }
+        }
+
+        if in_nt {
+            stats.nt_instructions += 1;
+        } else {
+            stats.taken_instructions += 1;
+            taken_since_reset += 1;
+        }
+
+        // Event handling.
+        match s.event {
+            StepEvent::Branch { pc, taken, taken_target, not_taken_target, .. } => {
+                stats.dyn_branches += 1;
+                let edge = Edge::from_taken(taken);
+                if let Some(ctx) = nt.as_mut() {
+                    nt_cov.record(pc, edge);
+                    // Ablation D2: force the non-taken edge from inside an
+                    // NT-path when it has never been exercised.
+                    if px.explore_nt_from_nt {
+                        let other = edge.other();
+                        if btb.edge_count(pc, other) < px.counter_threshold
+                            && !program.in_checker_region(pc)
+                        {
+                            btb.exercise(pc, other);
+                            nt_cov.record(pc, other);
+                            core.pc = if taken { not_taken_target } else { taken_target };
+                            let _ = ctx;
+                        }
+                    }
+                } else {
+                    btb.exercise(pc, edge);
+                    taken_cov.record(pc, edge);
+                    // NT-path spawn decision.
+                    let nt_edge = edge.other();
+                    let hot = btb.edge_count(pc, nt_edge) >= px.counter_threshold;
+                    let random_admit = hot
+                        && px.random_factor.is_some_and(|n| {
+                            spawn_rng ^= spawn_rng << 13;
+                            spawn_rng ^= spawn_rng >> 7;
+                            spawn_rng ^= spawn_rng << 17;
+                            spawn_rng.is_multiple_of(u64::from(n))
+                        });
+                    if program.in_checker_region(pc) {
+                        stats.skipped_checker += 1;
+                    } else if hot && !random_admit {
+                        stats.skipped_hot += 1;
+                    } else {
+                        if random_admit {
+                            stats.random_spawns += 1;
+                        }
+                        // Spawn: counter bump at NT entry, checkpoint, redirect.
+                        btb.exercise(pc, nt_edge);
+                        nt_cov.record(pc, nt_edge);
+                        stats.spawns += 1;
+                        cycles += u64::from(mach.spawn_cycles);
+                        let checkpoint = Checkpoint::take(&core);
+                        core.pc = if taken { not_taken_target } else { taken_target };
+                        core.pred = px.apply_fixes;
+                        watches.begin_log();
+                        debug_assert_eq!(sandbox.written_bytes(), 0);
+                        let scratch_io = px.os_sandbox_unsafe.then(|| io.clone());
+                        nt = Some(NtContext { spawn_pc: pc, executed: 0, checkpoint, scratch_io });
+                        continue 'run;
+                    }
+                }
+            }
+            StepEvent::CheckFailed { kind, site, pc } => monitor.push(MonitorRecord {
+                kind: RecordKind::Check(kind),
+                site,
+                pc,
+                cycle: cycles,
+                path: path_kind(&nt),
+            }),
+            StepEvent::WatchHit { tag, addr, is_write, pc } => monitor.push(MonitorRecord {
+                kind: RecordKind::Watch { tag, addr, is_write },
+                site: tag,
+                pc,
+                cycle: cycles,
+                path: path_kind(&nt),
+            }),
+            StepEvent::UnsafeEvent { code } => {
+                let ctx = nt.take().expect("unsafe events only occur in NT-paths");
+                let stop = if code == SyscallCode::Exit {
+                    NtStop::ProgramEnd
+                } else {
+                    NtStop::Unsafe(code)
+                };
+                squash(
+                    ctx, stop, &mut core, &mut caches, &mut watches, &mut sandbox, &mut stats,
+                    &mut cycles, mach,
+                );
+                continue 'run;
+            }
+            StepEvent::Crash { kind, .. } => {
+                if let Some(ctx) = nt.take() {
+                    squash(
+                        ctx,
+                        NtStop::Crash(kind),
+                        &mut core,
+                        &mut caches,
+                        &mut watches,
+                        &mut sandbox,
+                        &mut stats,
+                        &mut cycles,
+                        mach,
+                    );
+                    continue 'run;
+                }
+                break RunExit::Crashed(kind);
+            }
+            StepEvent::Exit { code } => {
+                if let Some(ctx) = nt.take() {
+                    // Only reachable under the OS-sandbox extension: the
+                    // NT-path reached the end of the program.
+                    squash(
+                        ctx,
+                        NtStop::ProgramEnd,
+                        &mut core,
+                        &mut caches,
+                        &mut watches,
+                        &mut sandbox,
+                        &mut stats,
+                        &mut cycles,
+                        mach,
+                    );
+                    continue 'run;
+                }
+                break RunExit::Exited(code);
+            }
+            StepEvent::Syscall { .. } => {
+                if os_sandboxed {
+                    stats.nt_syscalls_sandboxed += 1;
+                }
+            }
+            StepEvent::None => {}
+        }
+
+        // NT-path bookkeeping: length limit and sandbox overflow.
+        if let Some(ctx) = nt.as_mut() {
+            ctx.executed += 1;
+            let hit_limit = ctx.executed >= px.max_nt_path_len;
+            if overflow || hit_limit {
+                let stop = if overflow { NtStop::SandboxOverflow } else { NtStop::MaxLength };
+                let ctx = nt.take().expect("checked above");
+                squash(
+                    ctx, stop, &mut core, &mut caches, &mut watches, &mut sandbox, &mut stats,
+                    &mut cycles, mach,
+                );
+            }
+        }
+    };
+
+    let mut total_coverage = taken_cov.clone();
+    total_coverage.merge(&nt_cov);
+    PxRunResult {
+        exit,
+        cycles,
+        taken_coverage: taken_cov,
+        total_coverage,
+        monitor,
+        io,
+        stats,
+    }
+}
+
+fn path_kind(nt: &Option<NtContext>) -> PathKind {
+    match nt {
+        Some(ctx) => PathKind::NtPath { spawn_pc: ctx.spawn_pc },
+        None => PathKind::Taken,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn squash(
+    ctx: NtContext,
+    stop: NtStop,
+    core: &mut CoreState,
+    caches: &mut Hierarchy,
+    watches: &mut WatchTable,
+    sandbox: &mut Sandbox,
+    stats: &mut PxStats,
+    cycles: &mut u64,
+    mach: &MachConfig,
+) {
+    *cycles += u64::from(mach.squash_cycles);
+    caches.squash_path(0, NT_VTAG);
+    sandbox.clear();
+    watches.rollback();
+    ctx.checkpoint.restore(core);
+    stats.paths.push(NtPathRecord { spawn_pc: ctx.spawn_pc, executed: ctx.executed, stop });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use px_isa::asm::assemble;
+    use px_mach::CrashKind;
+
+    fn run(src: &str, px: &PxConfig) -> PxRunResult {
+        let program = assemble(src).unwrap();
+        run_standard(&program, &MachConfig::single_core(), px, IoState::default())
+    }
+
+    /// A branch with one direction never exercised by the input, plus a loop
+    /// whose exit edge spawns a few NT-paths.
+    const HIDDEN_BUG: &str = r"
+        .code
+        main:
+            li r1, 1          ; condition variable: always 1
+            beq r1, zero, ok  ; never taken with this input
+            jmp ok
+            nop
+        ok:
+            li r4, 5
+        loop:
+            subi r4, r4, 1
+            bgt r4, zero, loop
+            li r2, 0
+            exit
+        ";
+
+    #[test]
+    fn spawns_nt_paths_and_terminates_cleanly() {
+        let px = PxConfig::default().with_max_nt_path_len(50);
+        let r = run(HIDDEN_BUG, &px);
+        assert_eq!(r.exit, RunExit::Exited(0));
+        assert!(r.stats.spawns >= 1, "at least the beq edge spawns");
+        assert_eq!(r.stats.paths.len(), r.stats.spawns as usize);
+        // Taken path and total coverage differ.
+        let p = assemble(HIDDEN_BUG).unwrap();
+        assert!(
+            r.total_coverage.covered_edges(&p) > r.taken_coverage.covered_edges(&p),
+            "NT-paths added coverage"
+        );
+    }
+
+    #[test]
+    fn nt_path_detects_bug_on_non_taken_edge() {
+        // Bug: assertion failure reachable only when the branch goes the
+        // never-taken way.
+        let src = r"
+            .code
+            main:
+                li r1, 1
+                bne r1, zero, ok   ; always taken; fall-through is buggy
+                li r3, 0
+                assert r3, #77     ; the hidden bug
+                jmp ok
+            ok:
+                li r2, 0
+                exit
+            ";
+        let base = run(src, &PxConfig::default());
+        assert_eq!(base.monitor.nt_records().count(), 1, "bug found on NT-path");
+        let rec = base.monitor.nt_records().next().unwrap();
+        assert_eq!(rec.site, 77);
+        assert_eq!(rec.path, PathKind::NtPath { spawn_pc: 1 });
+        // And the taken path itself never reports it.
+        assert_eq!(
+            base.monitor.records().iter().filter(|r| !r.path.is_nt()).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn nt_crash_is_contained() {
+        // The non-taken edge dereferences null: the NT-path crashes, the
+        // program still exits 0.
+        let src = r"
+            .code
+            main:
+                li r1, 1
+                bne r1, zero, ok
+                lw r5, 0(zero)     ; NT-path crashes here
+                jmp ok
+            ok:
+                li r2, 0
+                exit
+            ";
+        let r = run(src, &PxConfig::default());
+        assert_eq!(r.exit, RunExit::Exited(0));
+        assert_eq!(r.stats.stops_of("crash"), 1);
+    }
+
+    #[test]
+    fn nt_unsafe_event_stops_the_path_without_side_effects() {
+        let src = r"
+            .code
+            main:
+                li r1, 1
+                bne r1, zero, ok
+                li r2, 88          ; 'X'
+                putc               ; unsafe in NT-path
+                jmp ok
+            ok:
+                li r2, 0
+                exit
+            ";
+        let r = run(src, &PxConfig::default());
+        assert_eq!(r.exit, RunExit::Exited(0));
+        assert_eq!(r.stats.stops_of("unsafe"), 1);
+        assert!(r.io.output().is_empty(), "the putc never happened");
+    }
+
+    #[test]
+    fn nt_writes_roll_back() {
+        let src = r"
+            .data
+            g: .word 7
+            .code
+            main:
+                li r1, 1
+                bne r1, zero, ok
+                la r5, g
+                li r6, 999
+                sw r6, 0(r5)       ; sandboxed write
+                jmp ok
+            ok:
+                la r5, g
+                lw r2, 0(r5)
+                printi             ; prints committed value
+                li r2, 0
+                exit
+            ";
+        let r = run(src, &PxConfig::default());
+        assert_eq!(r.io.output_string(), "7", "NT store must not leak");
+    }
+
+    #[test]
+    fn max_length_bounds_nt_paths() {
+        // Non-taken edge leads into an infinite loop.
+        let src = r"
+            .code
+            main:
+                li r1, 1
+                bne r1, zero, ok
+            spin:
+                jmp spin
+            ok:
+                li r2, 0
+                exit
+            ";
+        let px = PxConfig::default().with_max_nt_path_len(30);
+        let r = run(src, &px);
+        assert_eq!(r.exit, RunExit::Exited(0));
+        assert_eq!(r.stats.stops_of("max-length"), 1);
+        let path = &r.stats.paths[0];
+        assert_eq!(path.executed, 30);
+    }
+
+    #[test]
+    fn counter_threshold_limits_spawns_per_edge() {
+        // The loop branch's exit edge is non-taken for 9 iterations; with
+        // threshold 5 only 5 NT-paths spawn from it.
+        let src = r"
+            .code
+            main:
+                li r4, 10
+            loop:
+                subi r4, r4, 1
+                bgt r4, zero, loop
+                li r2, 0
+                exit
+            ";
+        let px = PxConfig::default().with_counter_threshold(5);
+        let r = run(src, &px);
+        // Spawns: 5 from the loop-exit edge (plus 1 from the final
+        // not-taken iteration whose other edge is `taken`... that edge was
+        // exercised 9 times, so it is hot). Exactly 5.
+        assert_eq!(r.stats.spawns, 5);
+        assert!(r.stats.skipped_hot >= 4);
+    }
+
+    #[test]
+    fn fixes_execute_only_with_apply_fixes() {
+        // The non-taken edge asserts on the condition variable; the
+        // predicated fix at the edge head repairs it.
+        let src = r"
+            .code
+            main:
+                li r1, 5
+                bne r1, zero, ok   ; non-taken edge semantically needs r1 == 0
+                pli r1, 0          ; compiler's fix: set r1 = 0 (boundary)
+                seq r3, r1, zero   ; r3 = (r1 == 0)
+                assert r3, #50     ; false positive unless fixed
+                jmp ok
+            ok:
+                li r2, 0
+                exit
+            ";
+        let fixed = run(src, &PxConfig::default().with_fixes(true));
+        assert_eq!(fixed.monitor.len(), 0, "fix removes the false positive");
+        let unfixed = run(src, &PxConfig::default().with_fixes(false));
+        assert_eq!(unfixed.monitor.len(), 1, "without fixing the check fires");
+    }
+
+    #[test]
+    fn taken_path_crash_still_faults() {
+        let src = ".code\nmain:\n  lw r1, 0(zero)\n";
+        let r = run(src, &PxConfig::default());
+        assert!(matches!(r.exit, RunExit::Crashed(CrashKind::NullDeref { .. })));
+    }
+
+    #[test]
+    fn counter_reset_reenables_spawning() {
+        // Two passes over the same branch; with a tiny reset interval the
+        // edge counter clears between them.
+        let src = r"
+            .code
+            main:
+                li r7, 2           ; outer passes
+            outer:
+                li r4, 8
+            loop:
+                subi r4, r4, 1
+                bgt r4, zero, loop
+                subi r7, r7, 1
+                bgt r7, zero, outer
+                li r2, 0
+                exit
+            ";
+        let no_reset =
+            run(src, &PxConfig::default().with_counter_threshold(1).with_counter_reset_interval(u64::MAX));
+        let with_reset =
+            run(src, &PxConfig::default().with_counter_threshold(1).with_counter_reset_interval(20));
+        assert!(with_reset.stats.counter_resets > 0);
+        assert!(
+            with_reset.stats.spawns > no_reset.stats.spawns,
+            "resets re-enable exploration: {} vs {}",
+            with_reset.stats.spawns,
+            no_reset.stats.spawns
+        );
+    }
+
+    #[test]
+    fn os_sandbox_extension_lets_nt_paths_run_past_syscalls() {
+        // §3.2 future work: with OS support, the putc is executed against a
+        // disposable I/O snapshot instead of stopping the path, and the
+        // output still never leaks.
+        let src = r"
+            .code
+            main:
+                li r1, 1
+                bne r1, zero, ok
+                li r2, 88
+                putc                ; sandboxed under the extension
+                li r3, 0
+                assert r3, #66      ; bug past the unsafe event
+                jmp ok
+            ok:
+                li r2, 0
+                exit
+            ";
+        let plain = run(src, &PxConfig::default());
+        assert_eq!(plain.stats.stops_of("unsafe"), 1);
+        assert_eq!(plain.monitor.len(), 0, "bug unreachable without OS support");
+
+        let os = run(src, &PxConfig::default().with_os_sandbox(true));
+        assert_eq!(os.stats.stops_of("unsafe"), 0);
+        assert_eq!(os.stats.nt_syscalls_sandboxed, 1);
+        assert_eq!(os.monitor.len(), 1, "the path now reaches the bug");
+        assert!(os.io.output().is_empty(), "sandboxed putc must not leak");
+        assert_eq!(os.exit, RunExit::Exited(0));
+    }
+
+    #[test]
+    fn random_factor_spawns_from_hot_edges() {
+        // A loop branch whose exit edge saturates the threshold: with the
+        // §7.1(2) random factor, occasional extra spawns still happen.
+        let src = r"
+            .code
+            main:
+                li r4, 400
+            loop:
+                subi r4, r4, 1
+                bgt r4, zero, loop
+                li r2, 0
+                exit
+            ";
+        let plain = run(src, &PxConfig::default().with_counter_threshold(1));
+        let random = run(
+            src,
+            &PxConfig::default().with_counter_threshold(1).with_random_factor(Some(16)),
+        );
+        assert_eq!(plain.stats.random_spawns, 0);
+        assert!(random.stats.random_spawns > 0, "hot edges re-explored");
+        assert!(random.stats.spawns > plain.stats.spawns);
+        // Determinism.
+        let again = run(
+            src,
+            &PxConfig::default().with_counter_threshold(1).with_random_factor(Some(16)),
+        );
+        assert_eq!(again.stats.random_spawns, random.stats.random_spawns);
+    }
+
+    #[test]
+    fn explore_nt_from_nt_widens_coverage() {
+        // Inside the NT region there is a second branch whose non-taken edge
+        // is otherwise never explored (NT-paths follow actual conditions).
+        let src = r"
+            .code
+            main:
+                li r1, 1
+                bne r1, zero, ok   ; spawn point
+                ; --- NT region ---
+                li r5, 1
+                bne r5, zero, sub_ok  ; inner branch: always taken inside NT
+                nop                   ; inner non-taken edge
+            sub_ok:
+                jmp ok
+            ok:
+                li r2, 0
+                exit
+            ";
+        let p = assemble(src).unwrap();
+        let plain = run(src, &PxConfig::default());
+        let ablate = run(src, &PxConfig::default().with_explore_nt_from_nt(true));
+        assert!(
+            ablate.total_coverage.covered_edges(&p) > plain.total_coverage.covered_edges(&p)
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Run statistics and results shared by the standard and CMP engines.
+
+use px_isa::SyscallCode;
+use px_mach::{Coverage, CrashKind, IoState, MonitorArea, RunExit};
+
+/// Why an NT-path terminated (paper §4.2(3), plus the implicit sandbox
+/// capacity limit of buffering in L1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NtStop {
+    /// Executed `MaxNTPathLength` instructions.
+    MaxLength,
+    /// Crashed (exception swallowed, not delivered to the OS).
+    Crash(CrashKind),
+    /// Reached an unsafe event — a system call the sandbox cannot contain.
+    Unsafe(SyscallCode),
+    /// Reached the program's `exit` call.
+    ProgramEnd,
+    /// A volatile line was displaced from L1: the sandbox overflowed.
+    SandboxOverflow,
+    /// CMP option only: squashed early because its sibling taken-path
+    /// segment was forced to commit (dirty-line displacement, paper §4.3).
+    ForcedCommit,
+    /// CMP option only: still running when the program finished.
+    RunCutShort,
+}
+
+impl NtStop {
+    /// Coarse class used in histograms.
+    #[must_use]
+    pub fn class(&self) -> &'static str {
+        match self {
+            NtStop::MaxLength => "max-length",
+            NtStop::Crash(_) => "crash",
+            NtStop::Unsafe(_) => "unsafe",
+            NtStop::ProgramEnd => "program-end",
+            NtStop::SandboxOverflow => "sandbox-overflow",
+            NtStop::ForcedCommit => "forced-commit",
+            NtStop::RunCutShort => "cut-short",
+        }
+    }
+}
+
+/// One completed NT-path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NtPathRecord {
+    /// The branch the path was spawned from.
+    pub spawn_pc: u32,
+    /// Instructions the path executed before stopping.
+    pub executed: u32,
+    /// Why it stopped.
+    pub stop: NtStop,
+}
+
+/// Aggregate statistics of a PathExpander run.
+#[derive(Debug, Clone, Default)]
+pub struct PxStats {
+    /// NT-paths spawned.
+    pub spawns: u64,
+    /// Spawns skipped because the edge's exercise counter was at or above the
+    /// threshold.
+    pub skipped_hot: u64,
+    /// Spawns skipped because the branch lies in tagged checker code.
+    pub skipped_checker: u64,
+    /// Spawns skipped because `MaxNumNTPaths` NT-paths were outstanding
+    /// (CMP option).
+    pub skipped_outstanding: u64,
+    /// Instructions retired on the taken path.
+    pub taken_instructions: u64,
+    /// Instructions retired on NT-paths.
+    pub nt_instructions: u64,
+    /// Dynamic conditional branches, taken path and NT-paths combined (the
+    /// software implementation instruments every one of these).
+    pub dyn_branches: u64,
+    /// Memory writes performed inside NT-paths (the software implementation
+    /// logs the old value of each for its restore-log).
+    pub nt_writes: u64,
+    /// Exercise-counter reset events.
+    pub counter_resets: u64,
+    /// Spawns admitted by the random factor despite a hot exercise counter
+    /// (the §7.1(2) extension).
+    pub random_spawns: u64,
+    /// System calls executed inside NT-paths under the §3.2 OS-sandbox
+    /// extension (they would otherwise have been unsafe-event stops).
+    pub nt_syscalls_sandboxed: u64,
+    /// Every completed NT-path, in completion order.
+    pub paths: Vec<NtPathRecord>,
+}
+
+impl PxStats {
+    /// Number of completed NT-paths that stopped for the given class.
+    #[must_use]
+    pub fn stops_of(&self, class: &str) -> usize {
+        self.paths.iter().filter(|p| p.stop.class() == class).count()
+    }
+
+    /// Fraction of NT-paths that stopped before executing `n` instructions
+    /// for a reason in `classes` — the paper's Figure 3 CDF.
+    #[must_use]
+    pub fn stopped_before(&self, n: u32, classes: &[&str]) -> f64 {
+        if self.paths.is_empty() {
+            return 0.0;
+        }
+        let stopped = self
+            .paths
+            .iter()
+            .filter(|p| p.executed < n && classes.contains(&p.stop.class()))
+            .count();
+        stopped as f64 / self.paths.len() as f64
+    }
+}
+
+/// Result of a PathExpander-monitored run.
+#[derive(Debug, Clone)]
+pub struct PxRunResult {
+    /// How the taken path ended.
+    pub exit: RunExit,
+    /// Cycles on the primary core — the run's wall-clock in simulated time.
+    pub cycles: u64,
+    /// Taken-path-only branch coverage (= what the baseline would cover).
+    pub taken_coverage: Coverage,
+    /// Combined taken + NT-path coverage (PathExpander's coverage).
+    pub total_coverage: Coverage,
+    /// Checker records from both taken and NT-paths (the monitor memory
+    /// area).
+    pub monitor: MonitorArea,
+    /// Final I/O of the taken path.
+    pub io: IoState,
+    /// Aggregate statistics.
+    pub stats: PxStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(executed: u32, stop: NtStop) -> NtPathRecord {
+        NtPathRecord { spawn_pc: 0, executed, stop }
+    }
+
+    #[test]
+    fn cdf_counts_only_selected_classes() {
+        let s = PxStats {
+            paths: vec![
+                rec(10, NtStop::Crash(CrashKind::DivByZero)),
+                rec(500, NtStop::Unsafe(SyscallCode::PutChar)),
+                rec(1000, NtStop::MaxLength),
+                rec(999, NtStop::MaxLength),
+            ],
+            ..PxStats::default()
+        };
+        assert_eq!(s.stopped_before(1000, &["crash"]), 0.25);
+        assert_eq!(s.stopped_before(1000, &["crash", "unsafe"]), 0.5);
+        assert_eq!(s.stopped_before(11, &["crash"]), 0.25);
+        assert_eq!(s.stopped_before(10, &["crash"]), 0.0);
+        assert_eq!(s.stops_of("max-length"), 2);
+    }
+
+    #[test]
+    fn empty_stats_cdf_is_zero() {
+        let s = PxStats::default();
+        assert_eq!(s.stopped_before(1000, &["crash"]), 0.0);
+    }
+}

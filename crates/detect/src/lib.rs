@@ -1,0 +1,236 @@
+//! # px-detect — dynamic bug detectors and report classification
+//!
+//! The paper evaluates PathExpander with three dynamic bug-detection
+//! methods (§6.2): CCured (software-only checker), iWatcher
+//! (hardware-assisted checker) and assertions. In this reproduction the
+//! detectors' *mechanisms* live in the compiler (`px-lang` inserts the
+//! checks) and the machine (`px-mach` evaluates `check` probes and watch
+//! ranges, routing failures to the monitor memory area). This crate provides
+//! what sits on top:
+//!
+//! * [`Tool`] — which detection method a run is using, and the compile
+//!   options that configure it;
+//! * [`report`] — turning raw [`px_mach::MonitorRecord`]s into deduplicated,
+//!   line-attributed [`Detection`]s;
+//! * [`classify`] — splitting detections into true positives (they match a
+//!   workload's seeded-bug manifest) and false positives, the quantities
+//!   Tables 4 and 5 report.
+
+use std::collections::BTreeMap;
+
+use px_isa::CheckKind;
+use px_lang::{CompileOptions, CompiledProgram};
+use px_mach::{MonitorArea, PathKind, RecordKind};
+
+/// A dynamic bug-detection method (paper §6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tool {
+    /// CCured-style software-only checker: compiler-inserted bounds and null
+    /// checks (costs instructions on every checked access).
+    Ccured,
+    /// iWatcher-style hardware-assisted checker: red zones guarded by
+    /// hardware watch ranges (costs cycles only when triggered).
+    Iwatcher,
+    /// Programmer-written assertions.
+    Assertions,
+}
+
+impl Tool {
+    /// All three tools.
+    pub const ALL: [Tool; 3] = [Tool::Ccured, Tool::Iwatcher, Tool::Assertions];
+
+    /// Display name as the paper writes it.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Tool::Ccured => "CCured",
+            Tool::Iwatcher => "iWatcher",
+            Tool::Assertions => "Assertions",
+        }
+    }
+
+    /// The compile options that arm this detector.
+    #[must_use]
+    pub fn compile_options(self) -> CompileOptions {
+        match self {
+            Tool::Ccured => CompileOptions::ccured(),
+            Tool::Iwatcher => CompileOptions::iwatcher(),
+            Tool::Assertions => CompileOptions::assertions(),
+        }
+    }
+
+    /// Whether a monitor record belongs to this tool.
+    #[must_use]
+    pub fn owns(self, kind: &RecordKind) -> bool {
+        matches!(
+            (self, kind),
+            (Tool::Ccured, RecordKind::Check(CheckKind::CcuredBound | CheckKind::CcuredNull))
+                | (Tool::Iwatcher, RecordKind::Watch { .. })
+                | (Tool::Assertions, RecordKind::Check(CheckKind::Assertion))
+        )
+    }
+}
+
+/// One deduplicated detection, attributed to a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Detection {
+    /// 1-based source line of the offending construct (the check site's line
+    /// for `check` probes; the accessing instruction's line for watch hits).
+    pub line: u32,
+    /// How many raw records collapsed into this detection.
+    pub count: u32,
+    /// Whether at least one record came from an NT-path.
+    pub on_nt_path: bool,
+    /// Whether at least one record came from the taken path.
+    pub on_taken_path: bool,
+}
+
+/// Collapses a run's monitor records into per-line detections for `tool`.
+///
+/// Deduplication is by source line — one buggy line reported a thousand
+/// times is one detection, matching how the paper counts bugs and false
+/// positives.
+#[must_use]
+pub fn report(compiled: &CompiledProgram, monitor: &MonitorArea, tool: Tool) -> Vec<Detection> {
+    let mut by_line: BTreeMap<u32, Detection> = BTreeMap::new();
+    for rec in monitor.records() {
+        if !tool.owns(&rec.kind) {
+            continue;
+        }
+        let line = match rec.kind {
+            RecordKind::Check(_) => compiled
+                .sites
+                .iter()
+                .find(|s| s.id == rec.site)
+                .map_or_else(|| compiled.program.source_line(rec.pc), |s| s.line),
+            RecordKind::Watch { .. } => compiled.program.source_line(rec.pc),
+        };
+        let entry = by_line.entry(line).or_insert(Detection {
+            line,
+            count: 0,
+            on_nt_path: false,
+            on_taken_path: false,
+        });
+        entry.count += 1;
+        match rec.path {
+            PathKind::NtPath { .. } => entry.on_nt_path = true,
+            PathKind::Taken => entry.on_taken_path = true,
+        }
+    }
+    by_line.into_values().collect()
+}
+
+/// The outcome of matching detections against a seeded-bug manifest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Classification {
+    /// Source lines of seeded bugs that were detected.
+    pub true_positive_lines: Vec<u32>,
+    /// Detected lines that match no seeded bug — the paper's false
+    /// positives ("only those caused by PathExpander", so callers set
+    /// `nt_only` to exclude checker-intrinsic taken-path reports).
+    pub false_positive_lines: Vec<u32>,
+}
+
+impl Classification {
+    /// Number of detected seeded bugs.
+    #[must_use]
+    pub fn true_positives(&self) -> usize {
+        self.true_positive_lines.len()
+    }
+
+    /// Number of false positives.
+    #[must_use]
+    pub fn false_positives(&self) -> usize {
+        self.false_positive_lines.len()
+    }
+}
+
+/// Classifies detections against the seeded-bug lines of a workload.
+///
+/// When `nt_only` is true, only detections seen on NT-paths count — this is
+/// the Table 5 convention ("false positives caused by PathExpander, not by
+/// the dynamic checker itself").
+#[must_use]
+pub fn classify(detections: &[Detection], bug_lines: &[u32], nt_only: bool) -> Classification {
+    let mut c = Classification::default();
+    for d in detections {
+        if nt_only && !d.on_nt_path {
+            continue;
+        }
+        if bug_lines.contains(&d.line) {
+            c.true_positive_lines.push(d.line);
+        } else {
+            c.false_positive_lines.push(d.line);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use px_lang::compile;
+    use px_mach::{run_baseline, IoState, MachConfig};
+
+    #[test]
+    fn tool_record_ownership() {
+        let bound = RecordKind::Check(CheckKind::CcuredBound);
+        let null = RecordKind::Check(CheckKind::CcuredNull);
+        let asrt = RecordKind::Check(CheckKind::Assertion);
+        let watch = RecordKind::Watch { tag: 1, addr: 0, is_write: true };
+        assert!(Tool::Ccured.owns(&bound));
+        assert!(Tool::Ccured.owns(&null));
+        assert!(!Tool::Ccured.owns(&asrt));
+        assert!(!Tool::Ccured.owns(&watch));
+        assert!(Tool::Iwatcher.owns(&watch));
+        assert!(!Tool::Iwatcher.owns(&bound));
+        assert!(Tool::Assertions.owns(&asrt));
+        assert!(!Tool::Assertions.owns(&watch));
+    }
+
+    #[test]
+    fn report_dedupes_by_line() {
+        // An assert that fails on every loop iteration is one detection.
+        let compiled = compile(
+            "int main() {\n  int i;\n  for (i = 0; i < 5; i = i + 1) {\n    assert(i > 100);\n  }\n  return 0;\n}\n",
+            &Tool::Assertions.compile_options(),
+        )
+        .unwrap();
+        let run = run_baseline(
+            &compiled.program,
+            &MachConfig::single_core(),
+            IoState::default(),
+            100_000,
+        );
+        assert_eq!(run.monitor.len(), 5, "five raw records");
+        let dets = report(&compiled, &run.monitor, Tool::Assertions);
+        assert_eq!(dets.len(), 1, "one deduplicated detection");
+        assert_eq!(dets[0].count, 5);
+        assert_eq!(dets[0].line, 4);
+        assert!(dets[0].on_taken_path);
+        assert!(!dets[0].on_nt_path);
+    }
+
+    #[test]
+    fn classification_splits_tp_fp() {
+        let dets = vec![
+            Detection { line: 10, count: 1, on_nt_path: true, on_taken_path: false },
+            Detection { line: 20, count: 3, on_nt_path: true, on_taken_path: false },
+            Detection { line: 30, count: 1, on_nt_path: false, on_taken_path: true },
+        ];
+        let c = classify(&dets, &[10], false);
+        assert_eq!(c.true_positive_lines, vec![10]);
+        assert_eq!(c.false_positive_lines, vec![20, 30]);
+        let c = classify(&dets, &[10], true);
+        assert_eq!(c.false_positive_lines, vec![20], "taken-path-only line excluded");
+    }
+
+    #[test]
+    fn tool_metadata() {
+        assert_eq!(Tool::Ccured.name(), "CCured");
+        assert!(Tool::Ccured.compile_options().ccured);
+        assert!(Tool::Iwatcher.compile_options().iwatcher);
+        let a = Tool::Assertions.compile_options();
+        assert!(!a.ccured && !a.iwatcher);
+    }
+}

@@ -1,0 +1,759 @@
+//! A two-pass textual assembler for PXVM-32.
+//!
+//! The assembler exists so that tests, examples and the PathExpander engines
+//! can be exercised on hand-written programs without going through the PXC
+//! compiler. Syntax summary (see the crate examples for full programs):
+//!
+//! ```text
+//! ; comment (runs to end of line)
+//! .data
+//! counter:  .word 0, 1, 2       ; 32-bit little-endian words
+//! flag:     .byte 1             ; raw bytes
+//! buf:      .space 64           ; zero-filled region
+//! msg:      .ascii "hi\n"       ; raw string bytes (no terminator)
+//! .code
+//! main:
+//!     la   r2, counter          ; load address of a data label
+//!     lw   r1, 0(r2)
+//!     addi r1, r1, 1
+//!     beq  r1, zero, done
+//!     jmp  main
+//! done:
+//!     exit
+//! ```
+//!
+//! Pseudo-instructions: `li rd, imm` (`addi rd, zero, imm`), `mv rd, rs`
+//! (`addi rd, rs, 0`), `la rd, data_label`. Checker ops take a site literal:
+//! `assert r1, #3`, `bound r1, #4`, `nullchk r1, #5`; watchpoints:
+//! `watch rbase, rlen, #tag`, `unwatch #tag`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::insn::{AluOp, BranchCond, CheckKind, Instruction, SyscallCode, Width};
+use crate::program::{Program, ProgramBuilder, DATA_BASE, DEFAULT_MEM_SIZE};
+use crate::reg::Reg;
+
+/// Error produced while assembling, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number of the offending source line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: u32, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, message: message.into() })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+enum Section {
+    #[default]
+    Code,
+    Data,
+}
+
+/// An unresolved operand that may reference a label.
+#[derive(Debug, Clone)]
+enum Target {
+    Resolved(u32),
+    Label(String),
+}
+
+#[derive(Debug)]
+struct PendingInsn {
+    line: u32,
+    insn: Instruction,
+    /// Label to substitute into the instruction's target field, if any.
+    fixup: Option<String>,
+}
+
+/// Assembles PXVM-32 source text into a [`Program`].
+///
+/// The entry point is the `main` label if defined, otherwise instruction 0.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] with the offending line for syntax errors, unknown
+/// mnemonics or registers, duplicate or undefined labels.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    Assembler::default().run(source)
+}
+
+#[derive(Default)]
+struct Assembler {
+    code_labels: HashMap<String, u32>,
+    data_labels: HashMap<String, u32>,
+    pending: Vec<PendingInsn>,
+    data: Vec<u8>,
+    section: Section,
+}
+
+
+impl Assembler {
+    fn run(mut self, source: &str) -> Result<Program, AsmError> {
+        // Pass 1: collect labels, parse instructions with label fixups.
+        for (idx, raw_line) in source.lines().enumerate() {
+            let line_no = (idx + 1) as u32;
+            let line = strip_comment(raw_line).trim();
+            if line.is_empty() {
+                continue;
+            }
+            self.parse_line(line, line_no)?;
+        }
+
+        // Pass 2: resolve fixups and emit.
+        let mut builder = ProgramBuilder::new();
+        let pending = std::mem::take(&mut self.pending);
+        for p in pending {
+            let insn = match p.fixup {
+                None => p.insn,
+                Some(label) => {
+                    let target = self.resolve_code(&label, p.line)?;
+                    retarget(p.insn, target)
+                }
+            };
+            builder.push(insn, p.line);
+        }
+        for (name, &pc) in &self.code_labels {
+            builder.define_function(name, pc);
+        }
+        let mut addr = DATA_BASE;
+        for (name, &off) in &self.data_labels {
+            builder.define_global(name, DATA_BASE + off, 0);
+            addr = addr.max(DATA_BASE + off);
+        }
+        let _ = addr;
+        if !self.data.is_empty() {
+            builder.add_data(DATA_BASE, std::mem::take(&mut self.data));
+        }
+        builder.set_heap_base(DATA_BASE + (builder_data_len(&builder)));
+        builder.set_mem_size(DEFAULT_MEM_SIZE);
+        if let Some(&entry) = self.code_labels.get("main") {
+            builder.set_entry(entry);
+        }
+        Ok(builder.finish())
+    }
+
+    fn resolve_code(&self, label: &str, line: u32) -> Result<u32, AsmError> {
+        match self.code_labels.get(label) {
+            Some(&pc) => Ok(pc),
+            None => err(line, format!("undefined code label `{label}`")),
+        }
+    }
+
+    fn parse_line(&mut self, mut line: &str, line_no: u32) -> Result<(), AsmError> {
+        // Directives.
+        if let Some(rest) = line.strip_prefix('.') {
+            let word = rest.split_whitespace().next().unwrap_or("");
+            match word {
+                "code" | "text" => {
+                    self.section = Section::Code;
+                    return Ok(());
+                }
+                "data" => {
+                    self.section = Section::Data;
+                    return Ok(());
+                }
+                _ => {
+                    // A data directive without a leading label, e.g. `.space 4`.
+                    return self.parse_data_directive(line, line_no);
+                }
+            }
+        }
+
+        // Labels (possibly followed by an instruction/directive on the same line).
+        while let Some(colon) = find_label_colon(line) {
+            let (label, rest) = line.split_at(colon);
+            let label = label.trim();
+            if !is_ident(label) {
+                return err(line_no, format!("invalid label `{label}`"));
+            }
+            match self.section {
+                Section::Code => {
+                    let pc = self.pending.len() as u32;
+                    if self.code_labels.insert(label.to_owned(), pc).is_some() {
+                        return err(line_no, format!("duplicate label `{label}`"));
+                    }
+                }
+                Section::Data => {
+                    let off = self.data.len() as u32;
+                    if self.data_labels.insert(label.to_owned(), off).is_some() {
+                        return err(line_no, format!("duplicate label `{label}`"));
+                    }
+                }
+            }
+            line = rest[1..].trim();
+            if line.is_empty() {
+                return Ok(());
+            }
+        }
+
+        match self.section {
+            Section::Code => self.parse_insn(line, line_no),
+            Section::Data => self.parse_data_directive(line, line_no),
+        }
+    }
+
+    fn parse_data_directive(&mut self, line: &str, line_no: u32) -> Result<(), AsmError> {
+        let (dir, rest) = split_first_word(line);
+        match dir {
+            ".word" => {
+                for field in split_operands(rest) {
+                    let v = parse_int(&field, line_no)?;
+                    self.data.extend_from_slice(&v.to_le_bytes());
+                }
+                Ok(())
+            }
+            ".byte" => {
+                for field in split_operands(rest) {
+                    let v = parse_int(&field, line_no)?;
+                    if !(-128..=255).contains(&v) {
+                        return err(line_no, format!("byte value {v} out of range"));
+                    }
+                    self.data.push(v as u8);
+                }
+                Ok(())
+            }
+            ".space" => {
+                let n = parse_int(rest.trim(), line_no)?;
+                if n < 0 {
+                    return err(line_no, "negative .space size");
+                }
+                self.data.extend(std::iter::repeat_n(0u8, n as usize));
+                Ok(())
+            }
+            ".ascii" | ".asciz" => {
+                let bytes = parse_string(rest.trim(), line_no)?;
+                self.data.extend_from_slice(&bytes);
+                if dir == ".asciz" {
+                    self.data.push(0);
+                }
+                Ok(())
+            }
+            ".align" => {
+                let n = parse_int(rest.trim(), line_no)?;
+                if n <= 0 || (n as u32 & (n as u32 - 1)) != 0 {
+                    return err(line_no, "alignment must be a positive power of two");
+                }
+                while !self.data.len().is_multiple_of(n as usize) {
+                    self.data.push(0);
+                }
+                Ok(())
+            }
+            _ => err(line_no, format!("unknown data directive `{dir}`")),
+        }
+    }
+
+    fn push_insn(&mut self, line: u32, insn: Instruction) {
+        self.pending.push(PendingInsn { line, insn, fixup: None });
+    }
+
+    fn push_fixup(&mut self, line: u32, insn: Instruction, target: Target) {
+        match target {
+            Target::Resolved(t) => self.pending.push(PendingInsn {
+                line,
+                insn: retarget(insn, t),
+                fixup: None,
+            }),
+            Target::Label(l) => self.pending.push(PendingInsn { line, insn, fixup: Some(l) }),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn parse_insn(&mut self, line: &str, ln: u32) -> Result<(), AsmError> {
+        let (mnemonic, rest) = split_first_word(line);
+        let ops = split_operands(rest);
+        let argc = ops.len();
+        let arg = |i: usize| -> &str { ops[i].as_str() };
+
+        let need = |n: usize| -> Result<(), AsmError> {
+            if argc == n {
+                Ok(())
+            } else {
+                err(ln, format!("`{mnemonic}` expects {n} operands, got {argc}"))
+            }
+        };
+
+        // System calls.
+        if let Some(code) = SyscallCode::ALL.iter().find(|c| c.mnemonic() == mnemonic) {
+            need(0)?;
+            self.push_insn(ln, Instruction::Syscall { code: *code });
+            return Ok(());
+        }
+        // Checks.
+        if let Some(kind) = CheckKind::ALL.iter().find(|c| c.mnemonic() == mnemonic) {
+            need(2)?;
+            let cond = parse_reg(arg(0), ln)?;
+            let site = parse_site(arg(1), ln)?;
+            self.push_insn(ln, Instruction::Check { kind: *kind, cond, site });
+            return Ok(());
+        }
+        // Branches.
+        if let Some(cond) = BranchCond::ALL.iter().find(|c| c.mnemonic() == mnemonic) {
+            need(3)?;
+            let rs1 = parse_reg(arg(0), ln)?;
+            let rs2 = parse_reg(arg(1), ln)?;
+            let target = self.parse_target(arg(2), ln)?;
+            self.push_fixup(
+                ln,
+                Instruction::Branch { cond: *cond, rs1, rs2, target: 0 },
+                target,
+            );
+            return Ok(());
+        }
+        // Register-register ALU.
+        if let Some(op) = AluOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
+            need(3)?;
+            self.push_insn(
+                ln,
+                Instruction::Alu {
+                    op: *op,
+                    rd: parse_reg(arg(0), ln)?,
+                    rs1: parse_reg(arg(1), ln)?,
+                    rs2: parse_reg(arg(2), ln)?,
+                },
+            );
+            return Ok(());
+        }
+        // Immediate ALU (`addi`, `slti`, ...).
+        if let Some(base) = mnemonic.strip_suffix('i') {
+            if let Some(op) = AluOp::ALL.iter().find(|o| o.mnemonic() == base) {
+                need(3)?;
+                self.push_insn(
+                    ln,
+                    Instruction::AluI {
+                        op: *op,
+                        rd: parse_reg(arg(0), ln)?,
+                        rs1: parse_reg(arg(1), ln)?,
+                        imm: parse_int(arg(2), ln)?,
+                    },
+                );
+                return Ok(());
+            }
+        }
+        // Predicated immediate ALU (`paddi`, ...).
+        if let Some(base) = mnemonic.strip_prefix('p').and_then(|m| m.strip_suffix('i')) {
+            if let Some(op) = AluOp::ALL.iter().find(|o| o.mnemonic() == base) {
+                need(3)?;
+                self.push_insn(
+                    ln,
+                    Instruction::PAluI {
+                        op: *op,
+                        rd: parse_reg(arg(0), ln)?,
+                        rs1: parse_reg(arg(1), ln)?,
+                        imm: parse_int(arg(2), ln)?,
+                    },
+                );
+                return Ok(());
+            }
+        }
+
+        match mnemonic {
+            "nop" => {
+                need(0)?;
+                self.push_insn(ln, Instruction::Nop);
+            }
+            "ret" => {
+                need(0)?;
+                self.push_insn(ln, Instruction::Ret);
+            }
+            "jmp" => {
+                need(1)?;
+                let t = self.parse_target(arg(0), ln)?;
+                self.push_fixup(ln, Instruction::Jump { target: 0 }, t);
+            }
+            "call" => {
+                need(1)?;
+                let t = self.parse_target(arg(0), ln)?;
+                self.push_fixup(ln, Instruction::Call { target: 0 }, t);
+            }
+            "lw" | "lb" => {
+                need(2)?;
+                let rd = parse_reg(arg(0), ln)?;
+                let (offset, base) = parse_mem_operand(arg(1), ln)?;
+                let width = if mnemonic == "lw" { Width::Word } else { Width::Byte };
+                self.push_insn(ln, Instruction::Load { width, rd, base, offset });
+            }
+            "sw" | "sb" => {
+                need(2)?;
+                let rs = parse_reg(arg(0), ln)?;
+                let (offset, base) = parse_mem_operand(arg(1), ln)?;
+                let width = if mnemonic == "sw" { Width::Word } else { Width::Byte };
+                self.push_insn(ln, Instruction::Store { width, rs, base, offset });
+            }
+            "psw" | "psb" => {
+                need(2)?;
+                let rs = parse_reg(arg(0), ln)?;
+                let (offset, base) = parse_mem_operand(arg(1), ln)?;
+                let width = if mnemonic == "psw" { Width::Word } else { Width::Byte };
+                self.push_insn(ln, Instruction::PStore { width, rs, base, offset });
+            }
+            "li" => {
+                need(2)?;
+                self.push_insn(
+                    ln,
+                    Instruction::AluI {
+                        op: AluOp::Add,
+                        rd: parse_reg(arg(0), ln)?,
+                        rs1: Reg::ZERO,
+                        imm: parse_int(arg(1), ln)?,
+                    },
+                );
+            }
+            "mv" => {
+                need(2)?;
+                self.push_insn(
+                    ln,
+                    Instruction::AluI {
+                        op: AluOp::Add,
+                        rd: parse_reg(arg(0), ln)?,
+                        rs1: parse_reg(arg(1), ln)?,
+                        imm: 0,
+                    },
+                );
+            }
+            "la" => {
+                need(2)?;
+                let rd = parse_reg(arg(0), ln)?;
+                let label = arg(1);
+                let Some(&off) = self.data_labels.get(label) else {
+                    return err(ln, format!("undefined data label `{label}`"));
+                };
+                self.push_insn(
+                    ln,
+                    Instruction::AluI {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: Reg::ZERO,
+                        imm: (DATA_BASE + off) as i32,
+                    },
+                );
+            }
+            "pli" => {
+                need(2)?;
+                self.push_insn(
+                    ln,
+                    Instruction::PMovI {
+                        rd: parse_reg(arg(0), ln)?,
+                        imm: parse_int(arg(1), ln)?,
+                    },
+                );
+            }
+            "pmov" => {
+                need(2)?;
+                self.push_insn(
+                    ln,
+                    Instruction::PMov {
+                        rd: parse_reg(arg(0), ln)?,
+                        rs: parse_reg(arg(1), ln)?,
+                    },
+                );
+            }
+            "watch" => {
+                need(3)?;
+                self.push_insn(
+                    ln,
+                    Instruction::SetWatch {
+                        base: parse_reg(arg(0), ln)?,
+                        len: parse_reg(arg(1), ln)?,
+                        tag: parse_site(arg(2), ln)?,
+                    },
+                );
+            }
+            "unwatch" => {
+                need(1)?;
+                self.push_insn(ln, Instruction::ClearWatch { tag: parse_site(arg(0), ln)? });
+            }
+            _ => return err(ln, format!("unknown mnemonic `{mnemonic}`")),
+        }
+        Ok(())
+    }
+
+    fn parse_target(&self, s: &str, ln: u32) -> Result<Target, AsmError> {
+        if let Some(num) = s.strip_prefix('@') {
+            return Ok(Target::Resolved(parse_int(num, ln)? as u32));
+        }
+        if is_ident(s) {
+            return Ok(Target::Label(s.to_owned()));
+        }
+        err(ln, format!("invalid jump target `{s}`"))
+    }
+}
+
+fn builder_data_len(_builder: &ProgramBuilder) -> u32 {
+    // The assembler keeps a single data blob starting at DATA_BASE; callers
+    // that need a precise heap base use the compiler, which computes layout
+    // exactly. Returning 64 KiB leaves ample room for assembled data.
+    64 * 1024
+}
+
+fn retarget(insn: Instruction, target: u32) -> Instruction {
+    match insn {
+        Instruction::Branch { cond, rs1, rs2, .. } => {
+            Instruction::Branch { cond, rs1, rs2, target }
+        }
+        Instruction::Jump { .. } => Instruction::Jump { target },
+        Instruction::Call { .. } => Instruction::Call { target },
+        other => other,
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            ';' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn find_label_colon(line: &str) -> Option<usize> {
+    // A label is `ident:` at the start of the line (before any whitespace
+    // that begins an instruction with operands).
+    let colon = line.find(':')?;
+    let head = &line[..colon];
+    is_ident(head.trim()).then_some(colon)
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn split_first_word(line: &str) -> (&str, &str) {
+    match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], line[i..].trim_start()),
+        None => (line, ""),
+    }
+}
+
+fn split_operands(rest: &str) -> Vec<String> {
+    if rest.trim().is_empty() {
+        return Vec::new();
+    }
+    rest.split(',').map(|s| s.trim().to_owned()).collect()
+}
+
+fn parse_reg(s: &str, ln: u32) -> Result<Reg, AsmError> {
+    s.parse()
+        .map_err(|_| AsmError { line: ln, message: format!("invalid register `{s}`") })
+}
+
+fn parse_int(s: &str, ln: u32) -> Result<i32, AsmError> {
+    let s = s.trim();
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).map(|v| v as i32)
+    } else if let Some(hex) = s.strip_prefix("-0x") {
+        u32::from_str_radix(hex, 16).map(|v| (v as i32).wrapping_neg())
+    } else if s.len() == 3 && s.starts_with('\'') && s.ends_with('\'') {
+        Ok(s.as_bytes()[1] as i32)
+    } else {
+        s.parse::<i64>()
+            .map(|v| v as i32)
+            .map_err(|_| "bad".parse::<i32>().unwrap_err())
+    };
+    parsed.map_err(|_| AsmError { line: ln, message: format!("invalid integer `{s}`") })
+}
+
+fn parse_site(s: &str, ln: u32) -> Result<u32, AsmError> {
+    let Some(num) = s.strip_prefix('#') else {
+        return err(ln, format!("expected `#literal`, got `{s}`"));
+    };
+    Ok(parse_int(num, ln)? as u32)
+}
+
+fn parse_mem_operand(s: &str, ln: u32) -> Result<(i32, Reg), AsmError> {
+    let Some(open) = s.find('(') else {
+        return err(ln, format!("expected `offset(base)`, got `{s}`"));
+    };
+    let Some(close) = s.rfind(')') else {
+        return err(ln, format!("missing `)` in `{s}`"));
+    };
+    let offset_str = s[..open].trim();
+    let offset = if offset_str.is_empty() { 0 } else { parse_int(offset_str, ln)? };
+    let base = parse_reg(s[open + 1..close].trim(), ln)?;
+    Ok((offset, base))
+}
+
+fn parse_string(s: &str, ln: u32) -> Result<Vec<u8>, AsmError> {
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| AsmError { line: ln, message: format!("expected string literal, got `{s}`") })?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push(b'\n'),
+                Some('t') => out.push(b'\t'),
+                Some('0') => out.push(0),
+                Some('\\') => out.push(b'\\'),
+                Some('"') => out.push(b'"'),
+                other => return err(ln, format!("bad escape `\\{other:?}`")),
+            }
+        } else {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_forward_and_backward_labels() {
+        let p = assemble(
+            r"
+            .code
+            main:
+                li r1, 3
+            loop:
+                subi r1, r1, 1
+                bgt r1, zero, loop
+                jmp end
+                nop
+            end:
+                exit
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.entry, 0);
+        assert_eq!(
+            p.code[2],
+            Instruction::Branch {
+                cond: BranchCond::Gt,
+                rs1: Reg::RV,
+                rs2: Reg::ZERO,
+                target: 1
+            }
+        );
+        assert_eq!(p.code[3], Instruction::Jump { target: 5 });
+    }
+
+    #[test]
+    fn data_directives_lay_out_bytes() {
+        let p = assemble(
+            r#"
+            .data
+            words: .word 1, -1
+            bytes: .byte 7, 'A'
+            pad:   .space 2
+            text:  .asciz "ok"
+            .code
+            main: exit
+            "#,
+        )
+        .unwrap();
+        let blob = &p.data[0].bytes;
+        assert_eq!(&blob[0..4], &1i32.to_le_bytes());
+        assert_eq!(&blob[4..8], &(-1i32).to_le_bytes());
+        assert_eq!(blob[8], 7);
+        assert_eq!(blob[9], b'A');
+        assert_eq!(&blob[10..12], &[0, 0]);
+        assert_eq!(&blob[12..15], b"ok\0");
+        assert_eq!(p.symbols.global("words"), Some(DATA_BASE));
+        assert_eq!(p.symbols.global("text"), Some(DATA_BASE + 12));
+    }
+
+    #[test]
+    fn la_loads_data_addresses() {
+        let p = assemble(
+            r"
+            .data
+            a: .word 5
+            b: .word 6
+            .code
+            main:
+                la r2, b
+                exit
+            ",
+        )
+        .unwrap();
+        assert_eq!(
+            p.code[0],
+            Instruction::AluI {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::ZERO,
+                imm: (DATA_BASE + 4) as i32
+            }
+        );
+    }
+
+    #[test]
+    fn checks_watches_and_predicated_ops_parse() {
+        let p = assemble(
+            r"
+            .code
+            main:
+                assert r1, #9
+                bound r2, #10
+                nullchk r3, #11
+                watch r4, r5, #12
+                unwatch #12
+                pli r6, -2
+                pmov r7, r8
+                paddi r9, r10, 1
+                psw r1, 4(sp)
+                exit
+            ",
+        )
+        .unwrap();
+        assert_eq!(
+            p.code[0],
+            Instruction::Check { kind: CheckKind::Assertion, cond: Reg::RV, site: 9 }
+        );
+        assert_eq!(
+            p.code[3],
+            Instruction::SetWatch { base: Reg::new(4), len: Reg::new(5), tag: 12 }
+        );
+        assert_eq!(p.code[5], Instruction::PMovI { rd: Reg::new(6), imm: -2 });
+        assert_eq!(
+            p.code[7],
+            Instruction::PAluI { op: AluOp::Add, rd: Reg::new(9), rs1: Reg::new(10), imm: 1 }
+        );
+        assert!(p.code[8].is_predicated());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble(".code\nmain:\n  bogus r1\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bogus"));
+
+        let e = assemble(".code\nmain:\n  jmp nowhere\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("nowhere"));
+
+        let e = assemble(".code\nx:\nx:\n  nop\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble(
+            "; leading comment\n.code\nmain: nop ; trailing\n  ; another comment\n  exit\n",
+        )
+        .unwrap();
+        assert_eq!(p.code.len(), 2);
+    }
+}

@@ -1,0 +1,428 @@
+//! Fixed-width binary encoding of PXVM-32 instructions.
+//!
+//! Every instruction occupies [`ENCODED_LEN`] = 12 bytes:
+//! `[opcode, a, b, c, imm: i32 LE, ext: u32 LE]`. The encoding is exact:
+//! [`decode`]`(`[`encode`]`(i)) == i` for every instruction (verified by a
+//! property test).
+
+use core::fmt;
+
+use crate::insn::{AluOp, BranchCond, CheckKind, Instruction, SyscallCode, Width};
+use crate::reg::Reg;
+
+/// Encoded length of one instruction, in bytes.
+pub const ENCODED_LEN: usize = 12;
+
+const OP_NOP: u8 = 0;
+const OP_ALU: u8 = 1;
+const OP_ALUI: u8 = 2;
+const OP_LOAD: u8 = 3;
+const OP_STORE: u8 = 4;
+const OP_BRANCH: u8 = 5;
+const OP_JUMP: u8 = 6;
+const OP_CALL: u8 = 7;
+const OP_RET: u8 = 8;
+const OP_SYSCALL: u8 = 9;
+const OP_CHECK: u8 = 10;
+const OP_SETWATCH: u8 = 11;
+const OP_CLEARWATCH: u8 = 12;
+const OP_PMOVI: u8 = 13;
+const OP_PMOV: u8 = 14;
+const OP_PALUI: u8 = 15;
+const OP_PSTORE: u8 = 16;
+
+/// Error produced when decoding malformed instruction bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The byte slice is not a multiple of [`ENCODED_LEN`].
+    BadLength(usize),
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// A register field exceeds 31.
+    BadRegister(u8),
+    /// A sub-operation selector (ALU op, branch condition, width, syscall,
+    /// check kind) is out of range.
+    BadSelector(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadLength(n) => {
+                write!(f, "encoded length {n} is not a multiple of {ENCODED_LEN}")
+            }
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::BadRegister(r) => write!(f, "register index {r} out of range"),
+            DecodeError::BadSelector(s) => write!(f, "selector {s} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn width_code(w: Width) -> u8 {
+    match w {
+        Width::Byte => 0,
+        Width::Word => 1,
+    }
+}
+
+fn decode_width(c: u8) -> Result<Width, DecodeError> {
+    match c {
+        0 => Ok(Width::Byte),
+        1 => Ok(Width::Word),
+        _ => Err(DecodeError::BadSelector(c)),
+    }
+}
+
+fn alu_code(op: AluOp) -> u8 {
+    AluOp::ALL.iter().position(|&o| o == op).expect("in ALL") as u8
+}
+
+fn decode_alu(c: u8) -> Result<AluOp, DecodeError> {
+    AluOp::ALL
+        .get(c as usize)
+        .copied()
+        .ok_or(DecodeError::BadSelector(c))
+}
+
+fn cond_code(c: BranchCond) -> u8 {
+    BranchCond::ALL.iter().position(|&o| o == c).expect("in ALL") as u8
+}
+
+fn decode_cond(c: u8) -> Result<BranchCond, DecodeError> {
+    BranchCond::ALL
+        .get(c as usize)
+        .copied()
+        .ok_or(DecodeError::BadSelector(c))
+}
+
+fn sys_code(c: SyscallCode) -> u8 {
+    SyscallCode::ALL.iter().position(|&o| o == c).expect("in ALL") as u8
+}
+
+fn decode_sys(c: u8) -> Result<SyscallCode, DecodeError> {
+    SyscallCode::ALL
+        .get(c as usize)
+        .copied()
+        .ok_or(DecodeError::BadSelector(c))
+}
+
+fn check_code(c: CheckKind) -> u8 {
+    CheckKind::ALL.iter().position(|&o| o == c).expect("in ALL") as u8
+}
+
+fn decode_check(c: u8) -> Result<CheckKind, DecodeError> {
+    CheckKind::ALL
+        .get(c as usize)
+        .copied()
+        .ok_or(DecodeError::BadSelector(c))
+}
+
+fn decode_reg(r: u8) -> Result<Reg, DecodeError> {
+    Reg::try_new(r).ok_or(DecodeError::BadRegister(r))
+}
+
+struct Fields {
+    op: u8,
+    a: u8,
+    b: u8,
+    c: u8,
+    imm: i32,
+    ext: u32,
+}
+
+impl Fields {
+    fn new(op: u8) -> Fields {
+        Fields { op, a: 0, b: 0, c: 0, imm: 0, ext: 0 }
+    }
+
+    fn to_bytes(&self) -> [u8; ENCODED_LEN] {
+        let mut out = [0u8; ENCODED_LEN];
+        out[0] = self.op;
+        out[1] = self.a;
+        out[2] = self.b;
+        out[3] = self.c;
+        out[4..8].copy_from_slice(&self.imm.to_le_bytes());
+        out[8..12].copy_from_slice(&self.ext.to_le_bytes());
+        out
+    }
+
+    fn from_bytes(bytes: &[u8; ENCODED_LEN]) -> Fields {
+        Fields {
+            op: bytes[0],
+            a: bytes[1],
+            b: bytes[2],
+            c: bytes[3],
+            imm: i32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")),
+            ext: u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")),
+        }
+    }
+}
+
+/// Encodes one instruction into its 12-byte binary form.
+#[must_use]
+pub fn encode(insn: Instruction) -> [u8; ENCODED_LEN] {
+    let mut f;
+    match insn {
+        Instruction::Nop => f = Fields::new(OP_NOP),
+        Instruction::Alu { op, rd, rs1, rs2 } => {
+            f = Fields::new(OP_ALU);
+            f.a = rd.raw();
+            f.b = rs1.raw();
+            f.c = rs2.raw();
+            f.ext = u32::from(alu_code(op));
+        }
+        Instruction::AluI { op, rd, rs1, imm } => {
+            f = Fields::new(OP_ALUI);
+            f.a = rd.raw();
+            f.b = rs1.raw();
+            f.c = alu_code(op);
+            f.imm = imm;
+        }
+        Instruction::Load { width, rd, base, offset } => {
+            f = Fields::new(OP_LOAD);
+            f.a = rd.raw();
+            f.b = base.raw();
+            f.c = width_code(width);
+            f.imm = offset;
+        }
+        Instruction::Store { width, rs, base, offset } => {
+            f = Fields::new(OP_STORE);
+            f.a = rs.raw();
+            f.b = base.raw();
+            f.c = width_code(width);
+            f.imm = offset;
+        }
+        Instruction::Branch { cond, rs1, rs2, target } => {
+            f = Fields::new(OP_BRANCH);
+            f.a = cond_code(cond);
+            f.b = rs1.raw();
+            f.c = rs2.raw();
+            f.ext = target;
+        }
+        Instruction::Jump { target } => {
+            f = Fields::new(OP_JUMP);
+            f.ext = target;
+        }
+        Instruction::Call { target } => {
+            f = Fields::new(OP_CALL);
+            f.ext = target;
+        }
+        Instruction::Ret => f = Fields::new(OP_RET),
+        Instruction::Syscall { code } => {
+            f = Fields::new(OP_SYSCALL);
+            f.a = sys_code(code);
+        }
+        Instruction::Check { kind, cond, site } => {
+            f = Fields::new(OP_CHECK);
+            f.a = check_code(kind);
+            f.b = cond.raw();
+            f.ext = site;
+        }
+        Instruction::SetWatch { base, len, tag } => {
+            f = Fields::new(OP_SETWATCH);
+            f.a = base.raw();
+            f.b = len.raw();
+            f.ext = tag;
+        }
+        Instruction::ClearWatch { tag } => {
+            f = Fields::new(OP_CLEARWATCH);
+            f.ext = tag;
+        }
+        Instruction::PMovI { rd, imm } => {
+            f = Fields::new(OP_PMOVI);
+            f.a = rd.raw();
+            f.imm = imm;
+        }
+        Instruction::PMov { rd, rs } => {
+            f = Fields::new(OP_PMOV);
+            f.a = rd.raw();
+            f.b = rs.raw();
+        }
+        Instruction::PAluI { op, rd, rs1, imm } => {
+            f = Fields::new(OP_PALUI);
+            f.a = rd.raw();
+            f.b = rs1.raw();
+            f.c = alu_code(op);
+            f.imm = imm;
+        }
+        Instruction::PStore { width, rs, base, offset } => {
+            f = Fields::new(OP_PSTORE);
+            f.a = rs.raw();
+            f.b = base.raw();
+            f.c = width_code(width);
+            f.imm = offset;
+        }
+    }
+    f.to_bytes()
+}
+
+/// Decodes one instruction from its 12-byte binary form.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for unknown opcodes or out-of-range register or
+/// selector fields.
+pub fn decode(bytes: &[u8; ENCODED_LEN]) -> Result<Instruction, DecodeError> {
+    let f = Fields::from_bytes(bytes);
+    Ok(match f.op {
+        OP_NOP => Instruction::Nop,
+        OP_ALU => Instruction::Alu {
+            op: decode_alu(u8::try_from(f.ext).map_err(|_| DecodeError::BadSelector(255))?)?,
+            rd: decode_reg(f.a)?,
+            rs1: decode_reg(f.b)?,
+            rs2: decode_reg(f.c)?,
+        },
+        OP_ALUI => Instruction::AluI {
+            op: decode_alu(f.c)?,
+            rd: decode_reg(f.a)?,
+            rs1: decode_reg(f.b)?,
+            imm: f.imm,
+        },
+        OP_LOAD => Instruction::Load {
+            width: decode_width(f.c)?,
+            rd: decode_reg(f.a)?,
+            base: decode_reg(f.b)?,
+            offset: f.imm,
+        },
+        OP_STORE => Instruction::Store {
+            width: decode_width(f.c)?,
+            rs: decode_reg(f.a)?,
+            base: decode_reg(f.b)?,
+            offset: f.imm,
+        },
+        OP_BRANCH => Instruction::Branch {
+            cond: decode_cond(f.a)?,
+            rs1: decode_reg(f.b)?,
+            rs2: decode_reg(f.c)?,
+            target: f.ext,
+        },
+        OP_JUMP => Instruction::Jump { target: f.ext },
+        OP_CALL => Instruction::Call { target: f.ext },
+        OP_RET => Instruction::Ret,
+        OP_SYSCALL => Instruction::Syscall { code: decode_sys(f.a)? },
+        OP_CHECK => Instruction::Check {
+            kind: decode_check(f.a)?,
+            cond: decode_reg(f.b)?,
+            site: f.ext,
+        },
+        OP_SETWATCH => Instruction::SetWatch {
+            base: decode_reg(f.a)?,
+            len: decode_reg(f.b)?,
+            tag: f.ext,
+        },
+        OP_CLEARWATCH => Instruction::ClearWatch { tag: f.ext },
+        OP_PMOVI => Instruction::PMovI { rd: decode_reg(f.a)?, imm: f.imm },
+        OP_PMOV => Instruction::PMov { rd: decode_reg(f.a)?, rs: decode_reg(f.b)? },
+        OP_PALUI => Instruction::PAluI {
+            op: decode_alu(f.c)?,
+            rd: decode_reg(f.a)?,
+            rs1: decode_reg(f.b)?,
+            imm: f.imm,
+        },
+        OP_PSTORE => Instruction::PStore {
+            width: decode_width(f.c)?,
+            rs: decode_reg(f.a)?,
+            base: decode_reg(f.b)?,
+            offset: f.imm,
+        },
+        op => return Err(DecodeError::BadOpcode(op)),
+    })
+}
+
+/// Encodes a whole instruction stream.
+#[must_use]
+pub fn encode_program(code: &[Instruction]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(code.len() * ENCODED_LEN);
+    for &insn in code {
+        out.extend_from_slice(&encode(insn));
+    }
+    out
+}
+
+/// Decodes a whole instruction stream.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::BadLength`] when `bytes` is not a multiple of
+/// [`ENCODED_LEN`], or the first per-instruction error encountered.
+pub fn decode_program(bytes: &[u8]) -> Result<Vec<Instruction>, DecodeError> {
+    if !bytes.len().is_multiple_of(ENCODED_LEN) {
+        return Err(DecodeError::BadLength(bytes.len()));
+    }
+    bytes
+        .chunks_exact(ENCODED_LEN)
+        .map(|chunk| decode(chunk.try_into().expect("exact chunk")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_round_trip() {
+        let insns = [
+            Instruction::Nop,
+            Instruction::Ret,
+            Instruction::Alu {
+                op: AluOp::Xor,
+                rd: Reg::new(3),
+                rs1: Reg::new(4),
+                rs2: Reg::new(5),
+            },
+            Instruction::Branch {
+                cond: BranchCond::Le,
+                rs1: Reg::new(9),
+                rs2: Reg::ZERO,
+                target: 0xDEAD,
+            },
+            Instruction::Check {
+                kind: CheckKind::CcuredBound,
+                cond: Reg::new(7),
+                site: 42,
+            },
+            Instruction::PStore {
+                width: Width::Word,
+                rs: Reg::new(2),
+                base: Reg::FP,
+                offset: -12,
+            },
+        ];
+        for insn in insns {
+            assert_eq!(decode(&encode(insn)).unwrap(), insn, "{insn}");
+        }
+    }
+
+    #[test]
+    fn program_round_trip_and_bad_length() {
+        let code = vec![Instruction::Nop, Instruction::Ret];
+        let bytes = encode_program(&code);
+        assert_eq!(decode_program(&bytes).unwrap(), code);
+        assert_eq!(
+            decode_program(&bytes[..ENCODED_LEN + 1]).unwrap_err(),
+            DecodeError::BadLength(ENCODED_LEN + 1)
+        );
+    }
+
+    #[test]
+    fn bad_opcode_and_fields_rejected() {
+        let mut bytes = [0u8; ENCODED_LEN];
+        bytes[0] = 0xFF;
+        assert_eq!(decode(&bytes).unwrap_err(), DecodeError::BadOpcode(0xFF));
+
+        let mut bytes = encode(Instruction::Alu {
+            op: AluOp::Add,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+        });
+        bytes[1] = 77; // rd out of range
+        assert_eq!(decode(&bytes).unwrap_err(), DecodeError::BadRegister(77));
+
+        let mut bytes = encode(Instruction::Syscall { code: SyscallCode::Exit });
+        bytes[1] = 200; // selector out of range
+        assert_eq!(decode(&bytes).unwrap_err(), DecodeError::BadSelector(200));
+    }
+}

@@ -1,0 +1,330 @@
+use std::collections::BTreeMap;
+
+use crate::insn::Instruction;
+
+/// Start of the data segment. Addresses below this value form the *null
+/// guard page*: any access traps (an architectural crash), which is how NT-
+/// paths that dereference inconsistent null pointers die (paper §3.2).
+pub const DATA_BASE: u32 = 0x1000;
+
+/// Exclusive end of the null guard page (same as [`DATA_BASE`]).
+pub const NULL_GUARD_END: u32 = DATA_BASE;
+
+/// Default size of the flat data memory, in bytes (1 MiB).
+pub const DEFAULT_MEM_SIZE: u32 = 1 << 20;
+
+/// A source location attached to an instruction for diagnostics
+/// (`file` is implicit per program; only the line is tracked).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct SourceLoc {
+    /// 1-based source line, or 0 when unknown.
+    pub line: u32,
+}
+
+/// One initialized item in the data segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataItem {
+    /// Absolute address of the first byte.
+    pub addr: u32,
+    /// Initial bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Symbols of a linked program: function entry points and global variables.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymbolTable {
+    /// Function name → entry instruction index.
+    pub functions: BTreeMap<String, u32>,
+    /// Global variable name → (address, size in bytes).
+    pub globals: BTreeMap<String, (u32, u32)>,
+}
+
+impl SymbolTable {
+    /// Looks up a function entry point.
+    #[must_use]
+    pub fn function(&self, name: &str) -> Option<u32> {
+        self.functions.get(name).copied()
+    }
+
+    /// Looks up a global's address.
+    #[must_use]
+    pub fn global(&self, name: &str) -> Option<u32> {
+        self.globals.get(name).map(|&(addr, _)| addr)
+    }
+}
+
+/// A fully linked PXVM-32 program: code, initialized data, and the metadata
+/// PathExpander and the detectors need.
+///
+/// `Program` is produced either by the assembler ([`crate::asm::assemble`]) or
+/// by the `px-lang` compiler, and consumed by the `px-mach` machine.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// The instruction stream; the program counter indexes this vector.
+    pub code: Vec<Instruction>,
+    /// Initialized data, loaded at program start.
+    pub data: Vec<DataItem>,
+    /// Entry instruction index.
+    pub entry: u32,
+    /// Function and global symbols.
+    pub symbols: SymbolTable,
+    /// Per-instruction source lines (parallel to `code`; may be empty).
+    pub source_lines: Vec<SourceLoc>,
+    /// Instruction-index ranges `[start, end)` of dynamic-checker code.
+    /// PathExpander never spawns NT-paths from branches inside these ranges
+    /// (paper §6.2), and they are excluded from the coverage denominator.
+    pub checker_regions: Vec<(u32, u32)>,
+    /// Address range `[start, end)` holding the compiler-generated *blank
+    /// data structures* used for pointer fixing (paper §4.4), if any.
+    pub blank_area: Option<(u32, u32)>,
+    /// First free data address after all globals (heap base for the PXC
+    /// runtime's bump allocator).
+    pub heap_base: u32,
+    /// Minimum data-memory size this program needs to run.
+    pub mem_size: u32,
+}
+
+impl Program {
+    /// Total number of static conditional branches in the program, excluding
+    /// branches inside checker regions. Each contributes two edges to the
+    /// branch-coverage denominator.
+    #[must_use]
+    pub fn static_branch_count(&self) -> u32 {
+        self.code
+            .iter()
+            .enumerate()
+            .filter(|&(pc, insn)| {
+                matches!(insn, Instruction::Branch { .. }) && !self.in_checker_region(pc as u32)
+            })
+            .count() as u32
+    }
+
+    /// Total number of static branch edges (2 × branches) outside checker
+    /// regions — the denominator of the paper's branch-coverage metric.
+    #[must_use]
+    pub fn static_edge_count(&self) -> u32 {
+        self.static_branch_count() * 2
+    }
+
+    /// Whether an instruction index falls inside a tagged checker region.
+    #[must_use]
+    pub fn in_checker_region(&self, pc: u32) -> bool {
+        self.checker_regions
+            .iter()
+            .any(|&(start, end)| pc >= start && pc < end)
+    }
+
+    /// Whether `pc` is a valid instruction index.
+    #[must_use]
+    pub fn valid_pc(&self, pc: u32) -> bool {
+        (pc as usize) < self.code.len()
+    }
+
+    /// The instruction at `pc`, if valid.
+    #[must_use]
+    pub fn fetch(&self, pc: u32) -> Option<Instruction> {
+        self.code.get(pc as usize).copied()
+    }
+
+    /// The source line for `pc`, or 0 when unknown.
+    #[must_use]
+    pub fn source_line(&self, pc: u32) -> u32 {
+        self.source_lines
+            .get(pc as usize)
+            .map_or(0, |loc| loc.line)
+    }
+
+    /// Renders the whole program as assembly text (disassembly listing).
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let entries: BTreeMap<u32, &str> = self
+            .symbols
+            .functions
+            .iter()
+            .map(|(name, &pc)| (pc, name.as_str()))
+            .collect();
+        for (pc, insn) in self.code.iter().enumerate() {
+            if let Some(name) = entries.get(&(pc as u32)) {
+                let _ = writeln!(out, "{name}:");
+            }
+            let _ = writeln!(out, "  {pc:>6}: {insn}");
+        }
+        out
+    }
+}
+
+/// Incremental builder for a [`Program`], used by the assembler and the
+/// compiler back end.
+///
+/// ```
+/// use px_isa::{Instruction, ProgramBuilder, Reg, SyscallCode};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.push(Instruction::AluI { op: px_isa::AluOp::Add, rd: Reg::RV, rs1: Reg::ZERO, imm: 3 }, 1);
+/// b.push(Instruction::Syscall { code: SyscallCode::Exit }, 2);
+/// let program = b.finish();
+/// assert_eq!(program.code.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    program: Program,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder {
+            program: Program {
+                mem_size: DEFAULT_MEM_SIZE,
+                heap_base: DATA_BASE,
+                ..Program::default()
+            },
+        }
+    }
+
+    /// Index the next pushed instruction will receive.
+    #[must_use]
+    pub fn next_pc(&self) -> u32 {
+        self.program.code.len() as u32
+    }
+
+    /// Appends an instruction with a source line and returns its index.
+    pub fn push(&mut self, insn: Instruction, line: u32) -> u32 {
+        let pc = self.next_pc();
+        self.program.code.push(insn);
+        self.program.source_lines.push(SourceLoc { line });
+        pc
+    }
+
+    /// Overwrites a previously pushed instruction (for backpatching branch
+    /// targets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    pub fn patch(&mut self, pc: u32, insn: Instruction) {
+        self.program.code[pc as usize] = insn;
+    }
+
+    /// Reads back a previously pushed instruction (for backpatching).
+    #[must_use]
+    pub fn at(&self, pc: u32) -> Instruction {
+        self.program.code[pc as usize]
+    }
+
+    /// Registers a function symbol at the given instruction index.
+    pub fn define_function(&mut self, name: &str, pc: u32) {
+        self.program.symbols.functions.insert(name.to_owned(), pc);
+    }
+
+    /// Registers a global symbol.
+    pub fn define_global(&mut self, name: &str, addr: u32, size: u32) {
+        self.program
+            .symbols
+            .globals
+            .insert(name.to_owned(), (addr, size));
+    }
+
+    /// Adds initialized data.
+    pub fn add_data(&mut self, addr: u32, bytes: Vec<u8>) {
+        self.program.data.push(DataItem { addr, bytes });
+    }
+
+    /// Marks `[start, end)` as dynamic-checker code.
+    pub fn add_checker_region(&mut self, start: u32, end: u32) {
+        debug_assert!(start <= end);
+        if start < end {
+            self.program.checker_regions.push((start, end));
+        }
+    }
+
+    /// Sets the entry point.
+    pub fn set_entry(&mut self, pc: u32) {
+        self.program.entry = pc;
+    }
+
+    /// Sets the blank-data-structure area used for pointer fixing.
+    pub fn set_blank_area(&mut self, start: u32, end: u32) {
+        self.program.blank_area = Some((start, end));
+    }
+
+    /// Sets the heap base (first free address after static data).
+    pub fn set_heap_base(&mut self, addr: u32) {
+        self.program.heap_base = addr;
+    }
+
+    /// Sets the required memory size.
+    pub fn set_mem_size(&mut self, bytes: u32) {
+        self.program.mem_size = bytes;
+    }
+
+    /// Finalizes the program.
+    #[must_use]
+    pub fn finish(self) -> Program {
+        self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{AluOp, BranchCond};
+    use crate::reg::Reg;
+
+    fn branch(target: u32) -> Instruction {
+        Instruction::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            target,
+        }
+    }
+
+    #[test]
+    fn static_branch_count_excludes_checker_regions() {
+        let mut b = ProgramBuilder::new();
+        b.push(branch(0), 1);
+        b.push(branch(0), 2);
+        b.push(
+            Instruction::AluI { op: AluOp::Add, rd: Reg::RV, rs1: Reg::ZERO, imm: 0 },
+            3,
+        );
+        b.push(branch(0), 4);
+        b.add_checker_region(1, 2);
+        let p = b.finish();
+        assert_eq!(p.static_branch_count(), 2);
+        assert_eq!(p.static_edge_count(), 4);
+        assert!(p.in_checker_region(1));
+        assert!(!p.in_checker_region(2));
+    }
+
+    #[test]
+    fn builder_symbols_and_fetch() {
+        let mut b = ProgramBuilder::new();
+        let pc = b.push(Instruction::Nop, 7);
+        b.define_function("main", pc);
+        b.define_global("g", DATA_BASE, 4);
+        b.set_entry(pc);
+        let p = b.finish();
+        assert_eq!(p.symbols.function("main"), Some(0));
+        assert_eq!(p.symbols.global("g"), Some(DATA_BASE));
+        assert_eq!(p.fetch(0), Some(Instruction::Nop));
+        assert_eq!(p.fetch(1), None);
+        assert_eq!(p.source_line(0), 7);
+        assert!(p.valid_pc(0));
+        assert!(!p.valid_pc(1));
+    }
+
+    #[test]
+    fn disassembly_lists_function_labels() {
+        let mut b = ProgramBuilder::new();
+        let pc = b.push(Instruction::Ret, 1);
+        b.define_function("f", pc);
+        let text = b.finish().disassemble();
+        assert!(text.contains("f:"));
+        assert!(text.contains("ret"));
+    }
+}

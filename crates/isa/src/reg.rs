@@ -1,0 +1,160 @@
+use core::fmt;
+
+/// One of the 32 general-purpose registers of PXVM-32.
+///
+/// Register 0 ([`Reg::ZERO`]) is hardwired to zero, matching the MIPS-style
+/// convention the paper's simulator used. The ABI registers used by the
+/// `px-lang` compiler are exposed as constants.
+///
+/// ```
+/// use px_isa::Reg;
+/// let r = Reg::new(5);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.to_string(), "r5");
+/// assert_eq!(Reg::SP.to_string(), "sp");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Hardwired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Return value / first scratch register (ABI).
+    pub const RV: Reg = Reg(1);
+    /// Syscall argument register (ABI).
+    pub const A0: Reg = Reg(2);
+    /// Second syscall argument register (ABI).
+    pub const A1: Reg = Reg(3);
+    /// Stack pointer (ABI).
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer (ABI).
+    pub const FP: Reg = Reg(30);
+    /// Return address, written by `call` (ABI).
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub const fn new(index: u8) -> Reg {
+        assert!((index as usize) < Reg::COUNT, "register index out of range");
+        Reg(index)
+    }
+
+    /// Creates a register from its index, returning `None` when out of range.
+    #[must_use]
+    pub fn try_new(index: u8) -> Option<Reg> {
+        ((index as usize) < Reg::COUNT).then_some(Reg(index))
+    }
+
+    /// The register's index in `0..32`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The register's index as the raw `u8` used by the binary encoding.
+    #[must_use]
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hardwired zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::ZERO => write!(f, "zero"),
+            Reg::SP => write!(f, "sp"),
+            Reg::FP => write!(f, "fp"),
+            Reg::RA => write!(f, "ra"),
+            Reg(n) => write!(f, "r{n}"),
+        }
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+/// Parses `r0`..`r31` and the ABI aliases `zero`, `sp`, `fp`, `ra`, `rv`.
+impl core::str::FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Reg, ParseRegError> {
+        match s {
+            "zero" => return Ok(Reg::ZERO),
+            "sp" => return Ok(Reg::SP),
+            "fp" => return Ok(Reg::FP),
+            "ra" => return Ok(Reg::RA),
+            "rv" => return Ok(Reg::RV),
+            _ => {}
+        }
+        let rest = s.strip_prefix('r').ok_or(ParseRegError)?;
+        let n: u8 = rest.parse().map_err(|_| ParseRegError)?;
+        Reg::try_new(n).ok_or(ParseRegError)
+    }
+}
+
+/// Error returned when a register name fails to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseRegError;
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name")
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_aliases_round_trip() {
+        for (name, reg) in [
+            ("zero", Reg::ZERO),
+            ("sp", Reg::SP),
+            ("fp", Reg::FP),
+            ("ra", Reg::RA),
+        ] {
+            assert_eq!(name.parse::<Reg>().unwrap(), reg);
+            assert_eq!(reg.to_string(), name);
+        }
+    }
+
+    #[test]
+    fn numeric_names_parse() {
+        for i in 0..32u8 {
+            let r: Reg = format!("r{i}").parse().unwrap();
+            assert_eq!(r.index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!("r32".parse::<Reg>().is_err());
+        assert!("x3".parse::<Reg>().is_err());
+        assert!(Reg::try_new(32).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(40);
+    }
+}

@@ -1,0 +1,253 @@
+//! Abstract syntax tree for PXC.
+
+/// A PXC type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 32-bit signed integer.
+    Int,
+    /// 8-bit character (widened to `int` in expressions).
+    Char,
+    /// No value (function returns only).
+    Void,
+    /// Pointer to a pointee type.
+    Ptr(Box<Type>),
+    /// Fixed-size array (only as a variable's declared type).
+    Array(Box<Type>, u32),
+    /// A named struct.
+    Struct(String),
+}
+
+impl Type {
+    /// Pointer to this type.
+    #[must_use]
+    pub fn ptr(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+
+    /// Whether this is any pointer type.
+    #[must_use]
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// Whether values of this type fit in a register as an `int`.
+    #[must_use]
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Type::Int | Type::Char | Type::Ptr(_))
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Short-circuit logical and.
+    LogAnd,
+    /// Short-circuit logical or.
+    LogOr,
+}
+
+impl BinOp {
+    /// Whether the operator is a comparison producing 0/1.
+    #[must_use]
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!x` → 0/1).
+    Not,
+    /// Pointer dereference.
+    Deref,
+    /// Address-of an lvalue.
+    Addr,
+}
+
+/// An expression with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Expression kind.
+    pub kind: ExprKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// String literal (decays to `char*`).
+    Str(Vec<u8>),
+    /// Variable reference.
+    Var(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Array / pointer indexing `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Struct member `base.field`.
+    Member(Box<Expr>, String),
+    /// Struct member through pointer `base->field`.
+    Arrow(Box<Expr>, String),
+    /// Function call (user function or intrinsic).
+    Call(String, Vec<Expr>),
+    /// `sizeof(type)`.
+    SizeOf(Type),
+}
+
+/// A statement with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Statement kind.
+    pub kind: StmtKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Local declaration with optional initializer.
+    Decl { name: String, ty: Type, init: Option<Expr> },
+    /// Assignment `lvalue = expr;`.
+    Assign { target: Expr, value: Expr },
+    /// Expression evaluated for side effects (calls).
+    Expr(Expr),
+    /// `if` with optional `else`.
+    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    /// `while` loop.
+    While { cond: Expr, body: Vec<Stmt> },
+    /// `for (init; cond; step) body` — init/step are statements.
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Vec<Stmt>,
+    },
+    /// `return` with optional value.
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// Nested block.
+    Block(Vec<Stmt>),
+}
+
+/// A struct field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type (may be an array).
+    pub ty: Type,
+}
+
+/// A struct definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Ordered fields.
+    pub fields: Vec<Field>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDef {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Optional scalar initializer (constant).
+    pub init: Option<i64>,
+    /// Optional array initializer (constants).
+    pub array_init: Vec<i64>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type (scalar).
+    pub ty: Type,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Unit {
+    /// Struct definitions, in order.
+    pub structs: Vec<StructDef>,
+    /// Global variables, in order.
+    pub globals: Vec<GlobalDef>,
+    /// Functions, in order.
+    pub funcs: Vec<FuncDef>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_helpers() {
+        assert!(Type::Int.ptr().is_ptr());
+        assert!(Type::Int.is_scalar());
+        assert!(Type::Char.is_scalar());
+        assert!(Type::Int.ptr().is_scalar());
+        assert!(!Type::Array(Box::new(Type::Int), 4).is_scalar());
+        assert!(!Type::Struct("S".into()).is_scalar());
+    }
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(!BinOp::LogAnd.is_comparison());
+    }
+}

@@ -1,0 +1,69 @@
+//! # px-lang — the PXC compiler
+//!
+//! PXC is a small C-like language (ints, chars, pointers, fixed arrays,
+//! structs, functions, recursion) that compiles to the PXVM-32 ISA. It plays
+//! the role the C toolchain played for the PathExpander paper, including the
+//! three compiler duties the paper assigns (§4.4, §6.2):
+//!
+//! * inserting **predicated variable-fixing instructions** at the head of
+//!   both edges of every conditional branch, with per-type **blank data
+//!   structures** for pointer conditions;
+//! * inserting **CCured-style** bounds and null checks as tagged checker
+//!   regions whose reports go to the monitor memory area;
+//! * laying out **iWatcher-style red zones** after arrays and registering
+//!   hardware watch ranges over them.
+//!
+//! ## Example
+//!
+//! ```
+//! use px_lang::{compile, CompileOptions};
+//! use px_mach::{run_baseline, IoState, MachConfig};
+//!
+//! let compiled = compile(
+//!     r"
+//!     int main() {
+//!         int i;
+//!         int sum = 0;
+//!         for (i = 1; i <= 10; i = i + 1) { sum = sum + i; }
+//!         printint(sum);
+//!         return 0;
+//!     }
+//!     ",
+//!     &CompileOptions::default(),
+//! )?;
+//! let run = run_baseline(&compiled.program, &MachConfig::single_core(),
+//!                        IoState::default(), 100_000);
+//! assert_eq!(run.io.output_string(), "55");
+//! # Ok::<(), px_lang::CompileError>(())
+//! ```
+//!
+//! ## Intrinsics
+//!
+//! `getchar()`, `putchar(c)`, `readint()`, `printint(n)`, `rand()`, `time()`,
+//! `exit(code)`, `alloc(bytes)` (bump allocator), `assert(cond)`,
+//! `watch(ptr, len, tag)`, `unwatch(tag)`, `sizeof(type)`.
+
+pub mod ast;
+pub mod codegen;
+pub mod parser;
+pub mod refit;
+pub mod token;
+pub mod types;
+
+pub use codegen::{
+    compile_unit, CompileOptions, CompiledProgram, FixSite, FixStrategy, OperandSide, SiteInfo,
+    WatchInfo,
+};
+pub use refit::{profiled_value, refit_fixes, BranchRanges};
+pub use parser::{parse, ParseError};
+pub use types::{CompileError, TypeTable};
+
+/// Compiles PXC source text.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, type or codegen error.
+pub fn compile(source: &str, opts: &CompileOptions) -> Result<CompiledProgram, CompileError> {
+    let unit = parse(source)?;
+    compile_unit(&unit, opts)
+}

@@ -1,0 +1,639 @@
+//! Recursive-descent parser for PXC.
+
+use core::fmt;
+
+use crate::ast::{
+    BinOp, Expr, ExprKind, Field, FuncDef, GlobalDef, Param, Stmt, StmtKind, StructDef, Type,
+    UnOp, Unit,
+};
+use crate::token::{lex, Token, TokenKind};
+
+/// Parse error with location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::token::LexError> for ParseError {
+    fn from(e: crate::token::LexError) -> ParseError {
+        ParseError { line: e.line, message: e.message }
+    }
+}
+
+/// Parses a PXC translation unit.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse(source: &str) -> Result<Unit, ParseError> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.unit()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn err(&self, message: &str) -> ParseError {
+        ParseError { line: self.line(), message: message.to_owned() }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(ParseError {
+                line: self.tokens[self.pos.saturating_sub(1)].line,
+                message: format!("expected identifier, found {other}"),
+            }),
+        }
+    }
+
+    // ---- top level ----
+
+    fn unit(&mut self) -> Result<Unit, ParseError> {
+        let mut unit = Unit::default();
+        while *self.peek() != TokenKind::Eof {
+            if *self.peek() == TokenKind::KwStruct && *self.peek2() != TokenKind::Star {
+                // Could be `struct S { ... };` or `struct S name ...` — look
+                // ahead for `{` after the name.
+                if let TokenKind::Ident(_) = self.peek2() {
+                    let brace = self
+                        .tokens
+                        .get(self.pos + 2)
+                        .map(|t| t.kind == TokenKind::LBrace)
+                        .unwrap_or(false);
+                    if brace {
+                        unit.structs.push(self.struct_def()?);
+                        continue;
+                    }
+                }
+            }
+            // A type, then a name, then `(` (function) or not (global).
+            let line = self.line();
+            let ty = self.parse_type()?;
+            let name = self.ident()?;
+            if *self.peek() == TokenKind::LParen {
+                unit.funcs.push(self.func_def(ty, name, line)?);
+            } else {
+                unit.globals.push(self.global_def(ty, name, line)?);
+            }
+        }
+        Ok(unit)
+    }
+
+    fn struct_def(&mut self) -> Result<StructDef, ParseError> {
+        let line = self.line();
+        self.expect(&TokenKind::KwStruct)?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            let ty = self.parse_type()?;
+            let fname = self.ident()?;
+            let ty = self.maybe_array(ty)?;
+            self.expect(&TokenKind::Semi)?;
+            fields.push(Field { name: fname, ty });
+        }
+        self.expect(&TokenKind::Semi)?;
+        Ok(StructDef { name, fields, line })
+    }
+
+    fn global_def(
+        &mut self,
+        ty: Type,
+        name: String,
+        line: u32,
+    ) -> Result<GlobalDef, ParseError> {
+        let ty = self.maybe_array(ty)?;
+        let mut init = None;
+        let mut array_init = Vec::new();
+        if self.eat(&TokenKind::Assign) {
+            if self.eat(&TokenKind::LBrace) {
+                loop {
+                    array_init.push(self.const_int()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RBrace)?;
+            } else {
+                init = Some(self.const_int()?);
+            }
+        }
+        self.expect(&TokenKind::Semi)?;
+        Ok(GlobalDef { name, ty, init, array_init, line })
+    }
+
+    fn const_int(&mut self) -> Result<i64, ParseError> {
+        let neg = self.eat(&TokenKind::Minus);
+        match self.bump() {
+            TokenKind::Int(v) => Ok(if neg { -v } else { v }),
+            TokenKind::CharLit(c) => Ok(i64::from(c)),
+            other => Err(self.err(&format!("expected constant, found {other}"))),
+        }
+    }
+
+    fn func_def(&mut self, ret: Type, name: String, line: u32) -> Result<FuncDef, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                if self.eat(&TokenKind::KwVoid) && *self.peek() == TokenKind::RParen {
+                    break;
+                }
+                let ty = self.parse_type()?;
+                let pname = self.ident()?;
+                params.push(Param { name: pname, ty });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        let body = self.block()?;
+        Ok(FuncDef { name, ret, params, body, line })
+    }
+
+    // ---- types ----
+
+    fn parse_type(&mut self) -> Result<Type, ParseError> {
+        let mut ty = match self.bump() {
+            TokenKind::KwInt => Type::Int,
+            TokenKind::KwChar => Type::Char,
+            TokenKind::KwVoid => Type::Void,
+            TokenKind::KwStruct => Type::Struct(self.ident()?),
+            other => {
+                return Err(ParseError {
+                    line: self.tokens[self.pos.saturating_sub(1)].line,
+                    message: format!("expected type, found {other}"),
+                })
+            }
+        };
+        while self.eat(&TokenKind::Star) {
+            ty = ty.ptr();
+        }
+        Ok(ty)
+    }
+
+    fn maybe_array(&mut self, ty: Type) -> Result<Type, ParseError> {
+        if self.eat(&TokenKind::LBracket) {
+            let n = self.const_int()?;
+            if n <= 0 || n > i64::from(u32::MAX) {
+                return Err(self.err("array size out of range"));
+            }
+            self.expect(&TokenKind::RBracket)?;
+            Ok(Type::Array(Box::new(ty), n as u32))
+        } else {
+            Ok(ty)
+        }
+    }
+
+    fn starts_type(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::KwInt | TokenKind::KwChar | TokenKind::KwStruct | TokenKind::KwVoid
+        )
+    }
+
+    // ---- statements ----
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        let kind = match self.peek() {
+            TokenKind::LBrace => StmtKind::Block(self.block()?),
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let then_body = self.stmt_or_block()?;
+                let else_body = if self.eat(&TokenKind::KwElse) {
+                    self.stmt_or_block()?
+                } else {
+                    Vec::new()
+                };
+                StmtKind::If { cond, then_body, else_body }
+            }
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = self.stmt_or_block()?;
+                StmtKind::While { cond, body }
+            }
+            TokenKind::KwFor => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let init = if self.eat(&TokenKind::Semi) {
+                    None
+                } else {
+                    let s = self.simple_stmt()?;
+                    self.expect(&TokenKind::Semi)?;
+                    Some(Box::new(s))
+                };
+                let cond = if *self.peek() == TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                let step = if *self.peek() == TokenKind::RParen {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(&TokenKind::RParen)?;
+                let body = self.stmt_or_block()?;
+                StmtKind::For { init, cond, step, body }
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let value = if *self.peek() == TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::Return(value)
+            }
+            TokenKind::KwBreak => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::Break
+            }
+            TokenKind::KwContinue => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::Continue
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(&TokenKind::Semi)?;
+                return Ok(Stmt { kind: s.kind, line });
+            }
+        };
+        Ok(Stmt { kind, line })
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if *self.peek() == TokenKind::LBrace {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    /// A declaration, assignment or expression statement — without the
+    /// trailing semicolon (shared with `for` headers).
+    fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        if self.starts_type() {
+            let ty = self.parse_type()?;
+            let name = self.ident()?;
+            let ty = self.maybe_array(ty)?;
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Stmt { kind: StmtKind::Decl { name, ty, init }, line });
+        }
+        let e = self.expr()?;
+        if self.eat(&TokenKind::Assign) {
+            let value = self.expr()?;
+            return Ok(Stmt { kind: StmtKind::Assign { target: e, value }, line });
+        }
+        Ok(Stmt { kind: StmtKind::Expr(e), line })
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.logic_or()
+    }
+
+    fn bin_level<F>(
+        &mut self,
+        next: fn(&mut Parser) -> Result<Expr, ParseError>,
+        mut op_of: F,
+    ) -> Result<Expr, ParseError>
+    where
+        F: FnMut(&TokenKind) -> Option<BinOp>,
+    {
+        let mut lhs = next(self)?;
+        while let Some(op) = op_of(self.peek()) {
+            let line = self.line();
+            self.bump();
+            let rhs = next(self)?;
+            lhs = Expr { kind: ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)), line };
+        }
+        Ok(lhs)
+    }
+
+    fn logic_or(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(Parser::logic_and, |t| {
+            (*t == TokenKind::OrOr).then_some(BinOp::LogOr)
+        })
+    }
+
+    fn logic_and(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(Parser::bit_or, |t| {
+            (*t == TokenKind::AndAnd).then_some(BinOp::LogAnd)
+        })
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(Parser::bit_xor, |t| (*t == TokenKind::Pipe).then_some(BinOp::BitOr))
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(Parser::bit_and, |t| {
+            (*t == TokenKind::Caret).then_some(BinOp::BitXor)
+        })
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(Parser::equality, |t| (*t == TokenKind::Amp).then_some(BinOp::BitAnd))
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(Parser::relational, |t| match t {
+            TokenKind::Eq => Some(BinOp::Eq),
+            TokenKind::Ne => Some(BinOp::Ne),
+            _ => None,
+        })
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(Parser::shift, |t| match t {
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::Le => Some(BinOp::Le),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::Ge => Some(BinOp::Ge),
+            _ => None,
+        })
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(Parser::additive, |t| match t {
+            TokenKind::Shl => Some(BinOp::Shl),
+            TokenKind::Shr => Some(BinOp::Shr),
+            _ => None,
+        })
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(Parser::multiplicative, |t| match t {
+            TokenKind::Plus => Some(BinOp::Add),
+            TokenKind::Minus => Some(BinOp::Sub),
+            _ => None,
+        })
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(Parser::unary, |t| match t {
+            TokenKind::Star => Some(BinOp::Mul),
+            TokenKind::Slash => Some(BinOp::Div),
+            TokenKind::Percent => Some(BinOp::Rem),
+            _ => None,
+        })
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        let op = match self.peek() {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Not => Some(UnOp::Not),
+            TokenKind::Star => Some(UnOp::Deref),
+            TokenKind::Amp => Some(UnOp::Addr),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let inner = self.unary()?;
+            return Ok(Expr { kind: ExprKind::Un(op, Box::new(inner)), line });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            let line = self.line();
+            if self.eat(&TokenKind::LBracket) {
+                let idx = self.expr()?;
+                self.expect(&TokenKind::RBracket)?;
+                e = Expr { kind: ExprKind::Index(Box::new(e), Box::new(idx)), line };
+            } else if self.eat(&TokenKind::Dot) {
+                let f = self.ident()?;
+                e = Expr { kind: ExprKind::Member(Box::new(e), f), line };
+            } else if self.eat(&TokenKind::Arrow) {
+                let f = self.ident()?;
+                e = Expr { kind: ExprKind::Arrow(Box::new(e), f), line };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        match self.bump() {
+            TokenKind::Int(v) => Ok(Expr { kind: ExprKind::Int(v), line }),
+            TokenKind::CharLit(c) => Ok(Expr { kind: ExprKind::Int(i64::from(c)), line }),
+            TokenKind::Str(s) => Ok(Expr { kind: ExprKind::Str(s), line }),
+            TokenKind::KwSizeof => {
+                self.expect(&TokenKind::LParen)?;
+                let ty = self.parse_type()?;
+                let ty = self.maybe_array(ty)?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr { kind: ExprKind::SizeOf(ty), line })
+            }
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&TokenKind::RParen)?;
+                    }
+                    Ok(Expr { kind: ExprKind::Call(name, args), line })
+                } else {
+                    Ok(Expr { kind: ExprKind::Var(name), line })
+                }
+            }
+            other => Err(ParseError {
+                line,
+                message: format!("expected expression, found {other}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_structs_globals_functions() {
+        let unit = parse(
+            r"
+            struct Node { int val; struct Node* next; };
+            int g = 5;
+            int table[4] = {1, 2, 3, 4};
+            char buf[16];
+            int add(int a, int b) { return a + b; }
+            ",
+        )
+        .unwrap();
+        assert_eq!(unit.structs.len(), 1);
+        assert_eq!(unit.structs[0].fields[1].ty, Type::Struct("Node".into()).ptr());
+        assert_eq!(unit.globals.len(), 3);
+        assert_eq!(unit.globals[0].init, Some(5));
+        assert_eq!(unit.globals[1].array_init, vec![1, 2, 3, 4]);
+        assert_eq!(unit.funcs.len(), 1);
+        assert_eq!(unit.funcs[0].params.len(), 2);
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let unit = parse("int f() { return 1 + 2 * 3 < 4 && 5 == 6; }").unwrap();
+        let StmtKind::Return(Some(e)) = &unit.funcs[0].body[0].kind else {
+            panic!("expected return");
+        };
+        // Top must be &&.
+        let ExprKind::Bin(BinOp::LogAnd, lhs, rhs) = &e.kind else {
+            panic!("expected &&, got {e:?}");
+        };
+        assert!(matches!(lhs.kind, ExprKind::Bin(BinOp::Lt, _, _)));
+        assert!(matches!(rhs.kind, ExprKind::Bin(BinOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn statements_parse() {
+        let unit = parse(
+            r#"
+            int main() {
+                int i;
+                int a[3];
+                for (i = 0; i < 3; i = i + 1) {
+                    a[i] = i * 2;
+                }
+                while (i > 0) { i = i - 1; if (i == 1) break; else continue; }
+                if (a[0] == 0) putchar('y');
+                return 0;
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(unit.funcs[0].body.len(), 6);
+    }
+
+    #[test]
+    fn pointer_and_member_expressions() {
+        let unit = parse(
+            r"
+            struct P { int x; int y; };
+            int f(struct P* p, int* q) {
+                p->x = (*q) + p->y;
+                return -p->x + !q[2] + sizeof(struct P);
+            }
+            ",
+        )
+        .unwrap();
+        let f = &unit.funcs[0];
+        assert!(matches!(f.body[0].kind, StmtKind::Assign { .. }));
+    }
+
+    #[test]
+    fn error_locations() {
+        let e = parse("int f() {\n  return 1 +;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse("int f( { }").unwrap_err();
+        assert!(e.message.contains("expected"));
+    }
+
+    #[test]
+    fn dangling_else_binds_inner() {
+        let unit =
+            parse("int f(int a, int b) { if (a) if (b) return 1; else return 2; return 3; }")
+                .unwrap();
+        let StmtKind::If { else_body, then_body, .. } = &unit.funcs[0].body[0].kind else {
+            panic!()
+        };
+        assert!(else_body.is_empty(), "else belongs to the inner if");
+        let StmtKind::If { else_body: inner_else, .. } = &then_body[0].kind else { panic!() };
+        assert_eq!(inner_else.len(), 1);
+    }
+}

@@ -1,0 +1,434 @@
+//! Lexer for PXC, the mini-C language the workloads are written in.
+
+use core::fmt;
+
+/// A lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // Literals and names.
+    Ident(String),
+    Int(i64),
+    Str(Vec<u8>),
+    CharLit(u8),
+
+    // Keywords.
+    KwInt,
+    KwChar,
+    KwVoid,
+    KwStruct,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwSizeof,
+
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+
+    // Operators.
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    Not,
+    AndAnd,
+    OrOr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Str(_) => write!(f, "string literal"),
+            TokenKind::CharLit(c) => write!(f, "char literal `{}`", *c as char),
+            TokenKind::KwInt => write!(f, "`int`"),
+            TokenKind::KwChar => write!(f, "`char`"),
+            TokenKind::KwVoid => write!(f, "`void`"),
+            TokenKind::KwStruct => write!(f, "`struct`"),
+            TokenKind::KwIf => write!(f, "`if`"),
+            TokenKind::KwElse => write!(f, "`else`"),
+            TokenKind::KwWhile => write!(f, "`while`"),
+            TokenKind::KwFor => write!(f, "`for`"),
+            TokenKind::KwReturn => write!(f, "`return`"),
+            TokenKind::KwBreak => write!(f, "`break`"),
+            TokenKind::KwContinue => write!(f, "`continue`"),
+            TokenKind::KwSizeof => write!(f, "`sizeof`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::Amp => write!(f, "`&`"),
+            TokenKind::Pipe => write!(f, "`|`"),
+            TokenKind::Caret => write!(f, "`^`"),
+            TokenKind::Shl => write!(f, "`<<`"),
+            TokenKind::Shr => write!(f, "`>>`"),
+            TokenKind::Not => write!(f, "`!`"),
+            TokenKind::AndAnd => write!(f, "`&&`"),
+            TokenKind::OrOr => write!(f, "`||`"),
+            TokenKind::Eq => write!(f, "`==`"),
+            TokenKind::Ne => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Lexing error with location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Lexes PXC source into tokens (always ending with [`TokenKind::Eof`]).
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for unterminated strings/chars, bad escapes or
+/// unexpected characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    let err = |line: u32, msg: &str| LexError { line, message: msg.to_owned() };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(err(line, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut value: i64;
+                if c == b'0' && matches!(bytes.get(i + 1), Some(b'x' | b'X')) {
+                    i += 2;
+                    let hex_start = i;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if i == hex_start {
+                        return Err(err(line, "expected hex digits after 0x"));
+                    }
+                    value = i64::from_str_radix(
+                        std::str::from_utf8(&bytes[hex_start..i]).expect("ascii"),
+                        16,
+                    )
+                    .map_err(|_| err(line, "hex literal too large"))?;
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    value = std::str::from_utf8(&bytes[start..i])
+                        .expect("ascii")
+                        .parse()
+                        .map_err(|_| err(line, "integer literal too large"))?;
+                }
+                if value > i64::from(u32::MAX) {
+                    value = i64::from(u32::MAX);
+                }
+                tokens.push(Token { kind: TokenKind::Int(value), line });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = std::str::from_utf8(&bytes[start..i]).expect("ascii");
+                let kind = match word {
+                    "int" => TokenKind::KwInt,
+                    "char" => TokenKind::KwChar,
+                    "void" => TokenKind::KwVoid,
+                    "struct" => TokenKind::KwStruct,
+                    "if" => TokenKind::KwIf,
+                    "else" => TokenKind::KwElse,
+                    "while" => TokenKind::KwWhile,
+                    "for" => TokenKind::KwFor,
+                    "return" => TokenKind::KwReturn,
+                    "break" => TokenKind::KwBreak,
+                    "continue" => TokenKind::KwContinue,
+                    "sizeof" => TokenKind::KwSizeof,
+                    _ => TokenKind::Ident(word.to_owned()),
+                };
+                tokens.push(Token { kind, line });
+            }
+            b'"' => {
+                i += 1;
+                let mut out = Vec::new();
+                loop {
+                    match bytes.get(i) {
+                        None | Some(b'\n') => return Err(err(line, "unterminated string")),
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            i += 1;
+                            let esc = bytes.get(i).copied();
+                            out.push(unescape(esc).ok_or_else(|| err(line, "bad escape"))?);
+                            i += 1;
+                        }
+                        Some(&b) => {
+                            out.push(b);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(out), line });
+            }
+            b'\'' => {
+                i += 1;
+                let value = match bytes.get(i) {
+                    Some(b'\\') => {
+                        i += 1;
+                        let esc = bytes.get(i).copied();
+                        i += 1;
+                        unescape(esc).ok_or_else(|| err(line, "bad escape"))?
+                    }
+                    Some(&b) if b != b'\'' => {
+                        i += 1;
+                        b
+                    }
+                    _ => return Err(err(line, "empty char literal")),
+                };
+                if bytes.get(i) != Some(&b'\'') {
+                    return Err(err(line, "unterminated char literal"));
+                }
+                i += 1;
+                tokens.push(Token { kind: TokenKind::CharLit(value), line });
+            }
+            _ => {
+                let two = |a: u8, b: u8| c == a && bytes.get(i + 1) == Some(&b);
+                let (kind, len) = if two(b'-', b'>') {
+                    (TokenKind::Arrow, 2)
+                } else if two(b'&', b'&') {
+                    (TokenKind::AndAnd, 2)
+                } else if two(b'|', b'|') {
+                    (TokenKind::OrOr, 2)
+                } else if two(b'=', b'=') {
+                    (TokenKind::Eq, 2)
+                } else if two(b'!', b'=') {
+                    (TokenKind::Ne, 2)
+                } else if two(b'<', b'=') {
+                    (TokenKind::Le, 2)
+                } else if two(b'>', b'=') {
+                    (TokenKind::Ge, 2)
+                } else if two(b'<', b'<') {
+                    (TokenKind::Shl, 2)
+                } else if two(b'>', b'>') {
+                    (TokenKind::Shr, 2)
+                } else {
+                    let k = match c {
+                        b'(' => TokenKind::LParen,
+                        b')' => TokenKind::RParen,
+                        b'{' => TokenKind::LBrace,
+                        b'}' => TokenKind::RBrace,
+                        b'[' => TokenKind::LBracket,
+                        b']' => TokenKind::RBracket,
+                        b';' => TokenKind::Semi,
+                        b',' => TokenKind::Comma,
+                        b'.' => TokenKind::Dot,
+                        b'=' => TokenKind::Assign,
+                        b'+' => TokenKind::Plus,
+                        b'-' => TokenKind::Minus,
+                        b'*' => TokenKind::Star,
+                        b'/' => TokenKind::Slash,
+                        b'%' => TokenKind::Percent,
+                        b'&' => TokenKind::Amp,
+                        b'|' => TokenKind::Pipe,
+                        b'^' => TokenKind::Caret,
+                        b'!' => TokenKind::Not,
+                        b'<' => TokenKind::Lt,
+                        b'>' => TokenKind::Gt,
+                        other => {
+                            return Err(err(
+                                line,
+                                &format!("unexpected character `{}`", other as char),
+                            ))
+                        }
+                    };
+                    (k, 1)
+                };
+                tokens.push(Token { kind, line });
+                i += len;
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line });
+    Ok(tokens)
+}
+
+fn unescape(c: Option<u8>) -> Option<u8> {
+    match c? {
+        b'n' => Some(b'\n'),
+        b't' => Some(b'\t'),
+        b'r' => Some(b'\r'),
+        b'0' => Some(0),
+        b'\\' => Some(b'\\'),
+        b'\'' => Some(b'\''),
+        b'"' => Some(b'"'),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_function_header() {
+        let k = kinds("int f(int a) { return a + 1; }");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::KwInt,
+                TokenKind::Ident("f".into()),
+                TokenKind::LParen,
+                TokenKind::KwInt,
+                TokenKind::Ident("a".into()),
+                TokenKind::RParen,
+                TokenKind::LBrace,
+                TokenKind::KwReturn,
+                TokenKind::Ident("a".into()),
+                TokenKind::Plus,
+                TokenKind::Int(1),
+                TokenKind::Semi,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators_win() {
+        let k = kinds("a <= b == c && d -> e << 2");
+        assert!(k.contains(&TokenKind::Le));
+        assert!(k.contains(&TokenKind::Eq));
+        assert!(k.contains(&TokenKind::AndAnd));
+        assert!(k.contains(&TokenKind::Arrow));
+        assert!(k.contains(&TokenKind::Shl));
+    }
+
+    #[test]
+    fn comments_and_lines_tracked() {
+        let toks = lex("a // comment\n/* multi\nline */ b").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 3);
+        assert!(matches!(toks[1].kind, TokenKind::Ident(ref s) if s == "b"));
+    }
+
+    #[test]
+    fn string_and_char_escapes() {
+        let k = kinds(r#""a\n\0" 'x' '\t'"#);
+        assert_eq!(k[0], TokenKind::Str(vec![b'a', b'\n', 0]));
+        assert_eq!(k[1], TokenKind::CharLit(b'x'));
+        assert_eq!(k[2], TokenKind::CharLit(b'\t'));
+    }
+
+    #[test]
+    fn hex_literals() {
+        assert_eq!(kinds("0x10")[0], TokenKind::Int(16));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("'x").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("/* no end").is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! Type layout: sizes, struct field offsets, and the compile-time symbol
+//! tables shared by the code generator.
+
+use std::collections::HashMap;
+
+use crate::ast::{StructDef, Type};
+
+/// Compile error with source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based line (0 when not attributable).
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl core::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<crate::parser::ParseError> for CompileError {
+    fn from(e: crate::parser::ParseError) -> CompileError {
+        CompileError { line: e.line, message: e.message }
+    }
+}
+
+pub(crate) fn cerr<T>(line: u32, message: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError { line, message: message.into() })
+}
+
+/// One struct field's placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldLayout {
+    /// Byte offset from the struct base.
+    pub offset: u32,
+    /// Field type.
+    pub ty: Type,
+}
+
+/// A laid-out struct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructLayout {
+    /// Total size in bytes (4-aligned).
+    pub size: u32,
+    /// Field name → placement.
+    pub fields: HashMap<String, FieldLayout>,
+}
+
+/// The type table: struct layouts plus size queries.
+#[derive(Debug, Clone, Default)]
+pub struct TypeTable {
+    structs: HashMap<String, StructLayout>,
+}
+
+impl TypeTable {
+    /// Lays out all structs of a unit. Structs may reference earlier structs
+    /// by value and any struct by pointer.
+    ///
+    /// # Errors
+    ///
+    /// Reports unknown struct names and by-value self references.
+    pub fn build(defs: &[StructDef]) -> Result<TypeTable, CompileError> {
+        let mut table = TypeTable::default();
+        for def in defs {
+            let mut offset = 0u32;
+            let mut fields = HashMap::new();
+            for field in &def.fields {
+                let size = table.size_of(&field.ty).map_err(|m| CompileError {
+                    line: def.line,
+                    message: format!("in struct `{}` field `{}`: {m}", def.name, field.name),
+                })?;
+                let align = table.align_of(&field.ty);
+                offset = align_up(offset, align);
+                fields.insert(
+                    field.name.clone(),
+                    FieldLayout { offset, ty: field.ty.clone() },
+                );
+                offset += size;
+            }
+            let layout = StructLayout { size: align_up(offset.max(1), 4), fields };
+            if table.structs.insert(def.name.clone(), layout).is_some() {
+                return cerr(def.line, format!("duplicate struct `{}`", def.name));
+            }
+        }
+        Ok(table)
+    }
+
+    /// Size of a type in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for `void`, unknown structs, or zero-size types.
+    pub fn size_of(&self, ty: &Type) -> Result<u32, String> {
+        match ty {
+            Type::Int | Type::Ptr(_) => Ok(4),
+            Type::Char => Ok(1),
+            Type::Void => Err("`void` has no size".to_owned()),
+            Type::Array(elem, n) => Ok(self.size_of(elem)? * n),
+            Type::Struct(name) => self
+                .structs
+                .get(name)
+                .map(|s| s.size)
+                .ok_or_else(|| format!("unknown struct `{name}`")),
+        }
+    }
+
+    /// Alignment of a type (1 for char / char arrays, else 4).
+    #[must_use]
+    pub fn align_of(&self, ty: &Type) -> u32 {
+        match ty {
+            Type::Char => 1,
+            Type::Array(elem, _) => self.align_of(elem),
+            _ => 4,
+        }
+    }
+
+    /// A struct's layout, if defined.
+    #[must_use]
+    pub fn layout(&self, name: &str) -> Option<&StructLayout> {
+        self.structs.get(name)
+    }
+
+    /// Names of all defined structs, sorted (for deterministic blank-area
+    /// layout).
+    #[must_use]
+    pub fn struct_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.structs.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+pub(crate) fn align_up(v: u32, align: u32) -> u32 {
+    debug_assert!(align.is_power_of_two());
+    (v + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Field;
+
+    fn sdef(name: &str, fields: Vec<(&str, Type)>) -> StructDef {
+        StructDef {
+            name: name.to_owned(),
+            fields: fields
+                .into_iter()
+                .map(|(n, ty)| Field { name: n.to_owned(), ty })
+                .collect(),
+            line: 1,
+        }
+    }
+
+    #[test]
+    fn struct_layout_aligns_fields() {
+        let t = TypeTable::build(&[sdef(
+            "S",
+            vec![
+                ("c", Type::Char),
+                ("x", Type::Int),
+                ("buf", Type::Array(Box::new(Type::Char), 3)),
+                ("p", Type::Int.ptr()),
+            ],
+        )])
+        .unwrap();
+        let s = t.layout("S").unwrap();
+        assert_eq!(s.fields["c"].offset, 0);
+        assert_eq!(s.fields["x"].offset, 4, "int after char aligns to 4");
+        assert_eq!(s.fields["buf"].offset, 8);
+        assert_eq!(s.fields["p"].offset, 12, "char[3] then align 4");
+        assert_eq!(s.size, 16);
+    }
+
+    #[test]
+    fn nested_struct_by_value_and_pointer() {
+        let t = TypeTable::build(&[
+            sdef("A", vec![("x", Type::Int)]),
+            sdef("B", vec![("a", Type::Struct("A".into())), ("next", Type::Struct("B".into()).ptr())]),
+        ])
+        .unwrap();
+        assert_eq!(t.size_of(&Type::Struct("B".into())).unwrap(), 8);
+    }
+
+    #[test]
+    fn by_value_forward_reference_rejected() {
+        let e = TypeTable::build(&[sdef("B", vec![("a", Type::Struct("A".into()))])]);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn sizes() {
+        let t = TypeTable::default();
+        assert_eq!(t.size_of(&Type::Int).unwrap(), 4);
+        assert_eq!(t.size_of(&Type::Char).unwrap(), 1);
+        assert_eq!(t.size_of(&Type::Char.ptr()).unwrap(), 4);
+        assert_eq!(t.size_of(&Type::Array(Box::new(Type::Int), 10)).unwrap(), 40);
+        assert!(t.size_of(&Type::Void).is_err());
+        assert_eq!(align_up(5, 4), 8);
+        assert_eq!(align_up(8, 4), 8);
+    }
+}

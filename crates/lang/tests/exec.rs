@@ -1,0 +1,520 @@
+//! End-to-end execution tests: compile PXC, run on the baseline machine,
+//! check program behaviour and instrumentation effects.
+
+use px_lang::{compile, CompileOptions};
+use px_mach::{run_baseline, IoState, MachConfig, RunExit};
+
+fn run(src: &str) -> px_mach::RunResult {
+    run_io(src, b"")
+}
+
+fn run_io(src: &str, input: &[u8]) -> px_mach::RunResult {
+    let compiled = compile(src, &CompileOptions::default()).expect("compile");
+    run_baseline(
+        &compiled.program,
+        &MachConfig::single_core(),
+        IoState::new(input.to_vec(), 42),
+        5_000_000,
+    )
+}
+
+fn output(src: &str) -> String {
+    let r = run(src);
+    assert_eq!(r.exit, RunExit::Exited(0), "program must exit 0");
+    r.io.output_string()
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(
+        output("int main() { printint(2 + 3 * 4 - 10 / 2); return 0; }"),
+        "9"
+    );
+    assert_eq!(output("int main() { printint(-7 % 3); return 0; }"), "-1");
+    assert_eq!(
+        output("int main() { printint((1 << 6) | (64 >> 3) ^ 12 & 10); return 0; }"),
+        64.to_string()
+    );
+}
+
+#[test]
+fn comparisons_and_logic() {
+    assert_eq!(
+        output(
+            "int main() {
+                printint(3 < 4); printint(4 <= 3); printint(5 > 1);
+                printint(5 >= 6); printint(2 == 2); printint(2 != 2);
+                printint(!0); printint(!7);
+                return 0;
+            }"
+        ),
+        "10101010"
+    );
+}
+
+#[test]
+fn short_circuit_does_not_evaluate_rhs() {
+    // The right side would divide by zero (a crash) if evaluated.
+    assert_eq!(
+        output(
+            "int zero() { return 0; }
+             int main() {
+                int d = 0;
+                if (zero() && 1 / d) { printint(1); } else { printint(2); }
+                if (1 || 1 / d) { printint(3); }
+                return 0;
+             }"
+        ),
+        "23"
+    );
+}
+
+#[test]
+fn while_for_break_continue() {
+    assert_eq!(
+        output(
+            "int main() {
+                int i; int sum = 0;
+                for (i = 0; i < 10; i = i + 1) {
+                    if (i == 3) continue;
+                    if (i == 7) break;
+                    sum = sum + i;
+                }
+                printint(sum);
+                int n = 0;
+                while (1) { n = n + 1; if (n >= 5) break; }
+                printint(n);
+                return 0;
+            }"
+        ),
+        "185"
+    );
+}
+
+#[test]
+fn recursion_fibonacci() {
+    assert_eq!(
+        output(
+            "int fib(int n) {
+                if (n < 2) return n;
+                return fib(n - 1) + fib(n - 2);
+             }
+             int main() { printint(fib(15)); return 0; }"
+        ),
+        "610"
+    );
+}
+
+#[test]
+fn nested_calls_preserve_live_temps() {
+    // f(x) + g(y): the second call must not clobber the first result.
+    assert_eq!(
+        output(
+            "int f(int x) { return x * 10; }
+             int g(int y) { return y + 1; }
+             int main() { printint(f(3) + g(4) + f(1) * g(0)); return 0; }"
+        ),
+        "45"
+    );
+}
+
+#[test]
+fn many_arguments() {
+    assert_eq!(
+        output(
+            "int sum6(int a, int b, int c, int d, int e, int f) {
+                return a + b + c + d + e + f;
+             }
+             int main() { printint(sum6(1, 2, 3, 4, 5, 6)); return 0; }"
+        ),
+        "21"
+    );
+}
+
+#[test]
+fn globals_and_initializers() {
+    assert_eq!(
+        output(
+            "int counter = 10;
+             int table[4] = {2, 4, 6, 8};
+             char letter = 'A';
+             int main() {
+                counter = counter + table[2];
+                putchar(letter);
+                printint(counter);
+                return 0;
+             }"
+        ),
+        "A16"
+    );
+}
+
+#[test]
+fn local_arrays_and_loops() {
+    assert_eq!(
+        output(
+            "int main() {
+                int a[8];
+                int i;
+                for (i = 0; i < 8; i = i + 1) a[i] = i * i;
+                int sum = 0;
+                for (i = 0; i < 8; i = i + 1) sum = sum + a[i];
+                printint(sum);
+                return 0;
+            }"
+        ),
+        "140"
+    );
+}
+
+#[test]
+fn char_arrays_and_strings() {
+    assert_eq!(
+        output(
+            r#"char buf[16];
+            int strcopy(char* dst, char* src) {
+                int i = 0;
+                while (src[i] != 0) { dst[i] = src[i]; i = i + 1; }
+                dst[i] = 0;
+                return i;
+            }
+            int main() {
+                int n = strcopy(buf, "hello");
+                int i;
+                for (i = 0; i < n; i = i + 1) putchar(buf[i]);
+                printint(n);
+                return 0;
+            }"#
+        ),
+        "hello5"
+    );
+}
+
+#[test]
+fn pointers_and_address_of() {
+    assert_eq!(
+        output(
+            "void bump(int* p) { *p = *p + 1; }
+             int main() {
+                int x = 41;
+                bump(&x);
+                printint(x);
+                int* q = &x;
+                *q = *q * 2;
+                printint(x);
+                return 0;
+             }"
+        ),
+        "4284"
+    );
+}
+
+#[test]
+fn structs_members_and_arrows() {
+    assert_eq!(
+        output(
+            "struct Point { int x; int y; };
+             struct Rect { struct Point a; struct Point b; };
+             int area(struct Rect* r) {
+                return (r->b.x - r->a.x) * (r->b.y - r->a.y);
+             }
+             int main() {
+                struct Rect r;
+                r.a.x = 1; r.a.y = 2; r.b.x = 5; r.b.y = 7;
+                printint(area(&r));
+                return 0;
+             }"
+        ),
+        "20"
+    );
+}
+
+#[test]
+fn linked_list_with_alloc() {
+    assert_eq!(
+        output(
+            "struct Node { int val; struct Node* next; };
+             int main() {
+                struct Node* head = 0;
+                int i;
+                for (i = 1; i <= 4; i = i + 1) {
+                    struct Node* n = alloc(sizeof(struct Node));
+                    n->val = i * i;
+                    n->next = head;
+                    head = n;
+                }
+                int sum = 0;
+                while (head != 0) { sum = sum + head->val; head = head->next; }
+                printint(sum);
+                return 0;
+             }"
+        ),
+        "30"
+    );
+}
+
+#[test]
+fn io_roundtrip() {
+    let r = run_io(
+        "int main() {
+            int a = readint();
+            int b = readint();
+            printint(a * b);
+            int c = getchar();
+            while (c != -1) { putchar(c); c = getchar(); }
+            return 0;
+        }",
+        b"6 7 ok",
+    );
+    assert_eq!(r.io.output_string(), "42 ok");
+}
+
+#[test]
+fn sizeof_values() {
+    assert_eq!(
+        output(
+            "struct S { int a; char c; int b; };
+             int main() {
+                printint(sizeof(int)); printint(sizeof(char));
+                printint(sizeof(int*)); printint(sizeof(struct S));
+                return 0;
+             }"
+        ),
+        "41412"
+    );
+}
+
+#[test]
+fn assertion_failures_reach_monitor() {
+    let r = run(
+        "int main() {
+            int x = 3;
+            assert(x == 3);
+            assert(x == 4);
+            assert(x < 10);
+            return 0;
+        }",
+    );
+    assert_eq!(r.exit, RunExit::Exited(0));
+    assert_eq!(r.monitor.len(), 1, "only the failing assert reports");
+}
+
+#[test]
+fn assert_sites_map_to_lines() {
+    let compiled = compile(
+        "int main() {\n  int x = 1;\n  assert(x == 2);\n  return 0;\n}\n",
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    let site = compiled.site_at_line(3).expect("assert on line 3");
+    let r = run_baseline(
+        &compiled.program,
+        &MachConfig::single_core(),
+        IoState::default(),
+        100_000,
+    );
+    assert_eq!(r.monitor.records()[0].site, site);
+}
+
+#[test]
+fn ccured_catches_out_of_bounds() {
+    let compiled = compile(
+        "int main() {
+            int a[4];
+            int i;
+            for (i = 0; i <= 4; i = i + 1) a[i] = i;
+            return 0;
+        }",
+        &CompileOptions::ccured(),
+    )
+    .unwrap();
+    let r = run_baseline(
+        &compiled.program,
+        &MachConfig::single_core(),
+        IoState::default(),
+        100_000,
+    );
+    let bound_failures = r
+        .monitor
+        .records()
+        .iter()
+        .filter(|rec| matches!(rec.kind, px_mach::RecordKind::Check(px_isa::CheckKind::CcuredBound)))
+        .count();
+    assert_eq!(bound_failures, 1, "a[4] trips exactly one bounds check");
+    // Without CCured, the overflow is silent (it lands in the frame).
+    let plain = run(
+        "int main() {
+            int a[4];
+            int i;
+            for (i = 0; i <= 4; i = i + 1) a[i] = i;
+            return 0;
+        }",
+    );
+    assert!(plain.monitor.is_empty());
+}
+
+#[test]
+fn ccured_catches_null_deref_check_before_crash() {
+    let compiled = compile(
+        "int main() {
+            int* p = 0;
+            printint(*p);
+            return 0;
+        }",
+        &CompileOptions::ccured(),
+    )
+    .unwrap();
+    let r = run_baseline(
+        &compiled.program,
+        &MachConfig::single_core(),
+        IoState::default(),
+        100_000,
+    );
+    // The null check reports, then the access crashes the taken path.
+    assert_eq!(r.monitor.len(), 1);
+    assert!(matches!(r.exit, RunExit::Crashed(_)));
+}
+
+#[test]
+fn iwatcher_redzone_catches_overflow() {
+    let compiled = compile(
+        "int g[4];
+         int main() {
+            int i;
+            for (i = 0; i <= 4; i = i + 1) g[i] = i;
+            return 0;
+         }",
+        &CompileOptions::iwatcher(),
+    )
+    .unwrap();
+    assert_eq!(compiled.watches.len(), 1);
+    let tag = compiled.watch_tag_for("g").unwrap();
+    let r = run_baseline(
+        &compiled.program,
+        &MachConfig::single_core(),
+        IoState::default(),
+        100_000,
+    );
+    let hits: Vec<_> = r
+        .monitor
+        .records()
+        .iter()
+        .filter(|rec| matches!(rec.kind, px_mach::RecordKind::Watch { .. }))
+        .collect();
+    assert_eq!(hits.len(), 1, "g[4] lands in the red zone");
+    assert_eq!(hits[0].site, tag);
+}
+
+#[test]
+fn iwatcher_local_array_redzone() {
+    let compiled = compile(
+        "int f(int n) {
+            int buf[4];
+            int i;
+            for (i = 0; i < n; i = i + 1) buf[i] = i;
+            return buf[0];
+         }
+         int main() { return f(5) * 0; }",
+        &CompileOptions::iwatcher(),
+    )
+    .unwrap();
+    let r = run_baseline(
+        &compiled.program,
+        &MachConfig::single_core(),
+        IoState::default(),
+        100_000,
+    );
+    assert_eq!(r.exit, RunExit::Exited(0));
+    assert_eq!(r.monitor.len(), 1, "buf[4] lands in the local red zone");
+}
+
+#[test]
+fn fix_instructions_are_nops_on_the_taken_path() {
+    // The same source, with and without fix insertion, must behave
+    // identically in a normal run.
+    let src = "int main() {
+        int x = 7;
+        int y = 0;
+        if (x > 5) y = 1; else y = 2;
+        while (x > 0) { x = x - 1; y = y + x; }
+        printint(y);
+        return 0;
+    }";
+    let with = compile(src, &CompileOptions::default()).unwrap();
+    let without = compile(
+        src,
+        &CompileOptions { insert_fixes: false, ..CompileOptions::default() },
+    )
+    .unwrap();
+    let a = run_baseline(&with.program, &MachConfig::single_core(), IoState::default(), 100_000);
+    let b =
+        run_baseline(&without.program, &MachConfig::single_core(), IoState::default(), 100_000);
+    assert_eq!(a.io.output_string(), b.io.output_string());
+    assert_eq!(a.io.output_string(), "22");
+    assert!(
+        with.program.code.len() > without.program.code.len(),
+        "fix instructions were inserted"
+    );
+    let predicated = with
+        .program
+        .code
+        .iter()
+        .filter(|i| i.is_predicated())
+        .count();
+    assert!(predicated > 0, "predicated fixes present");
+}
+
+#[test]
+fn blank_area_exists_for_pointer_programs() {
+    let compiled = compile(
+        "struct T { int a; };
+         int main() { struct T* p = 0; if (p != 0) { return p->a; } return 0; }",
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    let (lo, hi) = compiled.program.blank_area.expect("blank area");
+    assert!(hi > lo, "blanks allocated");
+}
+
+#[test]
+fn compile_errors_are_reported() {
+    let opts = CompileOptions::default();
+    assert!(compile("int main() { return undefined_var; }", &opts).is_err());
+    assert!(compile("int main() { undefined_fn(); return 0; }", &opts).is_err());
+    assert!(compile("int f() { return 0; }", &opts).is_err(), "missing main");
+    assert!(compile("int main() { break; }", &opts).is_err());
+    assert!(compile("struct S { struct Unknown u; }; int main() { return 0; }", &opts).is_err());
+    assert!(compile("int main() { int x; x.field = 1; return 0; }", &opts).is_err());
+    assert!(compile("int main(int a, int b) { return sum6(1); }", &opts).is_err());
+}
+
+#[test]
+fn exit_intrinsic_stops_immediately() {
+    let r = run("int main() { printint(1); exit(3); printint(2); return 0; }");
+    assert_eq!(r.exit, RunExit::Exited(3));
+    assert_eq!(r.io.output_string(), "1");
+}
+
+#[test]
+fn rand_and_time_are_available() {
+    let r = run(
+        "int main() {
+            int a = rand();
+            int b = rand();
+            int t = time();
+            if (a < 0) return 1;
+            if (t < 0) return 2;
+            if (a == b) return 3;
+            return 0;
+        }",
+    );
+    assert_eq!(r.exit, RunExit::Exited(0));
+}
+
+#[test]
+fn deterministic_compilation() {
+    let src = "int main() { int i; for (i = 0; i < 3; i = i + 1) printint(i); return 0; }";
+    let a = compile(src, &CompileOptions::default()).unwrap();
+    let b = compile(src, &CompileOptions::default()).unwrap();
+    assert_eq!(a.program, b.program);
+}

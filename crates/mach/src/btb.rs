@@ -1,0 +1,193 @@
+//! The branch target buffer, extended with PathExpander's per-edge exercise
+//! counters (paper §4.1: "extending the BTB with 2 four-bit exercise
+//! counters, one for each edge").
+
+/// One of a branch's two edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// The branch condition held and control went to the target.
+    Taken,
+    /// The branch fell through.
+    NotTaken,
+}
+
+impl Edge {
+    /// Edge from a dynamic outcome.
+    #[must_use]
+    pub fn from_taken(taken: bool) -> Edge {
+        if taken {
+            Edge::Taken
+        } else {
+            Edge::NotTaken
+        }
+    }
+
+    /// The other edge of the same branch.
+    #[must_use]
+    pub fn other(self) -> Edge {
+        match self {
+            Edge::Taken => Edge::NotTaken,
+            Edge::NotTaken => Edge::Taken,
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            Edge::Taken => 0,
+            Edge::NotTaken => 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BtbEntry {
+    tag: u32,
+    valid: bool,
+    lru: u64,
+    counters: [u8; 2],
+}
+
+/// Saturation limit of the 4-bit exercise counters.
+pub const COUNTER_MAX: u8 = 15;
+
+/// A set-associative BTB holding 4-bit exercise counters per branch edge.
+///
+/// A BTB miss reads as count zero (paper §4.2(1)), and allocating a new entry
+/// may displace another branch's counters — an intentional source of
+/// imprecision the paper inherits from using the BTB as storage.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    sets: Vec<Vec<BtbEntry>>,
+    set_bits: u32,
+    clock: u64,
+    /// Dynamic branches observed since the last counter reset.
+    since_reset: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` total entries and `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries / assoc` is a nonzero power of two.
+    #[must_use]
+    pub fn new(entries: u32, assoc: u32) -> Btb {
+        let sets = entries / assoc;
+        assert!(sets.is_power_of_two() && sets > 0, "BTB sets must be a power of two");
+        Btb {
+            sets: vec![vec![BtbEntry::default(); assoc as usize]; sets as usize],
+            set_bits: sets.trailing_zeros(),
+            clock: 0,
+            since_reset: 0,
+        }
+    }
+
+    fn index(&self, pc: u32) -> (usize, u32) {
+        let mask = (1u32 << self.set_bits) - 1;
+        ((pc & mask) as usize, pc >> self.set_bits)
+    }
+
+    /// The exercise count of `edge` at branch `pc`; a miss reads as zero.
+    #[must_use]
+    pub fn edge_count(&self, pc: u32, edge: Edge) -> u8 {
+        let (set, tag) = self.index(pc);
+        self.sets[set]
+            .iter()
+            .find(|e| e.valid && e.tag == tag)
+            .map_or(0, |e| e.counters[edge.idx()])
+    }
+
+    /// Records one execution of `edge` at branch `pc`, allocating (and
+    /// possibly evicting) a BTB entry. Counters saturate at [`COUNTER_MAX`].
+    pub fn exercise(&mut self, pc: u32, edge: Edge) {
+        self.clock += 1;
+        self.since_reset += 1;
+        let (set, tag) = self.index(pc);
+        let set = &mut self.sets[set];
+        if let Some(e) = set.iter_mut().find(|e| e.valid && e.tag == tag) {
+            e.lru = self.clock;
+            let c = &mut e.counters[edge.idx()];
+            *c = (*c + 1).min(COUNTER_MAX);
+            return;
+        }
+        let victim = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
+            .map(|(i, _)| i)
+            .expect("assoc >= 1");
+        let mut entry = BtbEntry { tag, valid: true, lru: self.clock, counters: [0, 0] };
+        entry.counters[edge.idx()] = 1;
+        set[victim] = entry;
+    }
+
+    /// Dynamic branch count since the last [`Btb::reset_counters`].
+    #[must_use]
+    pub fn exercises_since_reset(&self) -> u64 {
+        self.since_reset
+    }
+
+    /// Clears all exercise counters (the paper's periodic
+    /// `CounterResetInterval` reset supporting long-running programs).
+    pub fn reset_counters(&mut self) {
+        for set in &mut self.sets {
+            for e in set.iter_mut() {
+                e.counters = [0, 0];
+            }
+        }
+        self.since_reset = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_reads_zero_and_counts_saturate() {
+        let mut btb = Btb::new(16, 2);
+        assert_eq!(btb.edge_count(100, Edge::Taken), 0);
+        for _ in 0..20 {
+            btb.exercise(100, Edge::Taken);
+        }
+        assert_eq!(btb.edge_count(100, Edge::Taken), COUNTER_MAX);
+        assert_eq!(btb.edge_count(100, Edge::NotTaken), 0);
+    }
+
+    #[test]
+    fn edges_counted_independently() {
+        let mut btb = Btb::new(16, 2);
+        btb.exercise(5, Edge::Taken);
+        btb.exercise(5, Edge::NotTaken);
+        btb.exercise(5, Edge::NotTaken);
+        assert_eq!(btb.edge_count(5, Edge::Taken), 1);
+        assert_eq!(btb.edge_count(5, Edge::NotTaken), 2);
+    }
+
+    #[test]
+    fn conflict_eviction_loses_counts() {
+        let mut btb = Btb::new(2, 1); // 2 sets, direct mapped
+        btb.exercise(0, Edge::Taken);
+        // pc=2 maps to the same set (2 & 1 == 0) and evicts pc=0.
+        btb.exercise(2, Edge::Taken);
+        assert_eq!(btb.edge_count(0, Edge::Taken), 0, "evicted entry reads as zero");
+        assert_eq!(btb.edge_count(2, Edge::Taken), 1);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut btb = Btb::new(16, 2);
+        btb.exercise(7, Edge::Taken);
+        assert_eq!(btb.exercises_since_reset(), 1);
+        btb.reset_counters();
+        assert_eq!(btb.edge_count(7, Edge::Taken), 0);
+        assert_eq!(btb.exercises_since_reset(), 0);
+    }
+
+    #[test]
+    fn edge_other_flips() {
+        assert_eq!(Edge::Taken.other(), Edge::NotTaken);
+        assert_eq!(Edge::from_taken(true), Edge::Taken);
+        assert_eq!(Edge::from_taken(false), Edge::NotTaken);
+    }
+}

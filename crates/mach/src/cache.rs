@@ -1,0 +1,389 @@
+//! Timing caches with PathExpander's volatile tags.
+//!
+//! The caches are *tag-only* models: functional data lives in
+//! [`crate::memory::Memory`] and the per-path sandboxes; the caches determine
+//! access latency and, crucially, the **sandbox capacity constraint** — an
+//! NT-path whose volatile line would be displaced from L1 must terminate
+//! (standard configuration) or be squashed (CMP option), because the L1 is
+//! the only place its speculative data may live (paper §4.2(2)).
+//!
+//! Each L1 line carries a version tag (`vtag`): `0` means committed data; a
+//! non-zero value is the path ID of the NT-path (or, in the CMP option, the
+//! speculative taken-path segment) that wrote it. This models both the 1-bit
+//! Vtag of the standard configuration and the 8-bit version tag of the CMP
+//! option with one mechanism.
+
+use crate::config::{CacheConfig, MachConfig};
+
+/// Volatile tag value for committed (non-speculative) data.
+pub const COMMITTED: u8 = 0;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u32,
+    valid: bool,
+    dirty: bool,
+    vtag: u8,
+    lru: u64,
+}
+
+/// What one cache-level lookup did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    Hit,
+    /// Miss; a volatile line with this vtag was displaced to make room.
+    MissEvictedVolatile(u8),
+    /// Miss; the victim was clean/invalid or a committed dirty line
+    /// (write-back charged by the caller).
+    Miss { dirty_writeback: bool },
+}
+
+/// A set-associative, write-back, tag-only cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    line_shift: u32,
+    set_mask: u32,
+    clock: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let sets = cfg.sets();
+        Cache {
+            cfg,
+            sets: vec![vec![Line::default(); cfg.assoc as usize]; sets as usize],
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: sets - 1,
+            clock: 0,
+        }
+    }
+
+    fn index(&self, addr: u32) -> (usize, u32) {
+        let line_addr = addr >> self.line_shift;
+        ((line_addr & self.set_mask) as usize, line_addr >> self.sets.len().trailing_zeros())
+    }
+
+    /// Accesses `addr`; on a write, the line's vtag becomes `vtag`.
+    pub fn access(&mut self, addr: u32, write: bool, vtag: u8) -> Lookup {
+        self.clock += 1;
+        let (set_idx, tag) = self.index(addr);
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.clock;
+            if write {
+                line.dirty = true;
+                line.vtag = vtag;
+            }
+            return Lookup::Hit;
+        }
+
+        // Miss: pick a victim. Prefer invalid, then LRU non-volatile, then
+        // LRU volatile (which kills the owning path).
+        let victim = {
+            let mut best: Option<(usize, u64, bool)> = None; // (way, lru, volatile)
+            for (way, line) in set.iter().enumerate() {
+                if !line.valid {
+                    best = Some((way, 0, false));
+                    break;
+                }
+                let volatile = line.vtag != COMMITTED;
+                let candidate = (way, line.lru, volatile);
+                best = Some(match best {
+                    None => candidate,
+                    Some(cur) => {
+                        // Prefer non-volatile; among equals, prefer older.
+                        let better = match (cur.2, volatile) {
+                            (true, false) => true,
+                            (false, true) => false,
+                            _ => line.lru < cur.1,
+                        };
+                        if better {
+                            candidate
+                        } else {
+                            cur
+                        }
+                    }
+                });
+            }
+            best.expect("assoc >= 1").0
+        };
+
+        let evicted = set[victim];
+        set[victim] = Line { tag, valid: true, dirty: write, vtag: if write { vtag } else { COMMITTED }, lru: self.clock };
+        if evicted.valid && evicted.vtag != COMMITTED {
+            Lookup::MissEvictedVolatile(evicted.vtag)
+        } else {
+            Lookup::Miss { dirty_writeback: evicted.valid && evicted.dirty }
+        }
+    }
+
+    /// Invalidates every line tagged `vtag` and returns how many there were
+    /// (PathExpander's gang invalidation on squash).
+    pub fn gang_invalidate(&mut self, vtag: u8) -> u32 {
+        debug_assert_ne!(vtag, COMMITTED, "cannot gang-invalidate committed data");
+        let mut n = 0;
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                if line.valid && line.vtag == vtag {
+                    line.valid = false;
+                    line.dirty = false;
+                    line.vtag = COMMITTED;
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Lazily commits every line tagged `vtag` by retagging it as committed
+    /// data (the CMP option's lazy commit, paper §4.3).
+    pub fn commit_vtag(&mut self, vtag: u8) -> u32 {
+        debug_assert_ne!(vtag, COMMITTED);
+        let mut n = 0;
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                if line.valid && line.vtag == vtag {
+                    line.vtag = COMMITTED;
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Number of currently volatile lines (any non-zero vtag).
+    #[must_use]
+    pub fn volatile_lines(&self) -> u32 {
+        self.sets
+            .iter()
+            .flatten()
+            .filter(|l| l.valid && l.vtag != COMMITTED)
+            .count() as u32
+    }
+
+    /// The cache's geometry.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+}
+
+/// Result of a full-hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Latency charged for the access.
+    pub cycles: u32,
+    /// A volatile L1 line owned by this path ID was displaced: the owning
+    /// NT-path (or speculative segment) can no longer be contained and must
+    /// be squashed.
+    pub volatile_evicted: Option<u8>,
+    /// Whether the access missed in L1.
+    pub l1_miss: bool,
+}
+
+/// Per-core L1s over a shared L2, with flat memory behind.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l1: Vec<Cache>,
+    l2: Cache,
+    mem_cycles: u32,
+    /// Cumulative statistics.
+    pub stats: HierarchyStats,
+}
+
+/// Hit/miss counters for the hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    pub l1_hits: u64,
+    pub l1_misses: u64,
+    pub l2_hits: u64,
+    pub l2_misses: u64,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy described by `cfg`.
+    #[must_use]
+    pub fn new(cfg: &MachConfig) -> Hierarchy {
+        Hierarchy {
+            l1: (0..cfg.cores).map(|_| Cache::new(cfg.l1)).collect(),
+            l2: Cache::new(cfg.l2),
+            mem_cycles: cfg.mem_cycles,
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// Number of per-core L1 caches.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// Performs a data access from `core`, tagging written lines with `vtag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: usize, addr: u32, write: bool, vtag: u8) -> Access {
+        let l1 = &mut self.l1[core];
+        let l1_hit_cycles = l1.config().hit_cycles;
+        match l1.access(addr, write, vtag) {
+            Lookup::Hit => {
+                self.stats.l1_hits += 1;
+                Access { cycles: l1_hit_cycles, volatile_evicted: None, l1_miss: false }
+            }
+            Lookup::MissEvictedVolatile(owner) => {
+                self.stats.l1_misses += 1;
+                let cycles = l1_hit_cycles + self.l2_fill(addr);
+                Access { cycles, volatile_evicted: Some(owner), l1_miss: true }
+            }
+            Lookup::Miss { dirty_writeback } => {
+                self.stats.l1_misses += 1;
+                let mut cycles = l1_hit_cycles + self.l2_fill(addr);
+                if dirty_writeback {
+                    cycles += self.l2.config().hit_cycles;
+                }
+                Access { cycles, volatile_evicted: None, l1_miss: true }
+            }
+        }
+    }
+
+    fn l2_fill(&mut self, addr: u32) -> u32 {
+        match self.l2.access(addr, false, COMMITTED) {
+            Lookup::Hit => {
+                self.stats.l2_hits += 1;
+                self.l2.config().hit_cycles
+            }
+            _ => {
+                self.stats.l2_misses += 1;
+                self.l2.config().hit_cycles + self.mem_cycles
+            }
+        }
+    }
+
+    /// Gang-invalidates all of `core`'s L1 lines tagged `vtag`; returns the
+    /// number of lines dropped.
+    pub fn squash_path(&mut self, core: usize, vtag: u8) -> u32 {
+        self.l1[core].gang_invalidate(vtag)
+    }
+
+    /// Commits all of `core`'s L1 lines tagged `vtag`.
+    pub fn commit_path(&mut self, core: usize, vtag: u8) -> u32 {
+        self.l1[core].commit_vtag(vtag)
+    }
+
+    /// Volatile line count in one core's L1.
+    #[must_use]
+    pub fn volatile_lines(&self, core: usize) -> u32 {
+        self.l1[core].volatile_lines()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> Cache {
+        // 4 lines of 32B, 2-way => 2 sets.
+        Cache::new(CacheConfig { size_bytes: 128, assoc: 2, line_bytes: 32, hit_cycles: 3 })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = small_cache();
+        assert_eq!(c.access(0x1000, false, COMMITTED), Lookup::Miss { dirty_writeback: false });
+        assert_eq!(c.access(0x1000, false, COMMITTED), Lookup::Hit);
+        assert_eq!(c.access(0x101F, false, COMMITTED), Lookup::Hit, "same line");
+        assert!(matches!(c.access(0x1020, false, COMMITTED), Lookup::Miss { .. }), "next line");
+    }
+
+    #[test]
+    fn lru_eviction_and_dirty_writeback() {
+        let mut c = small_cache();
+        // Three lines mapping to set 0 (stride = 2 sets * 32B = 64B).
+        let a = 0x1000;
+        let b = 0x1040;
+        let d = 0x1080;
+        assert!(matches!(c.access(a, true, COMMITTED), Lookup::Miss { dirty_writeback: false }));
+        assert!(matches!(c.access(b, false, COMMITTED), Lookup::Miss { .. }));
+        // `a` is LRU victim and dirty.
+        assert_eq!(c.access(d, false, COMMITTED), Lookup::Miss { dirty_writeback: true });
+    }
+
+    #[test]
+    fn volatile_lines_preferred_as_survivors() {
+        let mut c = small_cache();
+        let a = 0x1000;
+        let b = 0x1040;
+        let d = 0x1080;
+        c.access(a, true, 5); // volatile, older
+        c.access(b, false, COMMITTED); // committed, newer
+        // Victim should be the committed line even though the volatile one is older.
+        assert_eq!(c.access(d, false, COMMITTED), Lookup::Miss { dirty_writeback: false });
+        assert_eq!(c.volatile_lines(), 1);
+    }
+
+    #[test]
+    fn all_volatile_set_kills_a_path() {
+        let mut c = small_cache();
+        c.access(0x1000, true, 5);
+        c.access(0x1040, true, 6);
+        // Set 0 is now entirely volatile; a third line must displace one.
+        match c.access(0x1080, false, COMMITTED) {
+            Lookup::MissEvictedVolatile(owner) => assert_eq!(owner, 5, "LRU volatile dies"),
+            other => panic!("expected volatile eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gang_invalidate_and_commit() {
+        let mut c = small_cache();
+        c.access(0x1000, true, 5);
+        c.access(0x1020, true, 5);
+        c.access(0x1040, true, 7);
+        assert_eq!(c.volatile_lines(), 3);
+        assert_eq!(c.gang_invalidate(5), 2);
+        assert_eq!(c.volatile_lines(), 1);
+        assert_eq!(c.commit_vtag(7), 1);
+        assert_eq!(c.volatile_lines(), 0);
+        // Committed line still resident.
+        assert_eq!(c.access(0x1040, false, COMMITTED), Lookup::Hit);
+        // Invalidated lines are gone.
+        assert!(matches!(c.access(0x1000, false, COMMITTED), Lookup::Miss { .. }));
+    }
+
+    #[test]
+    fn hierarchy_latencies_follow_table2() {
+        let cfg = MachConfig::default();
+        let mut h = Hierarchy::new(&cfg);
+        // Cold: L1 miss + L2 miss + memory.
+        let first = h.access(0, 0x2000, false, COMMITTED);
+        assert_eq!(first.cycles, 3 + 10 + 200);
+        assert!(first.l1_miss);
+        // Warm L1.
+        let second = h.access(0, 0x2000, false, COMMITTED);
+        assert_eq!(second.cycles, 3);
+        // Another core: misses its own L1, hits shared L2.
+        let third = h.access(1, 0x2000, false, COMMITTED);
+        assert_eq!(third.cycles, 3 + 10);
+        assert_eq!(h.stats.l1_hits, 1);
+        assert_eq!(h.stats.l1_misses, 2);
+        assert_eq!(h.stats.l2_hits, 1);
+        assert_eq!(h.stats.l2_misses, 1);
+    }
+
+    #[test]
+    fn squash_path_drops_only_that_core() {
+        let cfg = MachConfig::default();
+        let mut h = Hierarchy::new(&cfg);
+        h.access(0, 0x3000, true, 9);
+        h.access(1, 0x3000, true, 9);
+        assert_eq!(h.squash_path(0, 9), 1);
+        assert_eq!(h.volatile_lines(0), 0);
+        assert_eq!(h.volatile_lines(1), 1);
+    }
+}

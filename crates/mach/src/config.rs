@@ -1,0 +1,197 @@
+//! Machine configuration — the paper's Table 2, plus the instruction cost
+//! model the discrete-event engine charges.
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Access latency in cycles on a hit.
+    pub hit_cycles: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (non-power-of-two line size or
+    /// capacity not divisible by `assoc * line_bytes`).
+    #[must_use]
+    pub fn sets(&self) -> u32 {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        let lines = self.size_bytes / self.line_bytes;
+        assert!(
+            lines.is_multiple_of(self.assoc) && lines > 0,
+            "capacity must be a multiple of assoc * line_bytes"
+        );
+        lines / self.assoc
+    }
+
+    /// Total number of lines.
+    #[must_use]
+    pub fn lines(&self) -> u32 {
+        self.size_bytes / self.line_bytes
+    }
+}
+
+/// Per-class instruction costs in cycles (before memory-hierarchy latency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Simple ALU operations, moves, NOPs, predicated fixes.
+    pub alu: u32,
+    /// Integer multiply.
+    pub mul: u32,
+    /// Integer divide / remainder.
+    pub div: u32,
+    /// Branches, jumps, calls, returns (no branch-predictor model; the
+    /// paper's overheads are dominated by NT-path work, not by prediction).
+    pub control: u32,
+    /// System call trap cost (taken path only; NT-paths stop instead).
+    pub syscall: u32,
+    /// A `check` probe (hardware-assisted monitoring cost).
+    pub check: u32,
+    /// Setting or clearing a watch range.
+    pub watch_op: u32,
+    /// Extra cycles when a watchpoint fires and its handler validates the
+    /// access (iWatcher's triggered-check cost).
+    pub watch_hit: u32,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            alu: 1,
+            mul: 3,
+            div: 12,
+            control: 1,
+            syscall: 50,
+            check: 2,
+            watch_op: 4,
+            watch_hit: 20,
+        }
+    }
+}
+
+/// Full machine configuration. `MachConfig::default()` reproduces the
+/// paper's Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachConfig {
+    /// Number of cores (4 in the paper; the standard configuration uses 1).
+    pub cores: usize,
+    /// Core clock in Hz (2.4 GHz in Table 2) — used only to convert cycles
+    /// to seconds in reports.
+    pub clock_hz: u64,
+    /// L1 data cache, per core (16 KB, 4-way, 32 B lines, 3 cycles).
+    pub l1: CacheConfig,
+    /// Shared L2 (1 MB, 8-way, 32 B lines, 10 cycles).
+    pub l2: CacheConfig,
+    /// Main-memory latency in cycles (200).
+    pub mem_cycles: u32,
+    /// BTB entries (2K) and associativity (2-way).
+    pub btb_entries: u32,
+    /// BTB associativity.
+    pub btb_assoc: u32,
+    /// NT-path spawn overhead in cycles (20: checkpoint / register copy).
+    pub spawn_cycles: u32,
+    /// NT-path squash overhead in cycles (10: gang invalidation).
+    pub squash_cycles: u32,
+    /// Instruction cost model.
+    pub costs: CostModel,
+    /// Data memory size in bytes.
+    pub mem_size: u32,
+}
+
+impl Default for MachConfig {
+    /// The paper's Table 2 parameters.
+    fn default() -> MachConfig {
+        MachConfig {
+            cores: 4,
+            clock_hz: 2_400_000_000,
+            l1: CacheConfig { size_bytes: 16 * 1024, assoc: 4, line_bytes: 32, hit_cycles: 3 },
+            l2: CacheConfig {
+                size_bytes: 1024 * 1024,
+                assoc: 8,
+                line_bytes: 32,
+                hit_cycles: 10,
+            },
+            mem_cycles: 200,
+            btb_entries: 2048,
+            btb_assoc: 2,
+            spawn_cycles: 20,
+            squash_cycles: 10,
+            costs: CostModel::default(),
+            mem_size: px_isa::DEFAULT_MEM_SIZE,
+        }
+    }
+}
+
+impl MachConfig {
+    /// A single-core configuration (the paper evaluates the standard
+    /// PathExpander configuration on one core).
+    #[must_use]
+    pub fn single_core() -> MachConfig {
+        MachConfig { cores: 1, ..MachConfig::default() }
+    }
+
+    /// Renders the configuration as the paper's Table 2 rows.
+    #[must_use]
+    pub fn table2(&self) -> String {
+        format!(
+            "CPU frequency        {:.1}GHz\n\
+             Cores                {}\n\
+             BTB                  {}K, {} way\n\
+             Squash overhead      {} cycles\n\
+             Spawn overhead       {} cycles\n\
+             L1 cache             {}KB, {}-way, {}B/line, {} cycles latency\n\
+             L2 cache             {}KB, {}-way, {}B/line, {} cycles latency\n\
+             Memory               {} cycles latency",
+            self.clock_hz as f64 / 1e9,
+            self.cores,
+            self.btb_entries / 1024,
+            self.btb_assoc,
+            self.squash_cycles,
+            self.spawn_cycles,
+            self.l1.size_bytes / 1024,
+            self.l1.assoc,
+            self.l1.line_bytes,
+            self.l1.hit_cycles,
+            self.l2.size_bytes / 1024,
+            self.l2.assoc,
+            self.l2.line_bytes,
+            self.l2.hit_cycles,
+            self.mem_cycles,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_defaults_match_paper() {
+        let c = MachConfig::default();
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.l1.sets(), 128); // 16KB / 32B / 4-way
+        assert_eq!(c.l1.lines(), 512);
+        assert_eq!(c.l2.sets(), 4096);
+        assert_eq!(c.spawn_cycles, 20);
+        assert_eq!(c.squash_cycles, 10);
+        let t = c.table2();
+        assert!(t.contains("2.4GHz"));
+        assert!(t.contains("16KB, 4-way"));
+        assert!(t.contains("200 cycles"));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let c = CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 24, hit_cycles: 1 };
+        let _ = c.sets();
+    }
+}

@@ -1,0 +1,108 @@
+//! Architectural per-core state and checkpoints.
+
+use px_isa::Reg;
+
+/// The architectural register file. Writes to register 0 are ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Regs([i32; Reg::COUNT]);
+
+impl Default for Regs {
+    fn default() -> Regs {
+        Regs([0; Reg::COUNT])
+    }
+}
+
+impl Regs {
+    /// Reads a register (register 0 always reads 0).
+    #[must_use]
+    pub fn get(&self, r: Reg) -> i32 {
+        self.0[r.index()]
+    }
+
+    /// Writes a register; writes to register 0 are discarded.
+    pub fn set(&mut self, r: Reg, value: i32) {
+        if !r.is_zero() {
+            self.0[r.index()] = value;
+        }
+    }
+}
+
+/// One core's architectural state: registers, program counter, and the
+/// NT-entry predicate that gates the variable-fixing instructions
+/// (paper §4.4(3)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoreState {
+    /// Register file.
+    pub regs: Regs,
+    /// Program counter (instruction index).
+    pub pc: u32,
+    /// NT-entry predicate: set when an NT-path is spawned onto this core,
+    /// cleared by the first control-transfer instruction.
+    pub pred: bool,
+}
+
+impl CoreState {
+    /// Creates a core ready to run from `entry` with the stack pointer at the
+    /// top of a `mem_size`-byte memory.
+    #[must_use]
+    pub fn at_entry(entry: u32, mem_size: u32) -> CoreState {
+        let mut core = CoreState { pc: entry, ..CoreState::default() };
+        core.regs.set(Reg::SP, mem_size as i32);
+        core.regs.set(Reg::FP, mem_size as i32);
+        core
+    }
+}
+
+/// A checkpoint of one core — "the architectural registers as well as the
+/// program counter" (paper §4.2(2)). Restoring it is the processor half of
+/// an NT-path rollback; the memory half is the sandbox discard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint(CoreState);
+
+impl Checkpoint {
+    /// Captures the core's current state.
+    #[must_use]
+    pub fn take(core: &CoreState) -> Checkpoint {
+        Checkpoint(*core)
+    }
+
+    /// Restores the captured state into `core`.
+    pub fn restore(&self, core: &mut CoreState) {
+        *core = self.0;
+    }
+
+    /// The captured state (for spawning an NT-path onto another core: the
+    /// CMP option's register copy).
+    #[must_use]
+    pub fn state(&self) -> CoreState {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_zero_is_hardwired() {
+        let mut regs = Regs::default();
+        regs.set(Reg::ZERO, 42);
+        assert_eq!(regs.get(Reg::ZERO), 0);
+        regs.set(Reg::RV, 42);
+        assert_eq!(regs.get(Reg::RV), 42);
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let mut core = CoreState::at_entry(10, 0x10000);
+        assert_eq!(core.regs.get(Reg::SP), 0x10000);
+        let cp = Checkpoint::take(&core);
+        core.regs.set(Reg::RV, 99);
+        core.pc = 55;
+        core.pred = true;
+        cp.restore(&mut core);
+        assert_eq!(core.pc, 10);
+        assert_eq!(core.regs.get(Reg::RV), 0);
+        assert!(!core.pred);
+    }
+}

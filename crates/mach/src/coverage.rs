@@ -1,0 +1,204 @@
+//! Branch-edge coverage tracking — the paper's evaluation metric (§2, §6.3).
+
+use px_isa::Program;
+
+use crate::btb::Edge;
+
+/// Tracks which static branch edges have been executed.
+///
+/// One instance typically tracks the taken path, another the NT-paths; their
+/// union ([`Coverage::merge`]) is "PathExpander coverage". Cumulative
+/// coverage over a test suite is the merge across inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coverage {
+    /// `edges[pc][0]` = taken edge seen, `edges[pc][1]` = not-taken edge seen.
+    edges: Vec<[bool; 2]>,
+}
+
+impl Coverage {
+    /// Creates a tracker for a program with `code_len` instructions.
+    #[must_use]
+    pub fn new(code_len: usize) -> Coverage {
+        Coverage { edges: vec![[false; 2]; code_len] }
+    }
+
+    /// Creates a tracker sized for `program`.
+    #[must_use]
+    pub fn for_program(program: &Program) -> Coverage {
+        Coverage::new(program.code.len())
+    }
+
+    /// Records execution of one edge of the branch at `pc`.
+    pub fn record(&mut self, pc: u32, edge: Edge) {
+        let slot = match edge {
+            Edge::Taken => 0,
+            Edge::NotTaken => 1,
+        };
+        if let Some(e) = self.edges.get_mut(pc as usize) {
+            e[slot] = true;
+        }
+    }
+
+    /// Whether a specific edge has been covered.
+    #[must_use]
+    pub fn covered(&self, pc: u32, edge: Edge) -> bool {
+        let slot = match edge {
+            Edge::Taken => 0,
+            Edge::NotTaken => 1,
+        };
+        self.edges.get(pc as usize).is_some_and(|e| e[slot])
+    }
+
+    /// Number of covered edges outside checker regions.
+    #[must_use]
+    pub fn covered_edges(&self, program: &Program) -> u32 {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|&(pc, _)| !program.in_checker_region(pc as u32))
+            .map(|(_, e)| u32::from(e[0]) + u32::from(e[1]))
+            .sum()
+    }
+
+    /// Branch coverage in `[0, 1]`: covered edges / static edges
+    /// (checker regions excluded from both). Returns 1.0 for programs with
+    /// no branches.
+    #[must_use]
+    pub fn branch_coverage(&self, program: &Program) -> f64 {
+        let total = program.static_edge_count();
+        if total == 0 {
+            return 1.0;
+        }
+        f64::from(self.covered_edges(program)) / f64::from(total)
+    }
+
+    /// Merges another tracker into this one (union of covered edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trackers were built for different code sizes.
+    pub fn merge(&mut self, other: &Coverage) {
+        assert_eq!(self.edges.len(), other.edges.len(), "coverage size mismatch");
+        for (a, b) in self.edges.iter_mut().zip(&other.edges) {
+            a[0] |= b[0];
+            a[1] |= b[1];
+        }
+    }
+
+    /// Renders a branch-coverage-annotated disassembly: each conditional
+    /// branch is prefixed with the state of its two edges —
+    /// `T` covered by the taken path (present in `taken`), `N` covered only
+    /// by NT-paths (present in `total` but not `taken`), `.` uncovered.
+    /// The first mark is the branch's taken edge, the second its
+    /// fall-through edge.
+    #[must_use]
+    pub fn annotated_listing(program: &Program, taken: &Coverage, total: &Coverage) -> String {
+        use core::fmt::Write as _;
+        let mark = |pc: u32, edge: Edge| -> char {
+            if taken.covered(pc, edge) {
+                'T'
+            } else if total.covered(pc, edge) {
+                'N'
+            } else {
+                '.'
+            }
+        };
+        let mut out = String::new();
+        for (pc, insn) in program.code.iter().enumerate() {
+            let pc = pc as u32;
+            let prefix = if matches!(insn, px_isa::Instruction::Branch { .. }) {
+                format!("[{}{}]", mark(pc, Edge::Taken), mark(pc, Edge::NotTaken))
+            } else {
+                "    ".to_owned()
+            };
+            let _ = writeln!(out, "{prefix} {pc:>6}: {insn}");
+        }
+        out
+    }
+
+    /// Edges covered in `self` but not in `other` (what NT-paths added).
+    #[must_use]
+    pub fn newly_covered(&self, other: &Coverage, program: &Program) -> u32 {
+        self.edges
+            .iter()
+            .zip(&other.edges)
+            .enumerate()
+            .filter(|&(pc, _)| !program.in_checker_region(pc as u32))
+            .map(|(_, (a, b))| {
+                u32::from(a[0] && !b[0]) + u32::from(a[1] && !b[1])
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use px_isa::asm::assemble;
+
+    fn two_branch_program() -> Program {
+        assemble(
+            r"
+            .code
+            main:
+                beq r1, zero, a
+            a:  bne r2, zero, b
+            b:  exit
+            ",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn coverage_counts_edges() {
+        let p = two_branch_program();
+        assert_eq!(p.static_edge_count(), 4);
+        let mut c = Coverage::for_program(&p);
+        assert_eq!(c.branch_coverage(&p), 0.0);
+        c.record(0, Edge::Taken);
+        assert!((c.branch_coverage(&p) - 0.25).abs() < 1e-12);
+        c.record(0, Edge::Taken); // idempotent
+        assert!((c.branch_coverage(&p) - 0.25).abs() < 1e-12);
+        c.record(1, Edge::NotTaken);
+        assert_eq!(c.covered_edges(&p), 2);
+        assert!(c.covered(0, Edge::Taken));
+        assert!(!c.covered(0, Edge::NotTaken));
+    }
+
+    #[test]
+    fn merge_and_newly_covered() {
+        let p = two_branch_program();
+        let mut taken = Coverage::for_program(&p);
+        taken.record(0, Edge::Taken);
+        let mut nt = Coverage::for_program(&p);
+        nt.record(0, Edge::Taken);
+        nt.record(0, Edge::NotTaken);
+        nt.record(1, Edge::Taken);
+        assert_eq!(nt.newly_covered(&taken, &p), 2);
+        let mut merged = taken.clone();
+        merged.merge(&nt);
+        assert_eq!(merged.covered_edges(&p), 3);
+    }
+
+    #[test]
+    fn annotated_listing_marks_edges() {
+        let p = two_branch_program();
+        let mut taken = Coverage::for_program(&p);
+        taken.record(0, Edge::Taken);
+        let mut total = taken.clone();
+        total.record(0, Edge::NotTaken);
+        total.record(1, Edge::Taken);
+        let listing = Coverage::annotated_listing(&p, &taken, &total);
+        let lines: Vec<&str> = listing.lines().collect();
+        assert!(lines[0].starts_with("[TN]"), "taken + NT edges: {}", lines[0]);
+        assert!(lines[1].starts_with("[N.]"), "NT + uncovered: {}", lines[1]);
+        assert!(lines[2].starts_with("    "), "non-branch unmarked: {}", lines[2]);
+    }
+
+    #[test]
+    fn no_branch_program_is_fully_covered() {
+        let p = assemble(".code\nmain: exit\n").unwrap();
+        let c = Coverage::for_program(&p);
+        assert_eq!(c.branch_coverage(&p), 1.0);
+    }
+}

@@ -1,0 +1,614 @@
+//! The instruction interpreter: one architectural step of one core.
+//!
+//! The interpreter is *pure* with respect to timing — it reports the
+//! instruction's base cost and any data access, and the caller (the baseline
+//! runner or a PathExpander engine) charges the memory hierarchy. This split
+//! lets every engine (baseline, standard, CMP, feasibility, software
+//! implementation) share one set of semantics.
+
+use px_isa::{CheckKind, Instruction, Program, Reg, SyscallCode};
+
+use crate::config::CostModel;
+use crate::core::CoreState;
+use crate::io::IoState;
+use crate::memory::{CrashKind, MemView};
+use crate::watch::WatchTable;
+
+/// A data-memory access performed by a step, for cache timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataAccess {
+    /// Byte address of the first accessed byte.
+    pub addr: u32,
+    /// Whether the access wrote memory.
+    pub write: bool,
+}
+
+/// What a step observed, beyond plain register updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// Nothing notable.
+    None,
+    /// A conditional branch resolved. `pc` is the branch's own index.
+    /// `operands` are the compared values — the raw material for
+    /// value-profile collection (profile-guided fix refitting).
+    Branch {
+        pc: u32,
+        taken: bool,
+        taken_target: u32,
+        not_taken_target: u32,
+        operands: (i32, i32),
+    },
+    /// A system call executed (taken path).
+    Syscall { code: SyscallCode },
+    /// A system call was *suppressed* because the step ran in an NT-path
+    /// sandbox: the paper's unsafe event. The core state is unchanged and
+    /// the program counter still points at the system call.
+    UnsafeEvent { code: SyscallCode },
+    /// A `check` probe failed (its condition was zero).
+    CheckFailed { kind: CheckKind, site: u32, pc: u32 },
+    /// A load/store touched a watched range.
+    WatchHit { tag: u32, addr: u32, is_write: bool, pc: u32 },
+    /// The program exited via the `exit` system call.
+    Exit { code: i32 },
+    /// The step crashed; the core state is unchanged.
+    Crash { kind: CrashKind, pc: u32 },
+}
+
+impl StepEvent {
+    /// Whether this event ends the current path (exit or crash) or, inside
+    /// an NT-path, forces termination (unsafe event).
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            StepEvent::Exit { .. } | StepEvent::Crash { .. } | StepEvent::UnsafeEvent { .. }
+        )
+    }
+}
+
+/// Result of one architectural step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Step {
+    /// The event observed, if any.
+    pub event: StepEvent,
+    /// Cycles charged before memory-hierarchy latency.
+    pub base_cost: u32,
+    /// The data access to run through the caches, if any.
+    pub access: Option<DataAccess>,
+}
+
+/// Mutable environment a step executes in.
+#[derive(Debug)]
+pub struct StepEnv<'a> {
+    /// Program I/O and entropy.
+    pub io: &'a mut IoState,
+    /// Active watch ranges.
+    pub watches: &'a mut WatchTable,
+    /// When true (NT-path execution), system calls are suppressed and
+    /// reported as [`StepEvent::UnsafeEvent`].
+    pub suppress_syscalls: bool,
+    /// Current simulated cycle (for the `time` system call).
+    pub now_cycles: u64,
+    /// Instruction cost model.
+    pub costs: &'a CostModel,
+}
+
+/// Executes one instruction of `core` against `mem`.
+///
+/// On [`StepEvent::Crash`] and [`StepEvent::UnsafeEvent`] the core state is
+/// left unchanged (the caller squashes or faults); on every other event the
+/// core has advanced.
+pub fn step(program: &Program, core: &mut CoreState, mem: &mut dyn MemView, env: &mut StepEnv<'_>) -> Step {
+    let pc = core.pc;
+    let Some(insn) = program.fetch(pc) else {
+        return Step {
+            event: StepEvent::Crash { kind: CrashKind::BadPc { pc }, pc },
+            base_cost: env.costs.control,
+            access: None,
+        };
+    };
+
+    // Control transfers clear the NT-entry predicate (design decision D1):
+    // the variable-fixing window is the NT-path's entry basic block.
+    let mut next_pred = core.pred && !insn.is_control_transfer();
+    let costs = env.costs;
+    let mut base_cost = costs.alu;
+    let mut access = None;
+    let mut event = StepEvent::None;
+    let mut next_pc = pc.wrapping_add(1);
+
+    macro_rules! crash {
+        ($kind:expr) => {
+            return Step {
+                event: StepEvent::Crash { kind: $kind, pc },
+                base_cost,
+                access: None,
+            }
+        };
+    }
+
+    match insn {
+        Instruction::Nop => {}
+        Instruction::Alu { op, rd, rs1, rs2 } => {
+            base_cost = alu_cost(op, costs);
+            let a = core.regs.get(rs1);
+            let b = core.regs.get(rs2);
+            match op.eval(a, b) {
+                Some(v) => core.regs.set(rd, v),
+                None => crash!(CrashKind::DivByZero),
+            }
+        }
+        Instruction::AluI { op, rd, rs1, imm } => {
+            base_cost = alu_cost(op, costs);
+            let a = core.regs.get(rs1);
+            match op.eval(a, imm) {
+                Some(v) => core.regs.set(rd, v),
+                None => crash!(CrashKind::DivByZero),
+            }
+        }
+        Instruction::Load { width, rd, base, offset } => {
+            let addr = (core.regs.get(base) as u32).wrapping_add(offset as u32);
+            match mem.load(addr, width) {
+                Ok(v) => {
+                    core.regs.set(rd, v);
+                    access = Some(DataAccess { addr, write: false });
+                    if let Some(tag) = env.watches.hit(addr, width.bytes()) {
+                        base_cost += costs.watch_hit;
+                        event = StepEvent::WatchHit { tag, addr, is_write: false, pc };
+                    }
+                }
+                Err(kind) => crash!(kind),
+            }
+        }
+        Instruction::Store { width, rs, base, offset } => {
+            let addr = (core.regs.get(base) as u32).wrapping_add(offset as u32);
+            match mem.store(addr, core.regs.get(rs), width) {
+                Ok(()) => {
+                    access = Some(DataAccess { addr, write: true });
+                    if let Some(tag) = env.watches.hit(addr, width.bytes()) {
+                        base_cost += costs.watch_hit;
+                        event = StepEvent::WatchHit { tag, addr, is_write: true, pc };
+                    }
+                }
+                Err(kind) => crash!(kind),
+            }
+        }
+        Instruction::Branch { cond, rs1, rs2, target } => {
+            base_cost = costs.control;
+            let a = core.regs.get(rs1);
+            let b = core.regs.get(rs2);
+            let taken = cond.eval(a, b);
+            let not_taken_target = pc + 1;
+            if taken {
+                if !program.valid_pc(target) {
+                    crash!(CrashKind::BadPc { pc: target });
+                }
+                next_pc = target;
+            }
+            event = StepEvent::Branch {
+                pc,
+                taken,
+                taken_target: target,
+                not_taken_target,
+                operands: (a, b),
+            };
+        }
+        Instruction::Jump { target } => {
+            base_cost = costs.control;
+            if !program.valid_pc(target) {
+                crash!(CrashKind::BadPc { pc: target });
+            }
+            next_pc = target;
+        }
+        Instruction::Call { target } => {
+            base_cost = costs.control;
+            if !program.valid_pc(target) {
+                crash!(CrashKind::BadPc { pc: target });
+            }
+            core.regs.set(Reg::RA, (pc + 1) as i32);
+            next_pc = target;
+        }
+        Instruction::Ret => {
+            base_cost = costs.control;
+            let target = core.regs.get(Reg::RA) as u32;
+            if !program.valid_pc(target) {
+                crash!(CrashKind::BadPc { pc: target });
+            }
+            next_pc = target;
+        }
+        Instruction::Syscall { code } => {
+            if env.suppress_syscalls {
+                return Step {
+                    event: StepEvent::UnsafeEvent { code },
+                    base_cost: costs.control,
+                    access: None,
+                };
+            }
+            base_cost = costs.syscall;
+            match code {
+                SyscallCode::Exit => {
+                    return Step {
+                        event: StepEvent::Exit { code: core.regs.get(Reg::A0) },
+                        base_cost,
+                        access: None,
+                    };
+                }
+                SyscallCode::PutChar => env.io.put_char(core.regs.get(Reg::A0) as u8),
+                SyscallCode::GetChar => {
+                    let v = env.io.get_char();
+                    core.regs.set(Reg::RV, v);
+                }
+                SyscallCode::PrintInt => env.io.print_int(core.regs.get(Reg::A0)),
+                SyscallCode::ReadInt => {
+                    let v = env.io.read_int();
+                    core.regs.set(Reg::RV, v);
+                }
+                SyscallCode::Rand => {
+                    let v = env.io.rand();
+                    core.regs.set(Reg::RV, v);
+                }
+                SyscallCode::Time => {
+                    core.regs.set(Reg::RV, (env.now_cycles & 0x7FFF_FFFF) as i32);
+                }
+            }
+            event = StepEvent::Syscall { code };
+        }
+        Instruction::Check { kind, cond, site } => {
+            base_cost = costs.check;
+            if core.regs.get(cond) == 0 {
+                event = StepEvent::CheckFailed { kind, site, pc };
+            }
+        }
+        Instruction::SetWatch { base, len, tag } => {
+            base_cost = costs.watch_op;
+            let lo = core.regs.get(base) as u32;
+            let len = core.regs.get(len).max(0) as u32;
+            env.watches.set(lo, len, tag);
+        }
+        Instruction::ClearWatch { tag } => {
+            base_cost = costs.watch_op;
+            env.watches.clear(tag);
+        }
+        Instruction::PMovI { rd, imm } => {
+            if core.pred {
+                core.regs.set(rd, imm);
+            }
+        }
+        Instruction::PMov { rd, rs } => {
+            if core.pred {
+                let v = core.regs.get(rs);
+                core.regs.set(rd, v);
+            }
+        }
+        Instruction::PAluI { op, rd, rs1, imm } => {
+            if core.pred {
+                base_cost = alu_cost(op, costs);
+                let a = core.regs.get(rs1);
+                match op.eval(a, imm) {
+                    Some(v) => core.regs.set(rd, v),
+                    None => crash!(CrashKind::DivByZero),
+                }
+            }
+        }
+        Instruction::PStore { width, rs, base, offset } => {
+            if core.pred {
+                let addr = (core.regs.get(base) as u32).wrapping_add(offset as u32);
+                match mem.store(addr, core.regs.get(rs), width) {
+                    Ok(()) => access = Some(DataAccess { addr, write: true }),
+                    Err(kind) => crash!(kind),
+                }
+            }
+        }
+    }
+
+    core.pc = next_pc;
+    // Re-read predicate decision: a control transfer clears it *after* the
+    // instruction executes.
+    if insn.is_control_transfer() {
+        next_pred = false;
+    }
+    core.pred = next_pred;
+
+    Step { event, base_cost, access }
+}
+
+fn alu_cost(op: px_isa::AluOp, costs: &CostModel) -> u32 {
+    use px_isa::AluOp;
+    match op {
+        AluOp::Mul => costs.mul,
+        AluOp::Div | AluOp::Rem => costs.div,
+        _ => costs.alu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CostModel;
+    use crate::memory::Memory;
+    use px_isa::{asm::assemble, Width, DATA_BASE};
+
+    fn run_snippet(src: &str, input: &[u8]) -> (CoreState, Memory, IoState, StepEvent) {
+        let program = assemble(src).unwrap();
+        let mut mem = Memory::new(px_isa::DEFAULT_MEM_SIZE);
+        for item in &program.data {
+            mem.load_blob(item.addr, &item.bytes);
+        }
+        let mut core = CoreState::at_entry(program.entry, mem.size());
+        let mut io = IoState::new(input.to_vec(), 7);
+        let mut watches = WatchTable::new();
+        let costs = CostModel::default();
+        for _ in 0..100_000 {
+            let mut env = StepEnv {
+                io: &mut io,
+                watches: &mut watches,
+                suppress_syscalls: false,
+                now_cycles: 0,
+                costs: &costs,
+            };
+            let step = step(&program, &mut core, &mut mem, &mut env);
+            match step.event {
+                StepEvent::Exit { .. } | StepEvent::Crash { .. } => {
+                    return (core, mem, io, step.event)
+                }
+                _ => {}
+            }
+        }
+        panic!("snippet did not terminate");
+    }
+
+    #[test]
+    fn arithmetic_loop_computes_sum() {
+        let (_, _, io, event) = run_snippet(
+            r"
+            .code
+            main:
+                li r1, 0      ; sum
+                li r2, 1      ; i
+            loop:
+                add r1, r1, r2
+                addi r2, r2, 1
+                ble r2, r3, loop ; r3 == 0, so falls through first time? no: set below
+                li r3, 10
+                ble r2, r3, loop
+                mv r2, r1
+                printi
+                exit
+            ",
+            b"",
+        );
+        assert!(matches!(event, StepEvent::Exit { .. }));
+        assert_eq!(io.output_string(), "55");
+    }
+
+    #[test]
+    fn call_and_ret_follow_ra() {
+        let (_, _, io, _) = run_snippet(
+            r"
+            .code
+            main:
+                call f
+                mv r2, r1
+                printi
+                exit
+            f:
+                li r1, 9
+                ret
+            ",
+            b"",
+        );
+        assert_eq!(io.output_string(), "9");
+    }
+
+    #[test]
+    fn loads_stores_and_data_segment() {
+        let (_, mem, io, _) = run_snippet(
+            r"
+            .data
+            v: .word 5
+            .code
+            main:
+                la r2, v
+                lw r1, 0(r2)
+                addi r1, r1, 1
+                sw r1, 0(r2)
+                mv r2, r1
+                printi
+                exit
+            ",
+            b"",
+        );
+        assert_eq!(io.output_string(), "6");
+        let mut m = mem;
+        assert_eq!(m.load(DATA_BASE, Width::Word).unwrap(), 6);
+    }
+
+    #[test]
+    fn div_by_zero_crashes() {
+        let (_, _, _, event) = run_snippet(
+            ".code\nmain:\n  li r1, 4\n  li r2, 0\n  div r3, r1, r2\n  exit\n",
+            b"",
+        );
+        assert!(matches!(
+            event,
+            StepEvent::Crash { kind: CrashKind::DivByZero, pc: 2 }
+        ));
+    }
+
+    #[test]
+    fn null_deref_crashes() {
+        let (_, _, _, event) = run_snippet(".code\nmain:\n  lw r1, 0(zero)\n  exit\n", b"");
+        assert!(matches!(
+            event,
+            StepEvent::Crash { kind: CrashKind::NullDeref { addr: 0 }, .. }
+        ));
+    }
+
+    #[test]
+    fn predicate_gates_fix_instructions_and_clears_on_control() {
+        let program = assemble(
+            r"
+            .code
+            main:
+                pli r1, 42
+                jmp next
+            next:
+                pli r2, 99
+                exit
+            ",
+        )
+        .unwrap();
+        let mut mem = Memory::new(px_isa::DEFAULT_MEM_SIZE);
+        let mut core = CoreState::at_entry(0, mem.size());
+        core.pred = true; // as if spawned as NT-path
+        let mut io = IoState::default();
+        let mut watches = WatchTable::new();
+        let costs = CostModel::default();
+        for _ in 0..4 {
+            let mut env = StepEnv {
+                io: &mut io,
+                watches: &mut watches,
+                suppress_syscalls: true,
+                now_cycles: 0,
+                costs: &costs,
+            };
+            let s = step(&program, &mut core, &mut mem, &mut env);
+            if s.event.is_terminal() {
+                break;
+            }
+        }
+        assert_eq!(core.regs.get(Reg::RV), 42, "fix executed at NT entry");
+        assert_eq!(core.regs.get(Reg::A0), 0, "fix after control transfer is a NOP");
+        assert!(!core.pred);
+    }
+
+    #[test]
+    fn suppressed_syscall_reports_unsafe_event_without_side_effects() {
+        let program = assemble(".code\nmain:\n  li r2, 65\n  putc\n  exit\n").unwrap();
+        let mut mem = Memory::new(px_isa::DEFAULT_MEM_SIZE);
+        let mut core = CoreState::at_entry(0, mem.size());
+        let mut io = IoState::default();
+        let mut watches = WatchTable::new();
+        let costs = CostModel::default();
+        let mut env = StepEnv {
+            io: &mut io,
+            watches: &mut watches,
+            suppress_syscalls: true,
+            now_cycles: 0,
+            costs: &costs,
+        };
+        let s1 = step(&program, &mut core, &mut mem, &mut env);
+        assert!(matches!(s1.event, StepEvent::None));
+        let mut env = StepEnv {
+            io: &mut io,
+            watches: &mut watches,
+            suppress_syscalls: true,
+            now_cycles: 0,
+            costs: &costs,
+        };
+        let s2 = step(&program, &mut core, &mut mem, &mut env);
+        assert!(matches!(
+            s2.event,
+            StepEvent::UnsafeEvent { code: SyscallCode::PutChar }
+        ));
+        assert_eq!(core.pc, 1, "pc still at the system call");
+        assert!(io.output().is_empty(), "no side effect leaked");
+    }
+
+    #[test]
+    fn check_fires_only_on_zero() {
+        let (_, _, _, event) = run_snippet(
+            ".code\nmain:\n  li r1, 1\n  assert r1, #3\n  exit\n",
+            b"",
+        );
+        assert!(matches!(event, StepEvent::Exit { .. }));
+
+        let program = assemble(".code\nmain:\n  assert r1, #3\n  exit\n").unwrap();
+        let mut mem = Memory::new(px_isa::DEFAULT_MEM_SIZE);
+        let mut core = CoreState::at_entry(0, mem.size());
+        let mut io = IoState::default();
+        let mut watches = WatchTable::new();
+        let costs = CostModel::default();
+        let mut env = StepEnv {
+            io: &mut io,
+            watches: &mut watches,
+            suppress_syscalls: false,
+            now_cycles: 0,
+            costs: &costs,
+        };
+        let s = step(&program, &mut core, &mut mem, &mut env);
+        assert!(matches!(
+            s.event,
+            StepEvent::CheckFailed { kind: CheckKind::Assertion, site: 3, pc: 0 }
+        ));
+        assert_eq!(core.pc, 1, "execution continues after a failed check");
+    }
+
+    #[test]
+    fn watch_hit_reported_on_store() {
+        let program = assemble(
+            r"
+            .code
+            main:
+                li r4, 0x2000
+                li r5, 8
+                watch r4, r5, #9
+                sw r1, 0(r4)
+                exit
+            ",
+        )
+        .unwrap();
+        let mut mem = Memory::new(px_isa::DEFAULT_MEM_SIZE);
+        let mut core = CoreState::at_entry(0, mem.size());
+        let mut io = IoState::default();
+        let mut watches = WatchTable::new();
+        let costs = CostModel::default();
+        let mut hit = None;
+        for _ in 0..5 {
+            let mut env = StepEnv {
+                io: &mut io,
+                watches: &mut watches,
+                suppress_syscalls: false,
+                now_cycles: 0,
+                costs: &costs,
+            };
+            let s = step(&program, &mut core, &mut mem, &mut env);
+            if let StepEvent::WatchHit { tag, addr, is_write, .. } = s.event {
+                hit = Some((tag, addr, is_write));
+            }
+            if s.event.is_terminal() {
+                break;
+            }
+        }
+        assert_eq!(hit, Some((9, 0x2000, true)));
+    }
+
+    #[test]
+    fn branch_event_reports_both_targets() {
+        let program = assemble(".code\nmain:\n  beq zero, zero, t\n  nop\nt:  exit\n").unwrap();
+        let mut mem = Memory::new(px_isa::DEFAULT_MEM_SIZE);
+        let mut core = CoreState::at_entry(0, mem.size());
+        let mut io = IoState::default();
+        let mut watches = WatchTable::new();
+        let costs = CostModel::default();
+        let mut env = StepEnv {
+            io: &mut io,
+            watches: &mut watches,
+            suppress_syscalls: false,
+            now_cycles: 0,
+            costs: &costs,
+        };
+        let s = step(&program, &mut core, &mut mem, &mut env);
+        assert_eq!(
+            s.event,
+            StepEvent::Branch {
+                pc: 0,
+                taken: true,
+                taken_target: 2,
+                not_taken_target: 1,
+                operands: (0, 0),
+            }
+        );
+        assert_eq!(core.pc, 2);
+    }
+}

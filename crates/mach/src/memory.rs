@@ -1,0 +1,309 @@
+//! Functional data memory: a flat byte array with a null guard page, plus the
+//! sandbox views PathExpander uses to contain NT-path side effects.
+
+use std::collections::HashMap;
+
+use px_isa::{Width, NULL_GUARD_END};
+
+/// Why an access (or instruction) crashed. Inside an NT-path a crash squashes
+/// the path silently ("the exception that caused the crash is not delivered
+/// to the OS", paper §4.2); on the taken path it faults the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashKind {
+    /// Load/store to the null guard page (address below `DATA_BASE`).
+    NullDeref { addr: u32 },
+    /// Load/store beyond the end of data memory.
+    OutOfBounds { addr: u32 },
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Control transfer to an invalid instruction index.
+    BadPc { pc: u32 },
+}
+
+impl core::fmt::Display for CrashKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CrashKind::NullDeref { addr } => write!(f, "null dereference at {addr:#x}"),
+            CrashKind::OutOfBounds { addr } => write!(f, "out-of-bounds access at {addr:#x}"),
+            CrashKind::DivByZero => write!(f, "division by zero"),
+            CrashKind::BadPc { pc } => write!(f, "invalid program counter {pc}"),
+        }
+    }
+}
+
+/// A view of data memory the interpreter executes against. The committed
+/// memory and the NT-path sandboxes all implement this.
+pub trait MemView {
+    /// Loads a value; byte loads zero-extend.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CrashKind`] for accesses to the null guard page or
+    /// beyond the end of memory.
+    fn load(&mut self, addr: u32, width: Width) -> Result<i32, CrashKind>;
+
+    /// Stores the low `width` bytes of `value`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MemView::load`].
+    fn store(&mut self, addr: u32, value: i32, width: Width) -> Result<(), CrashKind>;
+}
+
+/// The committed (architectural) data memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates a zeroed memory of `size` bytes.
+    #[must_use]
+    pub fn new(size: u32) -> Memory {
+        Memory { bytes: vec![0; size as usize] }
+    }
+
+    /// Total size in bytes.
+    #[must_use]
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// Validates an access of `len` bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrashKind::NullDeref`] below the guard page boundary and
+    /// [`CrashKind::OutOfBounds`] past the end of memory.
+    pub fn check(&self, addr: u32, len: u32) -> Result<(), CrashKind> {
+        if addr < NULL_GUARD_END {
+            return Err(CrashKind::NullDeref { addr });
+        }
+        if (addr as u64) + u64::from(len) > self.bytes.len() as u64 {
+            return Err(CrashKind::OutOfBounds { addr });
+        }
+        Ok(())
+    }
+
+    /// Reads one byte without bounds diagnostics (caller must have checked).
+    #[must_use]
+    pub fn byte(&self, addr: u32) -> u8 {
+        self.bytes[addr as usize]
+    }
+
+    /// Writes one byte without bounds diagnostics (caller must have checked).
+    pub fn set_byte(&mut self, addr: u32, value: u8) {
+        self.bytes[addr as usize] = value;
+    }
+
+    /// Copies a blob into memory (program loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blob does not fit.
+    pub fn load_blob(&mut self, addr: u32, blob: &[u8]) {
+        let start = addr as usize;
+        self.bytes[start..start + blob.len()].copy_from_slice(blob);
+    }
+
+    /// Reads `len` bytes (for inspecting program output buffers in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    #[must_use]
+    pub fn slice(&self, addr: u32, len: u32) -> &[u8] {
+        &self.bytes[addr as usize..(addr + len) as usize]
+    }
+}
+
+fn load_le(view: &mut impl FnMut(u32) -> u8, addr: u32, width: Width) -> i32 {
+    match width {
+        Width::Byte => i32::from(view(addr)),
+        Width::Word => {
+            let b = [view(addr), view(addr + 1), view(addr + 2), view(addr + 3)];
+            i32::from_le_bytes(b)
+        }
+    }
+}
+
+impl MemView for Memory {
+    fn load(&mut self, addr: u32, width: Width) -> Result<i32, CrashKind> {
+        self.check(addr, width.bytes())?;
+        Ok(load_le(&mut |a| self.bytes[a as usize], addr, width))
+    }
+
+    fn store(&mut self, addr: u32, value: i32, width: Width) -> Result<(), CrashKind> {
+        self.check(addr, width.bytes())?;
+        let bytes = value.to_le_bytes();
+        for i in 0..width.bytes() {
+            self.bytes[(addr + i) as usize] = bytes[i as usize];
+        }
+        Ok(())
+    }
+}
+
+/// The per-NT-path sandbox state: the path's own (volatile) writes plus the
+/// snapshot of committed bytes that the taken path has overwritten since the
+/// path was spawned (CMP option only — the snapshot realizes the
+/// tree-structured data dependence of paper Figure 6(c)).
+#[derive(Debug, Clone, Default)]
+pub struct Sandbox {
+    writes: HashMap<u32, u8>,
+    snapshot: HashMap<u32, u8>,
+}
+
+impl Sandbox {
+    /// Creates an empty sandbox.
+    #[must_use]
+    pub fn new() -> Sandbox {
+        Sandbox::default()
+    }
+
+    /// Number of distinct bytes written by the NT-path.
+    #[must_use]
+    pub fn written_bytes(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Records that the *taken path* is about to overwrite `addr` which
+    /// currently holds `old`. Must be called before the committed write for
+    /// every live sandbox (copy-on-write snapshot).
+    pub fn preserve(&mut self, addr: u32, old: u8) {
+        self.snapshot.entry(addr).or_insert(old);
+    }
+
+    /// Discards all NT-path writes (the squash). The snapshot is dropped too.
+    pub fn clear(&mut self) {
+        self.writes.clear();
+        self.snapshot.clear();
+    }
+}
+
+/// A [`MemView`] that layers a [`Sandbox`] over committed memory: reads
+/// resolve sandbox-writes → snapshot → committed; writes stay in the sandbox.
+#[derive(Debug)]
+pub struct SandboxView<'a> {
+    committed: &'a Memory,
+    sandbox: &'a mut Sandbox,
+}
+
+impl<'a> SandboxView<'a> {
+    /// Creates the layered view.
+    pub fn new(committed: &'a Memory, sandbox: &'a mut Sandbox) -> SandboxView<'a> {
+        SandboxView { committed, sandbox }
+    }
+
+    fn read_byte(&self, addr: u32) -> u8 {
+        if let Some(&b) = self.sandbox.writes.get(&addr) {
+            return b;
+        }
+        if let Some(&b) = self.sandbox.snapshot.get(&addr) {
+            return b;
+        }
+        self.committed.byte(addr)
+    }
+}
+
+impl MemView for SandboxView<'_> {
+    fn load(&mut self, addr: u32, width: Width) -> Result<i32, CrashKind> {
+        self.committed.check(addr, width.bytes())?;
+        Ok(load_le(&mut |a| self.read_byte(a), addr, width))
+    }
+
+    fn store(&mut self, addr: u32, value: i32, width: Width) -> Result<(), CrashKind> {
+        self.committed.check(addr, width.bytes())?;
+        let bytes = value.to_le_bytes();
+        for i in 0..width.bytes() {
+            self.sandbox.writes.insert(addr + i, bytes[i as usize]);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use px_isa::DATA_BASE;
+
+    #[test]
+    fn little_endian_word_round_trip() {
+        let mut m = Memory::new(DATA_BASE + 64);
+        m.store(DATA_BASE, -559038737, Width::Word).unwrap();
+        assert_eq!(m.load(DATA_BASE, Width::Word).unwrap(), -559038737);
+        assert_eq!(m.load(DATA_BASE, Width::Byte).unwrap(), 0xEF);
+    }
+
+    #[test]
+    fn guard_page_and_bounds_trap() {
+        let mut m = Memory::new(DATA_BASE + 8);
+        assert_eq!(
+            m.load(0, Width::Word).unwrap_err(),
+            CrashKind::NullDeref { addr: 0 }
+        );
+        assert_eq!(
+            m.load(DATA_BASE - 1, Width::Byte).unwrap_err(),
+            CrashKind::NullDeref { addr: DATA_BASE - 1 }
+        );
+        assert_eq!(
+            m.store(DATA_BASE + 8, 0, Width::Byte).unwrap_err(),
+            CrashKind::OutOfBounds { addr: DATA_BASE + 8 }
+        );
+        // Word access straddling the end also traps.
+        assert_eq!(
+            m.load(DATA_BASE + 6, Width::Word).unwrap_err(),
+            CrashKind::OutOfBounds { addr: DATA_BASE + 6 }
+        );
+    }
+
+    #[test]
+    fn sandbox_reads_own_writes_and_rolls_back() {
+        let mut m = Memory::new(DATA_BASE + 64);
+        m.store(DATA_BASE, 7, Width::Word).unwrap();
+        let mut sb = Sandbox::new();
+        {
+            let mut v = SandboxView::new(&m, &mut sb);
+            assert_eq!(v.load(DATA_BASE, Width::Word).unwrap(), 7);
+            v.store(DATA_BASE, 99, Width::Word).unwrap();
+            assert_eq!(v.load(DATA_BASE, Width::Word).unwrap(), 99, "reads own writes");
+        }
+        assert_eq!(m.load(DATA_BASE, Width::Word).unwrap(), 7, "committed untouched");
+        assert_eq!(sb.written_bytes(), 4);
+        sb.clear();
+        assert_eq!(sb.written_bytes(), 0);
+    }
+
+    #[test]
+    fn snapshot_hides_taken_path_writes_made_after_spawn() {
+        let mut m = Memory::new(DATA_BASE + 64);
+        m.store(DATA_BASE + 4, 11, Width::Word).unwrap();
+        let mut sb = Sandbox::new();
+        // Taken path overwrites addr after the NT-path spawned: preserve old
+        // bytes first, then write committed memory.
+        for (i, old) in (0..4).map(|i| (i, m.byte(DATA_BASE + 4 + i))) {
+            sb.preserve(DATA_BASE + 4 + i, old);
+        }
+        m.store(DATA_BASE + 4, 22, Width::Word).unwrap();
+        let mut v = SandboxView::new(&m, &mut sb);
+        assert_eq!(
+            v.load(DATA_BASE + 4, Width::Word).unwrap(),
+            11,
+            "NT-path sees the value from its spawn time"
+        );
+        // But the NT-path's own store wins over the snapshot.
+        v.store(DATA_BASE + 4, 33, Width::Word).unwrap();
+        assert_eq!(v.load(DATA_BASE + 4, Width::Word).unwrap(), 33);
+    }
+
+    #[test]
+    fn preserve_keeps_earliest_value() {
+        let mut sb = Sandbox::new();
+        sb.preserve(10, 1);
+        sb.preserve(10, 2);
+        let m = Memory::new(DATA_BASE);
+        let mut v = SandboxView::new(&m, &mut sb);
+        // addr 10 is in the guard page; read via internals instead:
+        let _ = &mut v;
+        assert_eq!(sb.snapshot.get(&10), Some(&1));
+    }
+}

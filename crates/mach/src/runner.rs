@@ -1,0 +1,213 @@
+//! The baseline runner: a monitored run *without* PathExpander.
+//!
+//! This is the paper's "Baseline" column — the program executes once on one
+//! core with full timing, coverage tracking and checker monitoring, but no
+//! NT-path exploration.
+
+use px_isa::Program;
+
+use crate::btb::{Btb, Edge};
+use crate::cache::{Hierarchy, COMMITTED};
+use crate::config::MachConfig;
+use crate::core::CoreState;
+use crate::coverage::Coverage;
+use crate::exec::{step, StepEnv, StepEvent};
+use crate::io::IoState;
+use crate::memory::{CrashKind, Memory};
+use crate::monitor::{MonitorArea, MonitorRecord, PathKind, RecordKind};
+use crate::watch::WatchTable;
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// Clean `exit` system call with this code.
+    Exited(i32),
+    /// The taken path crashed.
+    Crashed(CrashKind),
+    /// The instruction budget was exhausted.
+    BudgetExhausted,
+}
+
+impl RunExit {
+    /// Whether the program exited cleanly with code 0.
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        matches!(self, RunExit::Exited(0))
+    }
+}
+
+/// Result of a baseline run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// How the run ended.
+    pub exit: RunExit,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Taken-path branch coverage.
+    pub coverage: Coverage,
+    /// Checker records (the monitor memory area).
+    pub monitor: MonitorArea,
+    /// Final I/O state (program output, remaining input).
+    pub io: IoState,
+    /// Final memory (for test inspection).
+    pub memory: Memory,
+}
+
+/// Runs `program` to completion (or `max_instructions`) without PathExpander.
+///
+/// The run uses core 0 of `cfg`, warms nothing, and is fully deterministic
+/// given the input bytes and seed in `io`.
+#[must_use]
+pub fn run_baseline(
+    program: &Program,
+    cfg: &MachConfig,
+    io: IoState,
+    max_instructions: u64,
+) -> RunResult {
+    let mut memory = Memory::new(cfg.mem_size.max(program.mem_size));
+    for item in &program.data {
+        memory.load_blob(item.addr, &item.bytes);
+    }
+    let mut core = CoreState::at_entry(program.entry, memory.size());
+    let mut caches = Hierarchy::new(cfg);
+    let mut btb = Btb::new(cfg.btb_entries, cfg.btb_assoc);
+    let mut watches = WatchTable::new();
+    let mut coverage = Coverage::for_program(program);
+    let mut monitor = MonitorArea::new();
+    let mut io = io;
+
+    let mut cycles: u64 = 0;
+    let mut instructions: u64 = 0;
+    let exit = loop {
+        if instructions >= max_instructions {
+            break RunExit::BudgetExhausted;
+        }
+        let mut env = StepEnv {
+            io: &mut io,
+            watches: &mut watches,
+            suppress_syscalls: false,
+            now_cycles: cycles,
+            costs: &cfg.costs,
+        };
+        let s = step(program, &mut core, &mut memory, &mut env);
+        instructions += 1;
+        cycles += u64::from(s.base_cost);
+        if let Some(access) = s.access {
+            let a = caches.access(0, access.addr, access.write, COMMITTED);
+            cycles += u64::from(a.cycles);
+        }
+        match s.event {
+            StepEvent::Branch { pc, taken, .. } => {
+                let edge = Edge::from_taken(taken);
+                btb.exercise(pc, edge);
+                coverage.record(pc, edge);
+            }
+            StepEvent::CheckFailed { kind, site, pc } => monitor.push(MonitorRecord {
+                kind: RecordKind::Check(kind),
+                site,
+                pc,
+                cycle: cycles,
+                path: PathKind::Taken,
+            }),
+            StepEvent::WatchHit { tag, addr, is_write, pc } => monitor.push(MonitorRecord {
+                kind: RecordKind::Watch { tag, addr, is_write },
+                site: tag,
+                pc,
+                cycle: cycles,
+                path: PathKind::Taken,
+            }),
+            StepEvent::Exit { code } => break RunExit::Exited(code),
+            StepEvent::Crash { kind, .. } => break RunExit::Crashed(kind),
+            StepEvent::Syscall { .. } | StepEvent::None => {}
+            StepEvent::UnsafeEvent { .. } => {
+                unreachable!("baseline never suppresses system calls")
+            }
+        }
+    };
+
+    RunResult { exit, instructions, cycles, coverage, monitor, io, memory }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use px_isa::asm::assemble;
+
+    #[test]
+    fn baseline_runs_to_exit_with_coverage() {
+        let program = assemble(
+            r"
+            .code
+            main:
+                li r1, 3
+            loop:
+                subi r1, r1, 1
+                bgt r1, zero, loop
+                li r2, 0
+                exit
+            ",
+        )
+        .unwrap();
+        let r = run_baseline(&program, &MachConfig::single_core(), IoState::default(), 1_000);
+        assert_eq!(r.exit, RunExit::Exited(0));
+        // Loop branch: taken twice, not-taken once => both edges covered.
+        assert_eq!(r.coverage.covered_edges(&program), 2);
+        assert!((r.coverage.branch_coverage(&program) - 1.0).abs() < 1e-12);
+        assert!(r.cycles > r.instructions, "memoryless ALU still costs >= 1 cycle each");
+    }
+
+    #[test]
+    fn baseline_reports_crash() {
+        let program = assemble(".code\nmain:\n  lw r1, 0(zero)\n").unwrap();
+        let r = run_baseline(&program, &MachConfig::single_core(), IoState::default(), 100);
+        assert!(matches!(r.exit, RunExit::Crashed(CrashKind::NullDeref { .. })));
+    }
+
+    #[test]
+    fn baseline_respects_budget() {
+        let program = assemble(".code\nmain:\n  jmp main\n").unwrap();
+        let r = run_baseline(&program, &MachConfig::single_core(), IoState::default(), 50);
+        assert_eq!(r.exit, RunExit::BudgetExhausted);
+        assert_eq!(r.instructions, 50);
+    }
+
+    #[test]
+    fn baseline_collects_monitor_records() {
+        let program = assemble(
+            r"
+            .code
+            main:
+                li r1, 0
+                assert r1, #4
+                exit
+            ",
+        )
+        .unwrap();
+        let r = run_baseline(&program, &MachConfig::single_core(), IoState::default(), 100);
+        assert_eq!(r.monitor.len(), 1);
+        assert_eq!(r.monitor.records()[0].site, 4);
+        assert_eq!(r.monitor.records()[0].path, PathKind::Taken);
+    }
+
+    #[test]
+    fn io_flows_through() {
+        let program = assemble(
+            r"
+            .code
+            main:
+                readi
+                mv r2, r1
+                addi r2, r2, 1
+                printi
+                li r2, 0
+                exit
+            ",
+        )
+        .unwrap();
+        let io = IoState::new(b"41".to_vec(), 1);
+        let r = run_baseline(&program, &MachConfig::single_core(), io, 100);
+        assert_eq!(r.io.output_string(), "42");
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests on the machine substrate: the sandbox is an exact overlay,
+//! gang invalidation removes exactly the volatile lines, the BTB counters
+//! never exceed saturation, coverage merging is a lattice join, and the
+//! watch table's rollback is an inverse.
+
+use proptest::prelude::*;
+use px_mach::{
+    Btb, Cache, CacheConfig, Coverage, Edge, Hierarchy, MachConfig, MemView, Memory, Sandbox,
+    SandboxView, WatchTable, COMMITTED,
+};
+use px_isa::{Width, DATA_BASE};
+
+const MEM_SIZE: u32 = DATA_BASE + 4096;
+
+fn arb_addr() -> impl Strategy<Value = u32> {
+    DATA_BASE..(MEM_SIZE - 4)
+}
+
+proptest! {
+    #[test]
+    fn sandbox_reads_equal_writes_and_rollback_restores(
+        committed_writes in proptest::collection::vec((arb_addr(), any::<i32>()), 0..20),
+        nt_writes in proptest::collection::vec((arb_addr(), any::<i32>()), 0..20),
+        probes in proptest::collection::vec(arb_addr(), 1..16),
+    ) {
+        use std::collections::HashMap;
+        let mut mem = Memory::new(MEM_SIZE);
+        for &(a, v) in &committed_writes {
+            mem.store(a, v, Width::Word).unwrap();
+        }
+        let snapshot = mem.clone();
+
+        // Byte-level oracle of the NT overlay.
+        let mut oracle: HashMap<u32, u8> = HashMap::new();
+        let mut sb = Sandbox::new();
+        {
+            let mut view = SandboxView::new(&mem, &mut sb);
+            for &(a, v) in &nt_writes {
+                view.store(a, v, Width::Word).unwrap();
+                for (i, byte) in v.to_le_bytes().into_iter().enumerate() {
+                    oracle.insert(a + i as u32, byte);
+                }
+            }
+            for &p in &probes {
+                let expected = oracle.get(&p).copied().unwrap_or_else(|| snapshot.byte(p));
+                prop_assert_eq!(
+                    view.load(p, Width::Byte).unwrap(),
+                    i32::from(expected),
+                    "probe at {:#x}", p
+                );
+            }
+        }
+        // Rollback: committed memory is untouched by any NT write.
+        sb.clear();
+        prop_assert_eq!(mem, snapshot);
+        prop_assert_eq!(sb.written_bytes(), 0);
+    }
+
+    #[test]
+    fn snapshot_preserves_spawn_time_view(
+        addr in arb_addr(),
+        before in any::<i32>(),
+        after in any::<i32>(),
+    ) {
+        let mut mem = Memory::new(MEM_SIZE);
+        mem.store(addr, before, Width::Word).unwrap();
+        let mut sb = Sandbox::new();
+        // Taken path overwrites after the NT-path spawned.
+        for i in 0..4 {
+            sb.preserve(addr + i, mem.byte(addr + i));
+        }
+        mem.store(addr, after, Width::Word).unwrap();
+        let mut view = SandboxView::new(&mem, &mut sb);
+        prop_assert_eq!(view.load(addr, Width::Word).unwrap(), before);
+    }
+
+    #[test]
+    fn gang_invalidate_removes_exactly_the_tagged_lines(
+        ops in proptest::collection::vec((0u32..1u32 << 16, any::<bool>(), 0u8..4), 1..200),
+        victim_tag in 1u8..4,
+    ) {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 2048,
+            assoc: 4,
+            line_bytes: 32,
+            hit_cycles: 1,
+        });
+        for &(addr, write, tag) in &ops {
+            let _ = cache.access(addr, write, tag);
+        }
+        let before = cache.volatile_lines();
+        let dropped = cache.gang_invalidate(victim_tag);
+        let after = cache.volatile_lines();
+        prop_assert_eq!(before - after, dropped);
+        // A second invalidation finds nothing.
+        prop_assert_eq!(cache.gang_invalidate(victim_tag), 0);
+    }
+
+    #[test]
+    fn btb_counters_saturate_and_reset(
+        pcs in proptest::collection::vec((0u32..512, any::<bool>()), 0..400),
+    ) {
+        let mut btb = Btb::new(256, 2);
+        for &(pc, taken) in &pcs {
+            btb.exercise(pc, Edge::from_taken(taken));
+        }
+        for &(pc, taken) in &pcs {
+            prop_assert!(btb.edge_count(pc, Edge::from_taken(taken)) <= px_mach::COUNTER_MAX);
+        }
+        btb.reset_counters();
+        for &(pc, taken) in &pcs {
+            prop_assert_eq!(btb.edge_count(pc, Edge::from_taken(taken)), 0);
+        }
+    }
+
+    #[test]
+    fn coverage_merge_is_monotone_and_idempotent(
+        a in proptest::collection::vec((0u32..64, any::<bool>()), 0..64),
+        b in proptest::collection::vec((0u32..64, any::<bool>()), 0..64),
+    ) {
+        let mut ca = Coverage::new(64);
+        for &(pc, t) in &a {
+            ca.record(pc, Edge::from_taken(t));
+        }
+        let mut cb = Coverage::new(64);
+        for &(pc, t) in &b {
+            cb.record(pc, Edge::from_taken(t));
+        }
+        let mut merged = ca.clone();
+        merged.merge(&cb);
+        // Everything in either input is in the merge.
+        for &(pc, t) in a.iter().chain(&b) {
+            prop_assert!(merged.covered(pc, Edge::from_taken(t)));
+        }
+        // Idempotent.
+        let mut twice = merged.clone();
+        twice.merge(&cb);
+        twice.merge(&ca);
+        prop_assert_eq!(&twice, &merged);
+    }
+
+    #[test]
+    fn watch_rollback_is_an_exact_inverse(
+        initial in proptest::collection::vec((0u32..4096, 1u32..64, 1u32..8), 0..10),
+        nt_ops in proptest::collection::vec((any::<bool>(), 0u32..4096, 1u32..64, 1u32..8), 0..20),
+        probe in 0u32..4096,
+    ) {
+        let mut w = WatchTable::new();
+        for &(lo, len, tag) in &initial {
+            w.set(lo, len, tag);
+        }
+        let hits_before: Vec<Option<u32>> =
+            (0..8).map(|i| w.hit(probe + i * 97, 4)).collect();
+        w.begin_log();
+        for &(add, lo, len, tag) in &nt_ops {
+            if add {
+                w.set(lo, len, tag);
+            } else {
+                w.clear(tag);
+            }
+        }
+        w.rollback();
+        let hits_after: Vec<Option<u32>> =
+            (0..8).map(|i| w.hit(probe + i * 97, 4)).collect();
+        prop_assert_eq!(hits_before, hits_after);
+        prop_assert_eq!(w.len(), initial.iter().filter(|(_, len, _)| *len > 0).count());
+    }
+
+    #[test]
+    fn hierarchy_latency_is_within_physical_bounds(
+        ops in proptest::collection::vec((0u32..1u32 << 20, any::<bool>()), 1..300),
+    ) {
+        let cfg = MachConfig::default();
+        let mut h = Hierarchy::new(&cfg);
+        let min = cfg.l1.hit_cycles;
+        let max = cfg.l1.hit_cycles + cfg.l2.hit_cycles * 2 + cfg.mem_cycles;
+        for &(addr, write) in &ops {
+            let a = h.access(0, addr, write, COMMITTED);
+            prop_assert!(a.cycles >= min && a.cycles <= max, "latency {} out of [{min},{max}]", a.cycles);
+        }
+        let s = h.stats;
+        prop_assert_eq!(s.l1_hits + s.l1_misses, ops.len() as u64);
+    }
+}

@@ -1,0 +1,361 @@
+//! `bc` — an arbitrary-expression calculator in the style of GNU bc 1.06:
+//! a recursive-descent evaluator with named registers, an append-only value
+//! store with a growth path, and an assignment-trace history.
+//!
+//! Two seeded memory bugs per tool (Table 3):
+//!
+//! * **bc-1** (detected): the storage growth path — entered only when the
+//!   value store fills, which general inputs never do — copies `cap + 1`
+//!   entries (a classic off-by-one, modeled on bc's `more_arrays` bug).
+//! * **bc-2** (escapes, hot-entry §7.1(2)): the assignment-trace write
+//!   `outhist[pos]` is unguarded. During the input's early assignments the
+//!   `pending > 0` edge is exercised past the counter threshold while `pos`
+//!   is still small; by the time `pos` has run past the history capacity the
+//!   branch is never taken again and its exercise counter blocks NT-path
+//!   spawning. Raising `NTPathCounterThreshold` or shortening
+//!   `CounterResetInterval` exposes it (the sensitivity experiment).
+
+use px_detect::Tool;
+
+use crate::input::InputGen;
+use crate::{BugSpec, EscapeClass, Family, Workload};
+
+pub(crate) const SOURCE: &str = r#"
+char inbuf[800];
+int inlen = 0;
+int pos = 0;
+
+int regs[26];
+int storage[16];
+int wide[40];
+int scap = 16;
+int used = 0;
+
+int outhist[8];
+int histpos = 0;
+int pending = 0;
+
+int errbuf[8];
+int expr_count = 0;
+int assign_count = 0;
+int err_count = 0;
+int paren_count = 0;
+int depth = 0;
+
+int trace_mode = 0;
+
+void audit(int v) {
+    if (v > 901) {
+        if (v > 1802) { trace_mode = 2; }
+        if (v > 2703) { trace_mode = 3; }
+    }
+    if (v > 908) {
+        if (v > 1816) { trace_mode = 2; }
+        if (v > 2724) { trace_mode = 3; }
+    }
+    if (v > 915) {
+        if (v > 1830) { trace_mode = 2; }
+        if (v > 2745) { trace_mode = 3; }
+    }
+    if (v > 922) {
+        if (v > 1844) { trace_mode = 2; }
+        if (v > 2766) { trace_mode = 3; }
+    }
+    if (v > 929) {
+        if (v > 1858) { trace_mode = 2; }
+        if (v > 2787) { trace_mode = 3; }
+    }
+    if (v > 936) {
+        if (v > 1872) { trace_mode = 2; }
+        if (v > 2808) { trace_mode = 3; }
+    }
+    if (v > 943) {
+        if (v > 1886) { trace_mode = 2; }
+        if (v > 2829) { trace_mode = 3; }
+    }
+    if (v > 950) {
+        if (v > 1900) { trace_mode = 2; }
+        if (v > 2850) { trace_mode = 3; }
+    }
+    if (v > 957) {
+        if (v > 1914) { trace_mode = 2; }
+        if (v > 2871) { trace_mode = 3; }
+    }
+    if (v > 964) {
+        if (v > 1928) { trace_mode = 2; }
+        if (v > 2892) { trace_mode = 3; }
+    }
+    if (v > 971) {
+        if (v > 1942) { trace_mode = 2; }
+        if (v > 2913) { trace_mode = 3; }
+    }
+    if (v > 978) {
+        if (v > 1956) { trace_mode = 2; }
+        if (v > 2934) { trace_mode = 3; }
+    }
+    if (v > 985) {
+        if (v > 1970) { trace_mode = 2; }
+        if (v > 2955) { trace_mode = 3; }
+    }
+    if (v > 992) {
+        if (v > 1984) { trace_mode = 2; }
+        if (v > 2976) { trace_mode = 3; }
+    }
+}
+
+void read_input() {
+    int c = getchar();
+    while (c != -1 && inlen < 800) {
+        inbuf[inlen] = c;
+        inlen = inlen + 1;
+        c = getchar();
+    }
+}
+
+void skip_spaces() {
+    while (pos < inlen && (inbuf[pos] == ' ' || inbuf[pos] == 9)) {
+        pos = pos + 1;
+    }
+}
+
+int is_digit(int c) {
+    if (c >= '0' && c <= '9') { return 1; }
+    return 0;
+}
+
+int parse_factor() {
+    skip_spaces();
+    if (pos >= inlen) { err_count = err_count + 1; return 0; }
+    int c = inbuf[pos];
+    if (c == '(') {
+        pos = pos + 1;
+        depth = depth + 1;
+        paren_count = paren_count + 1;
+        int v = parse_expr();
+        skip_spaces();
+        if (pos < inlen && inbuf[pos] == ')') { pos = pos + 1; }
+        else { err_count = err_count + 1; }
+        depth = depth - 1;
+        return v;
+    }
+    if (c == '-') {
+        pos = pos + 1;
+        return 0 - parse_factor();
+    }
+    if (c >= 'a' && c <= 'z') {
+        pos = pos + 1;
+        return regs[c - 'a'];
+    }
+    if (is_digit(c)) {
+        int v = 0;
+        while (pos < inlen && is_digit(inbuf[pos])) {
+            v = v * 10 + (inbuf[pos] - '0');
+            pos = pos + 1;
+        }
+        return v;
+    }
+    err_count = err_count + 1;
+    pos = pos + 1;
+    return 0;
+}
+
+int parse_term() {
+    int v = parse_factor();
+    skip_spaces();
+    while (pos < inlen && (inbuf[pos] == '*' || inbuf[pos] == '/')) {
+        int op = inbuf[pos];
+        pos = pos + 1;
+        int rhs = parse_factor();
+        if (op == '*') { v = v * rhs; }
+        else {
+            if (rhs == 0) { err_count = err_count + 1; }
+            else { v = v / rhs; }
+        }
+        skip_spaces();
+    }
+    return v;
+}
+
+int parse_expr() {
+    int v = parse_term();
+    skip_spaces();
+    while (pos < inlen && (inbuf[pos] == '+' || inbuf[pos] == '-')) {
+        int op = inbuf[pos];
+        pos = pos + 1;
+        int rhs = parse_term();
+        if (op == '+') { v = v + rhs; }
+        else { v = v - rhs; }
+        skip_spaces();
+    }
+    return v;
+}
+
+void store_value(int v) {
+    if (used >= scap) {
+        int t;
+        for (t = 0; t <= scap; t = t + 1) {
+            wide[t] = storage[t]; /*BUG:bc-1*/
+        }
+        scap = scap + 8;
+    } else {
+        storage[used] = v;
+        used = used + 1;
+    }
+}
+
+void diagnostics(int x) {
+    int e0 = 8 + x % 4;
+    if (e0 < 8) { errbuf[e0] = 1; } /*FPSITE*/
+    int e1 = 8 + (x / 3) % 4;
+    if (e1 < 8) { errbuf[e1] = 2; } /*FPSITE*/
+    int e2 = 9 + x % 3;
+    if (e2 < 8) { errbuf[e2] = 3; } /*FPSITE*/
+    int e3 = 8 + (x / 5) % 4;
+    if (e3 < 8) { errbuf[e3] = 4; } /*FPSITE*/
+    int e4 = 10 + x % 2;
+    if (e4 < 8) { errbuf[e4] = 5; } /*FPSITE*/
+    int e5 = 8 + (x / 7) % 4;
+    if (e5 < 8) { errbuf[e5] = 6; } /*FPSITE*/
+    int e6 = 9 + (x / 2) % 3;
+    if (e6 < 8) { errbuf[e6] = 7; } /*FPSITE*/
+    int e7 = 8 + (x / 11) % 4;
+    if (e7 < 8) { errbuf[e7] = 8; } /*FPSITE*/
+    int e8 = 8 + (x / 13) % 4;
+    if (e8 < 8) { errbuf[e8] = 9; } /*FPSITE*/
+    int e9 = 11 + x % 2;
+    if (e9 < 8) { errbuf[e9] = 10; } /*FPSITE*/
+    int r0 = 8 + x % 4;
+    if (r0 < 8) { errbuf[r0 + 2] = 11; } /*FPRES*/
+    int r1 = 8 + (x / 3) % 4;
+    if (r1 < 8) { errbuf[r1 + 3] = 12; } /*FPRES*/
+    int r2 = 9 + x % 3;
+    if (r2 < 8) { errbuf[r2 + 2] = 13; } /*FPRES*/
+    int r3 = 8 + (x / 5) % 4;
+    if (r3 < 8) { errbuf[r3 + 4] = 14; } /*FPRES*/
+}
+
+int main() {
+    read_input();
+    while (pos < inlen) {
+        skip_spaces();
+        if (pos >= inlen) { break; }
+        int c = inbuf[pos];
+        if (c == 10 || c == ';') {
+            pos = pos + 1;
+            continue;
+        }
+        int had_assign = 0;
+        int target = 0;
+        if (c >= 'a' && c <= 'z' && pos + 1 < inlen && inbuf[pos + 1] == '=') {
+            target = c - 'a';
+            pos = pos + 2;
+            had_assign = 1;
+        }
+        int before_parens = paren_count;
+        int v = parse_expr();
+        expr_count = expr_count + 1;
+        if (had_assign == 1) {
+            regs[target] = v;
+            assign_count = assign_count + 1;
+            pending = pending + 1;
+            if (assign_count % 5 == 0) {
+                store_value(v);
+            }
+        }
+        if (pending > 0) {
+            outhist[histpos] = v; /*BUG:bc-2*/
+            histpos = histpos + 1;
+            pending = 0;
+        }
+        if (paren_count > before_parens) {
+            histpos = histpos + 1;
+        }
+        int av = v;
+        if (av < 0) { av = 0 - av; }
+        diagnostics(av);
+        if (trace_mode > 0) { audit(av % 400); }
+        printint(v);
+        putchar(10);
+    }
+    printint(expr_count);
+    return 0;
+}
+"#;
+
+/// General input: an early phase of simple assignments (the hot-entry
+/// warm-up for bc-2), then parenthesized arithmetic with no assignments.
+/// At most 8 assignments, so the value store never fills.
+pub(crate) fn general_input(seed: u64) -> Vec<u8> {
+    let mut g = InputGen::new(seed ^ 0x6263_3036);
+    let mut out = Vec::new();
+    // Phase 1: 7 assignments (each takes the `pending > 0` edge once).
+    for i in 0..7u8 {
+        let reg = b'a' + (i % 5);
+        out.push(reg);
+        out.push(b'=');
+        out.extend_from_slice(&g.number(3));
+        out.push(*g.pick(b"+-*"));
+        out.extend_from_slice(&g.number(2));
+        out.push(b'\n');
+    }
+    // Phase 2: pure arithmetic with parentheses (advances histpos past the
+    // history capacity without taking the trace branch).
+    let exprs = g.range(14, 22);
+    for _ in 0..exprs {
+        out.push(b'(');
+        out.extend_from_slice(&g.number(3));
+        out.push(*g.pick(b"+-*"));
+        out.extend_from_slice(&g.number(2));
+        out.push(b')');
+        if g.chance(1, 2) {
+            out.push(*g.pick(b"+-"));
+            let reg = b'a' + (g.below(5) as u8);
+            out.push(reg);
+        }
+        out.push(b'\n');
+    }
+    // Benign per-input diversity: parse-error paths.
+    if g.chance(1, 3) {
+        out.extend_from_slice(b"3 + ?\n");
+    }
+    if g.chance(1, 4) {
+        out.extend_from_slice(b"(1 + 2\n");
+    }
+    out
+}
+
+/// The `bc` workload.
+#[must_use]
+pub fn workload() -> Workload {
+    let bugs = |tool: Tool, suffix: &'static str| {
+        vec![
+            BugSpec {
+                id: if suffix == "c" { "bc-1-ccured" } else { "bc-1-iwatcher" },
+                tool,
+                marker: "/*BUG:bc-1*/",
+                escape: EscapeClass::Helped,
+                description: "storage growth copies cap+1 entries (off-by-one, modeled \
+                              on bc's more_arrays bug)",
+            },
+            BugSpec {
+                id: if suffix == "c" { "bc-2-ccured" } else { "bc-2-iwatcher" },
+                tool,
+                marker: "/*BUG:bc-2*/",
+                escape: EscapeClass::HotEntry,
+                description: "unguarded trace write: the pending>0 edge saturates its \
+                              exercise counter before histpos runs past capacity",
+            },
+        ]
+    };
+    let mut all = bugs(Tool::Ccured, "c");
+    all.extend(bugs(Tool::Iwatcher, "i"));
+    Workload {
+        name: "bc",
+        source: SOURCE,
+        family: Family::OpenSource,
+        tools: &[Tool::Ccured, Tool::Iwatcher],
+        bugs: all,
+        max_nt_path_len: 1000,
+        input: general_input,
+    }
+}

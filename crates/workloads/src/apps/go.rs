@@ -1,0 +1,281 @@
+//! `099.go` — a 9×9 go-board evaluator in the spirit of the SPEC95
+//! benchmark: influence propagation sweeps, per-stone liberty counting and
+//! an atari/capture handler. Pure computation after the input is buffered —
+//! which is why its NT-paths almost never stop early (the paper's
+//! Figure 3(a) shape: only ~0.5% stop before 1000 instructions).
+//!
+//! Two seeded memory bugs per tool (Table 3):
+//!
+//! * **go-1** (detected): the capture handler — never entered because
+//!   general inputs place stones without adjacency, so no group is ever in
+//!   atari — clears one entry past the end of the capture buffer.
+//! * **go-2** (escapes, needs-special-input §7.1(4)): the endgame scorer is
+//!   guarded by `phase == 2`, which general inputs never reach; the NT-path
+//!   spawned there exhausts `MaxNTPathLength` in the two full-board scoring
+//!   sweeps before the buggy inner branch, and the inner branch is never
+//!   evaluated on the taken path, so it can never spawn its own NT-path.
+
+use px_detect::Tool;
+
+use crate::input::InputGen;
+use crate::{BugSpec, EscapeClass, Family, Workload};
+
+pub(crate) const SOURCE: &str = r#"
+int board[81];
+int influence[81];
+int liberties[81];
+int capbuf[16];
+int errbuf[8];
+
+int stones = 0;
+int black = 0;
+int white = 0;
+int captures = 0;
+int atari_count = 0;
+int phase = 0;
+int score = 0;
+
+int trace_mode = 0;
+
+void audit(int v) {
+    if (v > 901) {
+        if (v > 1802) { trace_mode = 2; }
+        if (v > 2703) { trace_mode = 3; }
+    }
+    if (v > 908) {
+        if (v > 1816) { trace_mode = 2; }
+        if (v > 2724) { trace_mode = 3; }
+    }
+    if (v > 915) {
+        if (v > 1830) { trace_mode = 2; }
+        if (v > 2745) { trace_mode = 3; }
+    }
+    if (v > 922) {
+        if (v > 1844) { trace_mode = 2; }
+        if (v > 2766) { trace_mode = 3; }
+    }
+    if (v > 929) {
+        if (v > 1858) { trace_mode = 2; }
+        if (v > 2787) { trace_mode = 3; }
+    }
+    if (v > 936) {
+        if (v > 1872) { trace_mode = 2; }
+        if (v > 2808) { trace_mode = 3; }
+    }
+    if (v > 943) {
+        if (v > 1886) { trace_mode = 2; }
+        if (v > 2829) { trace_mode = 3; }
+    }
+    if (v > 950) {
+        if (v > 1900) { trace_mode = 2; }
+        if (v > 2850) { trace_mode = 3; }
+    }
+    if (v > 957) {
+        if (v > 1914) { trace_mode = 2; }
+        if (v > 2871) { trace_mode = 3; }
+    }
+    if (v > 964) {
+        if (v > 1928) { trace_mode = 2; }
+        if (v > 2892) { trace_mode = 3; }
+    }
+}
+
+int idx(int row, int col) {
+    return row * 9 + col;
+}
+
+void place(int cell, int color) {
+    if (cell >= 0 && cell < 81) {
+        if (board[cell] == 0) {
+            board[cell] = color;
+            stones = stones + 1;
+            if (color == 1) { black = black + 1; }
+            else { white = white + 1; }
+        }
+    }
+}
+
+void spread_influence() {
+    int pass;
+    for (pass = 0; pass < 3; pass = pass + 1) {
+        int r;
+        for (r = 0; r < 9; r = r + 1) {
+            int c;
+            for (c = 0; c < 9; c = c + 1) {
+                int cell = idx(r, c);
+                int v = influence[cell];
+                if (board[cell] == 1) { v = v + 8; }
+                if (board[cell] == 2) { v = v - 8; }
+                if (r > 0) { v = v + influence[cell - 9] / 4; }
+                if (r < 8) { v = v + influence[cell + 9] / 4; }
+                if (c > 0) { v = v + influence[cell - 1] / 4; }
+                if (c < 8) { v = v + influence[cell + 1] / 4; }
+                influence[cell] = v;
+            }
+        }
+    }
+}
+
+int count_liberties(int cell) {
+    int r = cell / 9;
+    int c = cell % 9;
+    int libs = 0;
+    if (r > 0 && board[cell - 9] == 0) { libs = libs + 1; }
+    if (r < 8 && board[cell + 9] == 0) { libs = libs + 1; }
+    if (c > 0 && board[cell - 1] == 0) { libs = libs + 1; }
+    if (c < 8 && board[cell + 1] == 0) { libs = libs + 1; }
+    return libs;
+}
+
+void handle_capture(int cell) {
+    captures = captures + 1;
+    board[cell] = 0;
+    int t;
+    for (t = 0; t <= 16; t = t + 1) {
+        capbuf[t] = 0; /*BUG:go-1*/
+    }
+}
+
+void diagnostics(int x) {
+    int e0 = 8 + x % 4;
+    if (e0 < 8) { errbuf[e0] = 1; } /*FPSITE*/
+    int e1 = 8 + (x / 3) % 4;
+    if (e1 < 8) { errbuf[e1] = 2; } /*FPSITE*/
+    int e2 = 9 + x % 3;
+    if (e2 < 8) { errbuf[e2] = 3; } /*FPSITE*/
+    int e3 = 8 + (x / 5) % 4;
+    if (e3 < 8) { errbuf[e3] = 4; } /*FPSITE*/
+    int e4 = 10 + x % 2;
+    if (e4 < 8) { errbuf[e4] = 5; } /*FPSITE*/
+    int e5 = 8 + (x / 7) % 4;
+    if (e5 < 8) { errbuf[e5] = 6; } /*FPSITE*/
+    int e6 = 9 + (x / 2) % 3;
+    if (e6 < 8) { errbuf[e6] = 7; } /*FPSITE*/
+    int e7 = 8 + (x / 11) % 4;
+    if (e7 < 8) { errbuf[e7] = 8; } /*FPSITE*/
+    int e8 = 8 + (x / 13) % 4;
+    if (e8 < 8) { errbuf[e8] = 9; } /*FPSITE*/
+    int e9 = 11 + x % 2;
+    if (e9 < 8) { errbuf[e9] = 10; } /*FPSITE*/
+    int e10 = 8 + (x / 17) % 4;
+    if (e10 < 8) { errbuf[e10] = 11; } /*FPSITE*/
+    int e11 = 9 + (x / 4) % 3;
+    if (e11 < 8) { errbuf[e11] = 12; } /*FPSITE*/
+    int r0 = 8 + x % 4;
+    if (r0 < 8) { errbuf[r0 + 2] = 13; } /*FPRES*/
+    int r1 = 9 + x % 3;
+    if (r1 < 8) { errbuf[r1 + 3] = 14; } /*FPRES*/
+    int r2 = 8 + (x / 5) % 4;
+    if (r2 < 8) { errbuf[r2 + 4] = 15; } /*FPRES*/
+    int r3 = 8 + (x / 7) % 4;
+    if (r3 < 8) { errbuf[r3 + 2] = 16; } /*FPRES*/
+    int r4 = 9 + (x / 2) % 3;
+    if (r4 < 8) { errbuf[r4 + 3] = 17; } /*FPRES*/
+}
+
+int main() {
+    // Read stone placements: pairs of (cell, color), -1 terminated.
+    int v = readint();
+    while (v >= 0) {
+        int color = 1 + v % 2;
+        place((v / 2) % 81, color);
+        v = readint();
+    }
+    phase = 1;
+    spread_influence();
+    int cell;
+    for (cell = 0; cell < 81; cell = cell + 1) {
+        if (board[cell] != 0) {
+            int libs = count_liberties(cell);
+            liberties[cell] = libs;
+            if (libs == 1) {
+                atari_count = atari_count + 1;
+            }
+            if (libs == 0) {
+                handle_capture(cell);
+            }
+            int mag = influence[cell];
+            if (mag < 0) { mag = 0 - mag; }
+            diagnostics(mag + cell);
+            if (trace_mode > 0) { audit(mag + cell); }
+        }
+    }
+    if (phase == 2) {
+        int sweep;
+        int i;
+        for (sweep = 0; sweep < 2; sweep = sweep + 1) {
+            for (i = 0; i < 81; i = i + 1) {
+                if (influence[i] > 0) { score = score + 1; }
+                if (influence[i] < 0) { score = score - 1; }
+            }
+        }
+        if (score > 40) {
+            int t;
+            for (t = 0; t <= 16; t = t + 1) {
+                capbuf[t] = score; /*BUG:go-2*/
+            }
+        }
+    }
+    printint(stones);
+    printint(captures);
+    printint(atari_count);
+    return 0;
+}
+"#;
+
+/// General input: stones only on cells with both coordinates even, so no
+/// two stones are ever adjacent and every stone keeps at least two
+/// liberties — the capture and atari paths stay cold.
+pub(crate) fn general_input(seed: u64) -> Vec<u8> {
+    let mut g = InputGen::new(seed ^ 0x676F_3939);
+    let mut out = Vec::new();
+    let n = g.range(12, 30);
+    // Some inputs place stones on the odd sub-lattice instead of the even
+    // one — still never adjacent, but different board paths (and occasional
+    // duplicate placements exercise the rejection edge).
+    let offset = u32::from(g.chance(1, 3));
+    for _ in 0..n {
+        let row = (2 * g.below(4) + offset).min(8);
+        let col = (2 * g.below(4) + offset).min(8);
+        let cell = row * 9 + col;
+        let color = g.below(2);
+        // place() decodes cell = (v/2) % 81, color = 1 + v % 2.
+        let v = cell * 2 + color;
+        out.extend_from_slice(v.to_string().as_bytes());
+        out.push(b' ');
+    }
+    out.extend_from_slice(b"-1\n");
+    out
+}
+
+/// The `099.go` workload.
+#[must_use]
+pub fn workload() -> Workload {
+    let mut bugs = Vec::new();
+    for (tool, sfx) in [(Tool::Ccured, "ccured"), (Tool::Iwatcher, "iwatcher")] {
+        bugs.push(BugSpec {
+            id: if sfx == "ccured" { "go-1-ccured" } else { "go-1-iwatcher" },
+            tool,
+            marker: "/*BUG:go-1*/",
+            escape: EscapeClass::Helped,
+            description: "capture handler clears capbuf[0..=16] — one past the end",
+        });
+        bugs.push(BugSpec {
+            id: if sfx == "ccured" { "go-2-ccured" } else { "go-2-iwatcher" },
+            tool,
+            marker: "/*BUG:go-2*/",
+            escape: EscapeClass::NeedsSpecialInput,
+            description: "endgame scorer bug: the two 81-cell sweeps exceed \
+                          MaxNTPathLength before the buggy inner branch",
+        });
+    }
+    Workload {
+        name: "099.go",
+        source: SOURCE,
+        family: Family::OpenSource,
+        tools: &[Tool::Ccured, Tool::Iwatcher],
+        bugs,
+        max_nt_path_len: 1000,
+        input: general_input,
+    }
+}

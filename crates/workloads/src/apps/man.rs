@@ -1,0 +1,258 @@
+//! `man` — a man-page formatter in the style of man-1.5h1: parses
+//! `name width` entry lines into records, lays them out into a line buffer,
+//! and keeps an optional cross-reference pointer that general inputs never
+//! set. The single seeded bug (Table 3: 1 bug, detected) is a buffer
+//! overrun in the cross-reference formatter, guarded by `xref != 0` — the
+//! NT-path reaches it **only** through the §4.4 blank-data-structure fix,
+//! which is exactly the paper's Table 5 observation for `man`: the bug is
+//! found after consistency fixing, not before (the unfixed NT-path crashes
+//! on the null dereference first).
+
+use px_detect::Tool;
+
+use crate::input::InputGen;
+use crate::{BugSpec, EscapeClass, Family, Workload};
+
+pub(crate) const SOURCE: &str = r#"
+struct Entry {
+    int width;
+    int flags;
+    char name[12];
+};
+
+char inbuf[700];
+int inlen = 0;
+int pos = 0;
+
+char line[60];
+int linelen = 0;
+char namebuf[8];
+int errbuf[8];
+
+struct Entry* xref = 0;
+int entry_count = 0;
+int long_count = 0;
+int wrap_count = 0;
+int err_count = 0;
+int total_width = 0;
+
+int trace_mode = 0;
+
+void audit(int v) {
+    if (v > 901) {
+        if (v > 1802) { trace_mode = 2; }
+        if (v > 2703) { trace_mode = 3; }
+    }
+    if (v > 908) {
+        if (v > 1816) { trace_mode = 2; }
+        if (v > 2724) { trace_mode = 3; }
+    }
+    if (v > 915) {
+        if (v > 1830) { trace_mode = 2; }
+        if (v > 2745) { trace_mode = 3; }
+    }
+    if (v > 922) {
+        if (v > 1844) { trace_mode = 2; }
+        if (v > 2766) { trace_mode = 3; }
+    }
+    if (v > 929) {
+        if (v > 1858) { trace_mode = 2; }
+        if (v > 2787) { trace_mode = 3; }
+    }
+    if (v > 936) {
+        if (v > 1872) { trace_mode = 2; }
+        if (v > 2808) { trace_mode = 3; }
+    }
+    if (v > 943) {
+        if (v > 1886) { trace_mode = 2; }
+        if (v > 2829) { trace_mode = 3; }
+    }
+    if (v > 950) {
+        if (v > 1900) { trace_mode = 2; }
+        if (v > 2850) { trace_mode = 3; }
+    }
+    if (v > 957) {
+        if (v > 1914) { trace_mode = 2; }
+        if (v > 2871) { trace_mode = 3; }
+    }
+}
+
+void read_input() {
+    int c = getchar();
+    while (c != -1 && inlen < 700) {
+        inbuf[inlen] = c;
+        inlen = inlen + 1;
+        c = getchar();
+    }
+}
+
+int is_alpha(int c) {
+    if (c >= 'a' && c <= 'z') { return 1; }
+    return 0;
+}
+
+int is_digit(int c) {
+    if (c >= '0' && c <= '9') { return 1; }
+    return 0;
+}
+
+void flush_line() {
+    int i;
+    for (i = 0; i < linelen; i = i + 1) {
+        putchar(line[i]);
+    }
+    putchar(10);
+    linelen = 0;
+}
+
+void put(int c) {
+    if (linelen >= 60) {
+        flush_line();
+        wrap_count = wrap_count + 1;
+    }
+    line[linelen] = c;
+    linelen = linelen + 1;
+}
+
+void diagnostics(int x) {
+    int e0 = 8 + x % 4;
+    if (e0 < 8) { errbuf[e0] = 1; } /*FPSITE*/
+    int e1 = 8 + (x / 3) % 4;
+    if (e1 < 8) { errbuf[e1] = 2; } /*FPSITE*/
+    int e2 = 9 + x % 3;
+    if (e2 < 8) { errbuf[e2] = 3; } /*FPSITE*/
+    int e3 = 8 + (x / 5) % 4;
+    if (e3 < 8) { errbuf[e3] = 4; } /*FPSITE*/
+    int e4 = 10 + x % 2;
+    if (e4 < 8) { errbuf[e4] = 5; } /*FPSITE*/
+    int e5 = 8 + (x / 7) % 4;
+    if (e5 < 8) { errbuf[e5] = 6; } /*FPSITE*/
+    int e6 = 9 + (x / 2) % 3;
+    if (e6 < 8) { errbuf[e6] = 7; } /*FPSITE*/
+    int e7 = 8 + (x / 11) % 4;
+    if (e7 < 8) { errbuf[e7] = 8; } /*FPSITE*/
+    int r0 = 8 + x % 4;
+    if (r0 < 8) { errbuf[r0 + 2] = 9; } /*FPRES*/
+    int r1 = 9 + x % 3;
+    if (r1 < 8) { errbuf[r1 + 3] = 10; } /*FPRES*/
+    int r2 = 8 + (x / 5) % 4;
+    if (r2 < 8) { errbuf[r2 + 4] = 11; } /*FPRES*/
+}
+
+int main() {
+    read_input();
+    while (pos < inlen) {
+        int c = inbuf[pos];
+        if (trace_mode > 0) { audit(c + entry_count); }
+        if (c == ' ' || c == 10 || c == 9) {
+            pos = pos + 1;
+            continue;
+        }
+        if (c == '!') {
+            // A cross-reference directive would set xref; general inputs
+            // never contain one, so xref stays null.
+            pos = pos + 1;
+            continue;
+        }
+        if (is_alpha(c)) {
+            int nlen = 0;
+            while (pos < inlen && is_alpha(inbuf[pos])) {
+                if (nlen < 11) {
+                    put(inbuf[pos]);
+                    nlen = nlen + 1;
+                }
+                pos = pos + 1;
+            }
+            if (nlen > 9) {
+                long_count = long_count + 1;
+            }
+            put(' ');
+            entry_count = entry_count + 1;
+            continue;
+        }
+        if (is_digit(c)) {
+            int w = 0;
+            while (pos < inlen && is_digit(inbuf[pos])) {
+                w = w * 10 + (inbuf[pos] - '0');
+                pos = pos + 1;
+            }
+            total_width = total_width + w;
+            int pad = w % 4;
+            while (pad > 0) {
+                put('.');
+                pad = pad - 1;
+            }
+            if (xref != 0) {
+                int n = xref->width;
+                int k;
+                for (k = 0; k <= 8; k = k + 1) {
+                    namebuf[k] = xref->name[0] + n + k; /*BUG:man-1*/
+                }
+                put(namebuf[0]);
+            }
+            diagnostics(w);
+            continue;
+        }
+        err_count = err_count + 1;
+        pos = pos + 1;
+    }
+    flush_line();
+    printint(entry_count);
+    printint(total_width);
+    return 0;
+}
+"#;
+
+/// General input: `name width` pairs, no `!` directives — the
+/// cross-reference pointer stays null.
+pub(crate) fn general_input(seed: u64) -> Vec<u8> {
+    let mut g = InputGen::new(seed ^ 0x6D61_6E00);
+    let mut out = Vec::new();
+    let entries = g.range(20, 35);
+    for _ in 0..entries {
+        out.extend_from_slice(&g.word(2, 9));
+        out.push(b' ');
+        out.extend_from_slice(&g.number(3));
+        out.push(b'\n');
+    }
+    // Benign per-input diversity: the '!' directive is skipped (it never
+    // sets the cross-reference pointer) and unknown characters take the
+    // error path.
+    if g.chance(1, 3) {
+        out.extend_from_slice(b"! skipped 1\n");
+    }
+    if g.chance(1, 4) {
+        out.extend_from_slice(b"# 2\n");
+    }
+    out
+}
+
+/// The `man` workload.
+#[must_use]
+pub fn workload() -> Workload {
+    Workload {
+        name: "man",
+        source: SOURCE,
+        family: Family::OpenSource,
+        tools: &[Tool::Ccured, Tool::Iwatcher],
+        bugs: vec![
+            BugSpec {
+                id: "man-1-ccured",
+                tool: Tool::Ccured,
+                marker: "/*BUG:man-1*/",
+                escape: EscapeClass::Helped,
+                description: "cross-reference formatter overruns namebuf[8]; reachable \
+                              on an NT-path only via the blank-structure pointer fix",
+            },
+            BugSpec {
+                id: "man-1-iwatcher",
+                tool: Tool::Iwatcher,
+                marker: "/*BUG:man-1*/",
+                escape: EscapeClass::Helped,
+                description: "same overrun, caught by the red zone after namebuf",
+            },
+        ],
+        max_nt_path_len: 1000,
+        input: general_input,
+    }
+}

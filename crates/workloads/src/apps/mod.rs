@@ -1,0 +1,8 @@
+//! Open-source-style applications: memory bugs checked by CCured and
+//! iWatcher, `MaxNTPathLength` = 1000 (paper §6.3). Each also carries the
+//! seeded false-positive-prone sites behind Table 5 (`/*FPSITE*/` pruned by
+//! boundary fixing, `/*FPRES*/` residual).
+
+pub mod bc;
+pub mod go;
+pub mod man;

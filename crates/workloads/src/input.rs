@@ -1,0 +1,116 @@
+//! Deterministic input generation for the workloads.
+//!
+//! `InputGen` is a tiny seeded generator used by every workload's
+//! general-input function, plus by the cumulative-coverage experiment which
+//! feeds each application 50 random inputs (paper §6.3).
+
+/// A seeded pseudo-random byte/choice generator (xorshift64*).
+#[derive(Debug, Clone)]
+pub struct InputGen {
+    state: u64,
+}
+
+impl InputGen {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> InputGen {
+        InputGen { state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u32) -> u32 {
+        assert!(n > 0);
+        (self.next_u64() % u64::from(n)) as u32
+    }
+
+    /// Uniform value in `[lo, hi]`.
+    pub fn range(&mut self, lo: u32, hi: u32) -> u32 {
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// One element of a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u32) as usize]
+    }
+
+    /// One byte-string out of a list (avoids double-reference inference).
+    pub fn pick_bytes<'a>(&mut self, items: &[&'a [u8]]) -> &'a [u8] {
+        items[self.below(items.len() as u32) as usize]
+    }
+
+    /// True with probability `num`/`den`.
+    pub fn chance(&mut self, num: u32, den: u32) -> bool {
+        self.below(den) < num
+    }
+
+    /// A lowercase identifier of the given length range.
+    pub fn word(&mut self, min_len: u32, max_len: u32) -> Vec<u8> {
+        let len = self.range(min_len, max_len);
+        (0..len).map(|_| b'a' + self.below(26) as u8).collect()
+    }
+
+    /// A decimal number with `1..=digits` digits, no leading zero.
+    pub fn number(&mut self, digits: u32) -> Vec<u8> {
+        let len = self.range(1, digits);
+        let mut out = Vec::with_capacity(len as usize);
+        out.push(b'1' + self.below(9) as u8);
+        for _ in 1..len {
+            out.push(b'0' + self.below(10) as u8);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = InputGen::new(5);
+        let mut b = InputGen::new(5);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_hold() {
+        let mut g = InputGen::new(9);
+        for _ in 0..1000 {
+            let v = g.range(3, 7);
+            assert!((3..=7).contains(&v));
+        }
+        let w = g.word(2, 5);
+        assert!((2..=5).contains(&(w.len() as u32)));
+        assert!(w.iter().all(u8::is_ascii_lowercase));
+        let n = g.number(4);
+        assert!(!n.is_empty() && n.len() <= 4);
+        assert_ne!(n[0], b'0');
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut g = InputGen::new(11);
+        let hits = (0..10_000).filter(|_| g.chance(1, 4)).count();
+        assert!((2000..3000).contains(&hits), "~25%: {hits}");
+    }
+}

@@ -1,0 +1,277 @@
+//! # px-workloads — the benchmark programs of the evaluation
+//!
+//! Behaviour-equivalent PXC reconstructions of the paper's applications
+//! (Table 3): four Siemens-suite programs with seeded semantic bugs for the
+//! assertion method, three open-source-style applications with memory bugs
+//! for CCured and iWatcher, and three SPEC-style kernels for the latency and
+//! overhead measurements.
+//!
+//! Every seeded bug is marked in its source with a `/*BUG:id*/` comment and
+//! described by a [`BugSpec`] carrying the paper's *escape class* — whether
+//! PathExpander is expected to expose it, and if not, which of the §7.1
+//! failure reasons applies. Seeded false-positive-prone sites (the Table 5
+//! material) are marked `/*FPSITE*/` (pruned by boundary fixing) and
+//! `/*FPRES*/` (residual after fixing).
+//!
+//! The source programs deliberately reproduce the *structural* properties
+//! the evaluation depends on: many rarely-taken edges (error handling,
+//! special token classes, rare opcodes), bugs placed within
+//! `MaxNTPathLength` instructions of a cold edge, and per-application
+//! side-effect density (gzip writes output in its inner loop, vpr calls
+//! `rand()` in its move loop, go is pure computation — the Figure 3 shapes).
+
+mod apps;
+mod input;
+mod siemens;
+mod spec;
+
+pub use input::InputGen;
+
+use pathexpander::PxConfig;
+use px_detect::Tool;
+use px_lang::{CompileError, CompiledProgram};
+
+/// Which group of the paper's Table 3 a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Siemens suite (semantic bugs, assertions, `MaxNTPathLength` = 100).
+    Siemens,
+    /// Open-source applications (memory bugs, CCured/iWatcher).
+    OpenSource,
+    /// SPEC-style kernels (latency and overhead measurements).
+    Spec,
+}
+
+/// Why a seeded bug escapes PathExpander — the paper's §7.1 taxonomy — or
+/// [`EscapeClass::Helped`] when PathExpander is expected to expose it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EscapeClass {
+    /// Detected thanks to PathExpander (one of the 21).
+    Helped,
+    /// Value-coverage-limited: on an executed path, needs a specific value.
+    ValueCoverage,
+    /// The buggy path's entry edge is exercised past the counter threshold
+    /// before the bug could matter.
+    HotEntry,
+    /// NT-path state inconsistency (even after fixing) masks the bug.
+    Inconsistency,
+    /// Only detectable under inputs as special as the bug-triggering one.
+    NeedsSpecialInput,
+}
+
+impl EscapeClass {
+    /// Whether PathExpander should detect this bug.
+    #[must_use]
+    pub fn expected_detected(self) -> bool {
+        matches!(self, EscapeClass::Helped)
+    }
+}
+
+/// One seeded bug.
+#[derive(Debug, Clone)]
+pub struct BugSpec {
+    /// Stable identifier, e.g. `"pt-3"` or `"bc-1"`.
+    pub id: &'static str,
+    /// The tool that can detect this class of bug.
+    pub tool: Tool,
+    /// The `/*BUG:id*/` marker to locate the buggy source line.
+    pub marker: &'static str,
+    /// Expected outcome under PathExpander.
+    pub escape: EscapeClass,
+    /// Short description.
+    pub description: &'static str,
+}
+
+/// A benchmark program with its manifest.
+pub struct Workload {
+    /// Short name as the paper writes it (`"print_tokens"`, `"099.go"`, ...).
+    pub name: &'static str,
+    /// PXC source text.
+    pub source: &'static str,
+    /// Table 3 group.
+    pub family: Family,
+    /// Detection tools this workload is evaluated with.
+    pub tools: &'static [Tool],
+    /// Seeded bugs.
+    pub bugs: Vec<BugSpec>,
+    /// `MaxNTPathLength` for this workload (100 for Siemens, 1000 otherwise,
+    /// §6.3).
+    pub max_nt_path_len: u32,
+    /// Seeded general-input generator (inputs that do **not** trigger the
+    /// seeded bugs).
+    pub input: fn(u64) -> Vec<u8>,
+}
+
+impl Workload {
+    /// Source line (1-based) of a marker comment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the marker does not appear in the source — manifests are
+    /// validated by tests.
+    #[must_use]
+    pub fn marker_line(&self, marker: &str) -> u32 {
+        self.source
+            .lines()
+            .position(|l| l.contains(marker))
+            .map(|i| i as u32 + 1)
+            .unwrap_or_else(|| panic!("marker `{marker}` not found in {}", self.name))
+    }
+
+    /// Lines of all seeded bugs detectable by `tool`.
+    #[must_use]
+    pub fn bug_lines_for(&self, tool: Tool) -> Vec<u32> {
+        self.bugs
+            .iter()
+            .filter(|b| b.tool == tool)
+            .map(|b| self.marker_line(b.marker))
+            .collect()
+    }
+
+    /// The bugs evaluated with `tool`.
+    #[must_use]
+    pub fn bugs_for(&self, tool: Tool) -> Vec<&BugSpec> {
+        self.bugs.iter().filter(|b| b.tool == tool).collect()
+    }
+
+    /// Compiles the workload for a tool (arming that tool's checks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler errors (the test suite guarantees none).
+    pub fn compile_for(&self, tool: Tool) -> Result<CompiledProgram, CompileError> {
+        px_lang::compile(self.source, &tool.compile_options())
+    }
+
+    /// The PathExpander configuration the paper uses for this workload.
+    #[must_use]
+    pub fn px_config(&self) -> PxConfig {
+        PxConfig::default().with_max_nt_path_len(self.max_nt_path_len)
+    }
+
+    /// A general (non-bug-triggering) input.
+    #[must_use]
+    pub fn general_input(&self, seed: u64) -> Vec<u8> {
+        (self.input)(seed)
+    }
+
+    /// Lines of source (for the Table 3 LOC column).
+    #[must_use]
+    pub fn loc(&self) -> usize {
+        self.source.lines().filter(|l| !l.trim().is_empty()).count()
+    }
+}
+
+/// The seven buggy applications of Table 3, in the paper's order.
+#[must_use]
+pub fn buggy() -> Vec<Workload> {
+    vec![
+        apps::go::workload(),
+        apps::bc::workload(),
+        apps::man::workload(),
+        siemens::print_tokens::workload(),
+        siemens::print_tokens2::workload(),
+        siemens::schedule::workload(),
+        siemens::schedule2::workload(),
+    ]
+}
+
+/// The three SPEC-style kernels used for overhead and latency measurements.
+#[must_use]
+pub fn spec_kernels() -> Vec<Workload> {
+    vec![spec::gzip::workload(), spec::vpr::workload(), spec::parser::workload()]
+}
+
+/// Every workload.
+#[must_use]
+pub fn all() -> Vec<Workload> {
+    let mut v = buggy();
+    v.extend(spec_kernels());
+    v
+}
+
+/// Looks a workload up by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table3() {
+        let names: Vec<&str> = buggy().iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "099.go",
+                "bc",
+                "man",
+                "print_tokens",
+                "print_tokens2",
+                "schedule",
+                "schedule2"
+            ]
+        );
+        let total_bugs: usize = buggy().iter().map(|w| w.bugs.len()).sum();
+        assert_eq!(total_bugs, 38, "Table 3/4: 38 tested bugs");
+        let helped: usize = buggy()
+            .iter()
+            .flat_map(|w| w.bugs.iter())
+            .filter(|b| b.escape.expected_detected())
+            .count();
+        assert_eq!(helped, 21, "abstract: 21 of 38 detected");
+    }
+
+    #[test]
+    fn every_workload_compiles_for_its_tools() {
+        for w in all() {
+            for &tool in w.tools {
+                let compiled = w
+                    .compile_for(tool)
+                    .unwrap_or_else(|e| panic!("{} ({}): {e}", w.name, tool.name()));
+                assert!(compiled.program.code.len() > 50, "{} is non-trivial", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn every_bug_marker_resolves() {
+        for w in buggy() {
+            for b in &w.bugs {
+                let line = w.marker_line(b.marker);
+                assert!(line > 0);
+                assert!(
+                    w.tools.contains(&b.tool),
+                    "{}: bug {} uses tool not in workload tools",
+                    w.name,
+                    b.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inputs_are_deterministic_and_distinct() {
+        for w in all() {
+            let a = w.general_input(7);
+            let b = w.general_input(7);
+            let c = w.general_input(8);
+            assert_eq!(a, b, "{}: same seed, same input", w.name);
+            assert_ne!(a, c, "{}: different seeds differ", w.name);
+            assert!(!a.is_empty(), "{}: input not empty", w.name);
+        }
+    }
+
+    #[test]
+    fn siemens_use_short_nt_paths() {
+        for w in buggy() {
+            match w.family {
+                Family::Siemens => assert_eq!(w.max_nt_path_len, 100, "{}", w.name),
+                _ => assert_eq!(w.max_nt_path_len, 1000, "{}", w.name),
+            }
+        }
+    }
+}

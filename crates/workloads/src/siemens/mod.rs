@@ -1,0 +1,7 @@
+//! The Siemens-suite reconstructions: semantic bugs checked by assertions,
+//! `MaxNTPathLength` = 100 (paper §6.3).
+
+pub mod print_tokens;
+pub mod print_tokens2;
+pub mod schedule;
+pub mod schedule2;

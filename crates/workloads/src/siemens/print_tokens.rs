@@ -1,0 +1,398 @@
+//! `print_tokens` — a lexical tokenizer in the style of the Siemens
+//! benchmark, with seven seeded semantic bugs checked by assertions
+//! (Table 3: 7 tested, Table 4: 5 detected by PathExpander).
+//!
+//! Token classes: identifiers, numbers, single-char operators, parentheses,
+//! strings (`"`), comments (`#`), the `%` operator, over-long tokens and
+//! scanner errors. General inputs contain only identifiers, short numbers,
+//! common operators and shallow balanced parentheses — the remaining classes
+//! are the non-taken paths PathExpander explores.
+//!
+//! Bug inventory (markers sit on the line where the detector reports):
+//!
+//! | id   | entry branch             | escape class        |
+//! |------|--------------------------|---------------------|
+//! | pt-1 | `c == '"'` (string)      | helped              |
+//! | pt-2 | `c == '#'` (comment)     | helped              |
+//! | pt-3 | `c == '%'` (rare op)     | helped              |
+//! | pt-4 | `tok_len > 8` (long num) | helped              |
+//! | pt-5 | `tok_len > 16` (long id) | helped              |
+//! | pt-6 | `nesting > 4` (deep)     | inconsistency: the boundary fix sets `nesting = 5`, which satisfies the assert; only 6+ fails |
+//! | pt-7 | `mode == 1` (overflow)   | needs-special-input: the re-scan loop exceeds `MaxNTPathLength` before the inner branch |
+
+use px_detect::Tool;
+
+use crate::input::InputGen;
+use crate::{BugSpec, EscapeClass, Family, Workload};
+
+pub(crate) const SOURCE: &str = r#"
+char inbuf[600];
+int inlen = 0;
+char outbuf[900];
+int obi = 0;
+
+int token_count = 0;
+int ident_count = 0;
+int num_count = 0;
+int op_count = 0;
+int str_count = 0;
+int comment_count = 0;
+int special_count = 0;
+int error_count = 0;
+int line_no = 1;
+int nesting = 0;
+int maxnest = 0;
+int mode = 0;
+
+int trace_mode = 0;
+
+void audit(int v) {
+    if (v > 901) {
+        if (v > 1802) { trace_mode = 2; }
+        if (v > 2703) { trace_mode = 3; }
+    }
+    if (v > 908) {
+        if (v > 1816) { trace_mode = 2; }
+        if (v > 2724) { trace_mode = 3; }
+    }
+    if (v > 915) {
+        if (v > 1830) { trace_mode = 2; }
+        if (v > 2745) { trace_mode = 3; }
+    }
+    if (v > 922) {
+        if (v > 1844) { trace_mode = 2; }
+        if (v > 2766) { trace_mode = 3; }
+    }
+    if (v > 929) {
+        if (v > 1858) { trace_mode = 2; }
+        if (v > 2787) { trace_mode = 3; }
+    }
+    if (v > 936) {
+        if (v > 1872) { trace_mode = 2; }
+        if (v > 2808) { trace_mode = 3; }
+    }
+    if (v > 943) {
+        if (v > 1886) { trace_mode = 2; }
+        if (v > 2829) { trace_mode = 3; }
+    }
+    if (v > 950) {
+        if (v > 1900) { trace_mode = 2; }
+        if (v > 2850) { trace_mode = 3; }
+    }
+    if (v > 957) {
+        if (v > 1914) { trace_mode = 2; }
+        if (v > 2871) { trace_mode = 3; }
+    }
+    if (v > 964) {
+        if (v > 1928) { trace_mode = 2; }
+        if (v > 2892) { trace_mode = 3; }
+    }
+    if (v > 971) {
+        if (v > 1942) { trace_mode = 2; }
+        if (v > 2913) { trace_mode = 3; }
+    }
+}
+
+int is_alpha(int c) {
+    if (c >= 'a' && c <= 'z') { return 1; }
+    if (c >= 'A' && c <= 'Z') { return 1; }
+    return 0;
+}
+
+int is_digit(int c) {
+    if (c >= '0' && c <= '9') { return 1; }
+    return 0;
+}
+
+int is_space(int c) {
+    if (c == ' ') { return 1; }
+    if (c == 9) { return 1; }
+    if (c == 10) { return 1; }
+    return 0;
+}
+
+int class_sum() {
+    int s = ident_count + num_count + op_count;
+    s = s + str_count + comment_count;
+    s = s + special_count + error_count;
+    return s;
+}
+
+void emit(int code) {
+    if (obi < 900) {
+        outbuf[obi] = code;
+        obi = obi + 1;
+    } else {
+        error_count = error_count + 1;
+    }
+}
+
+void read_input() {
+    int c = getchar();
+    while (c != -1 && inlen < 600) {
+        inbuf[inlen] = c;
+        inlen = inlen + 1;
+        c = getchar();
+    }
+    if (c != -1) {
+        mode = 1;
+    }
+}
+
+int main() {
+    read_input();
+    int pos = 0;
+    while (pos < inlen) {
+        int c = inbuf[pos];
+        if (trace_mode > 0) { audit(c + token_count); }
+        if (is_space(c)) {
+            if (c == 10) { line_no = line_no + 1; }
+            pos = pos + 1;
+            continue;
+        }
+        if (c == '"') {
+            str_count = str_count + 2;
+            token_count = token_count + 1;
+            assert(token_count == class_sum()); /*BUG:pt-1*/
+            emit('S');
+            pos = pos + 1;
+            while (pos < inlen && inbuf[pos] != '"') { pos = pos + 1; }
+            pos = pos + 1;
+            continue;
+        }
+        if (c == '#') {
+            token_count = token_count + 1;
+            assert(token_count == class_sum()); /*BUG:pt-2*/
+            emit('C');
+            while (pos < inlen && inbuf[pos] != 10) { pos = pos + 1; }
+            continue;
+        }
+        if (c == '%') {
+            op_count = op_count + 2;
+            token_count = token_count + 1;
+            assert(token_count == class_sum()); /*BUG:pt-3*/
+            emit('M');
+            pos = pos + 1;
+            continue;
+        }
+        if (c == '(') {
+            nesting = nesting + 1;
+            if (nesting > maxnest) { maxnest = nesting; }
+            op_count = op_count + 1;
+            token_count = token_count + 1;
+            if (nesting > 4) {
+                special_count = special_count + 1;
+                token_count = token_count + 1;
+                assert(nesting <= 5); /*BUG:pt-6*/
+            }
+            assert(token_count == class_sum());
+            emit('(');
+            pos = pos + 1;
+            continue;
+        }
+        if (c == ')') {
+            if (nesting < 1) {
+                error_count = error_count + 1;
+                token_count = token_count + 1;
+                emit('!');
+                pos = pos + 1;
+                continue;
+            }
+            nesting = nesting - 1;
+            op_count = op_count + 1;
+            token_count = token_count + 1;
+            emit(')');
+            pos = pos + 1;
+            continue;
+        }
+        if (is_alpha(c)) {
+            int tok_len = 0;
+            while (pos < inlen && (is_alpha(inbuf[pos]) || is_digit(inbuf[pos]))) {
+                tok_len = tok_len + 1;
+                pos = pos + 1;
+            }
+            if (tok_len > 16) {
+                special_count = special_count + 2;
+                token_count = token_count + 1;
+                assert(token_count == class_sum()); /*BUG:pt-5*/
+                emit('L');
+                continue;
+            }
+            ident_count = ident_count + 1;
+            token_count = token_count + 1;
+            assert(token_count == class_sum());
+            emit('I');
+            continue;
+        }
+        if (is_digit(c)) {
+            int tok_len = 0;
+            int value = 0;
+            while (pos < inlen && is_digit(inbuf[pos])) {
+                value = value * 10 + (inbuf[pos] - '0');
+                tok_len = tok_len + 1;
+                pos = pos + 1;
+            }
+            if (tok_len > 8) {
+                num_count = num_count + 2;
+                token_count = token_count + 1;
+                assert(token_count == class_sum()); /*BUG:pt-4*/
+                emit('B');
+                continue;
+            }
+            num_count = num_count + 1;
+            token_count = token_count + 1;
+            assert(value >= 0);
+            emit('N');
+            continue;
+        }
+        if (c == '+' || c == '-' || c == '*' || c == '/' ||
+            c == '=' || c == '<' || c == '>' || c == ';' || c == ',') {
+            op_count = op_count + 1;
+            token_count = token_count + 1;
+            emit('O');
+            pos = pos + 1;
+            continue;
+        }
+        error_count = error_count + 1;
+        token_count = token_count + 1;
+        emit('?');
+        pos = pos + 1;
+    }
+    if (mode == 1) {
+        int tail = 0;
+        int j;
+        for (j = 0; j < 60; j = j + 1) {
+            if (inbuf[j] == ' ') { tail = tail + 1; }
+        }
+        if (tail > 3) {
+            special_count = special_count + 3;
+            token_count = token_count + 1;
+            assert(token_count == class_sum()); /*BUG:pt-7*/
+        }
+    }
+    int k;
+    for (k = 0; k < obi; k = k + 1) {
+        putchar(outbuf[k]);
+    }
+    printint(token_count);
+    assert(token_count >= 0);
+    return 0;
+}
+"#;
+
+/// General input: identifiers, short numbers, common operators and shallow
+/// balanced parentheses — none of the bug-triggering token classes.
+pub(crate) fn general_input(seed: u64) -> Vec<u8> {
+    let mut g = InputGen::new(seed ^ 0x7074);
+    let mut out = Vec::new();
+    let mut depth = 0u32;
+    let tokens = g.range(40, 70);
+    for _ in 0..tokens {
+        match g.below(10) {
+            0..=3 => out.extend_from_slice(&g.word(1, 8)),
+            4..=6 => out.extend_from_slice(&g.number(4)),
+            7 => {
+                out.push(*g.pick(b"+-*/=<>;,"));
+            }
+            8 => {
+                if depth < 3 {
+                    out.push(b'(');
+                    depth += 1;
+                } else {
+                    out.extend_from_slice(&g.word(1, 4));
+                }
+            }
+            _ => {
+                if depth > 0 {
+                    out.push(b')');
+                    depth -= 1;
+                } else {
+                    out.extend_from_slice(&g.number(3));
+                }
+            }
+        }
+        out.push(if g.chance(1, 6) { b'\n' } else { b' ' });
+    }
+    while depth > 0 {
+        out.push(b')');
+        depth -= 1;
+    }
+    // Per-input diversity (benign rare features): some inputs contain
+    // unknown characters or a stray close paren, so different test cases
+    // cover different error-handling edges — as in the paper's test suites.
+    if g.chance(1, 3) {
+        out.push(*g.pick(b"?.!"));
+        out.push(b' ');
+    }
+    if g.chance(1, 4) {
+        out.push(b')');
+    }
+    out.push(b'\n');
+    out
+}
+
+/// The `print_tokens` workload.
+#[must_use]
+pub fn workload() -> Workload {
+    Workload {
+        name: "print_tokens",
+        source: SOURCE,
+        family: Family::Siemens,
+        tools: &[Tool::Assertions],
+        bugs: vec![
+            BugSpec {
+                id: "pt-1",
+                tool: Tool::Assertions,
+                marker: "/*BUG:pt-1*/",
+                escape: EscapeClass::Helped,
+                description: "string token double-counts str_count",
+            },
+            BugSpec {
+                id: "pt-2",
+                tool: Tool::Assertions,
+                marker: "/*BUG:pt-2*/",
+                escape: EscapeClass::Helped,
+                description: "comment token never counted in comment_count",
+            },
+            BugSpec {
+                id: "pt-3",
+                tool: Tool::Assertions,
+                marker: "/*BUG:pt-3*/",
+                escape: EscapeClass::Helped,
+                description: "% operator double-counts op_count",
+            },
+            BugSpec {
+                id: "pt-4",
+                tool: Tool::Assertions,
+                marker: "/*BUG:pt-4*/",
+                escape: EscapeClass::Helped,
+                description: "over-long numbers double-count num_count",
+            },
+            BugSpec {
+                id: "pt-5",
+                tool: Tool::Assertions,
+                marker: "/*BUG:pt-5*/",
+                escape: EscapeClass::Helped,
+                description: "over-long identifiers double-count special_count",
+            },
+            BugSpec {
+                id: "pt-6",
+                tool: Tool::Assertions,
+                marker: "/*BUG:pt-6*/",
+                escape: EscapeClass::Inconsistency,
+                description: "deep-nesting bug fails only for nesting >= 6; the boundary \
+                              fix pins nesting to 5",
+            },
+            BugSpec {
+                id: "pt-7",
+                tool: Tool::Assertions,
+                marker: "/*BUG:pt-7*/",
+                escape: EscapeClass::NeedsSpecialInput,
+                description: "input-overflow handling: the 60-iteration re-scan exceeds \
+                              MaxNTPathLength before the buggy inner branch",
+            },
+        ],
+        max_nt_path_len: 100,
+        input: general_input,
+    }
+}

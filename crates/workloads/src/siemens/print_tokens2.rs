@@ -1,0 +1,517 @@
+//! `print_tokens2` — the second Siemens tokenizer, carrying the paper's
+//! Figure 1 bug: a string-constant check that scans the token buffer for a
+//! closing quote **without a terminator check**, overrunning the buffer
+//! whenever the token lacks a second quote. The buggy path is entered only
+//! when a token starts with `"` — which general inputs never produce — so
+//! only PathExpander exposes it (version v10, detected by CCured and
+//! iWatcher). Nine further semantic versions are checked by assertions
+//! (5 detected, per Table 4).
+
+use px_detect::Tool;
+
+use crate::input::InputGen;
+use crate::{BugSpec, EscapeClass, Family, Workload};
+
+pub(crate) const SOURCE: &str = r#"
+char inbuf[600];
+int inlen = 0;
+char tok[6];
+int tok_len = 0;
+char outbuf[900];
+int obi = 0;
+
+int token_count = 0;
+int ident_count = 0;
+int num_count = 0;
+int op_count = 0;
+int cmp_count = 0;
+int kw_count = 0;
+int str_count = 0;
+int err_count = 0;
+int paren_depth = 0;
+int stmt_len = 0;
+int neg_count = 0;
+int chk = 0;
+int mode = 0;
+
+int trace_mode = 0;
+
+void audit(int v) {
+    if (v > 901) {
+        if (v > 1802) { trace_mode = 2; }
+        if (v > 2703) { trace_mode = 3; }
+    }
+    if (v > 908) {
+        if (v > 1816) { trace_mode = 2; }
+        if (v > 2724) { trace_mode = 3; }
+    }
+    if (v > 915) {
+        if (v > 1830) { trace_mode = 2; }
+        if (v > 2745) { trace_mode = 3; }
+    }
+    if (v > 922) {
+        if (v > 1844) { trace_mode = 2; }
+        if (v > 2766) { trace_mode = 3; }
+    }
+    if (v > 929) {
+        if (v > 1858) { trace_mode = 2; }
+        if (v > 2787) { trace_mode = 3; }
+    }
+    if (v > 936) {
+        if (v > 1872) { trace_mode = 2; }
+        if (v > 2808) { trace_mode = 3; }
+    }
+    if (v > 943) {
+        if (v > 1886) { trace_mode = 2; }
+        if (v > 2829) { trace_mode = 3; }
+    }
+    if (v > 950) {
+        if (v > 1900) { trace_mode = 2; }
+        if (v > 2850) { trace_mode = 3; }
+    }
+    if (v > 957) {
+        if (v > 1914) { trace_mode = 2; }
+        if (v > 2871) { trace_mode = 3; }
+    }
+    if (v > 964) {
+        if (v > 1928) { trace_mode = 2; }
+        if (v > 2892) { trace_mode = 3; }
+    }
+    if (v > 971) {
+        if (v > 1942) { trace_mode = 2; }
+        if (v > 2913) { trace_mode = 3; }
+    }
+    if (v > 978) {
+        if (v > 1956) { trace_mode = 2; }
+        if (v > 2934) { trace_mode = 3; }
+    }
+    if (v > 985) {
+        if (v > 1970) { trace_mode = 2; }
+        if (v > 2955) { trace_mode = 3; }
+    }
+    if (v > 992) {
+        if (v > 1984) { trace_mode = 2; }
+        if (v > 2976) { trace_mode = 3; }
+    }
+}
+
+int is_alpha(int c) {
+    if (c >= 'a' && c <= 'z') { return 1; }
+    if (c >= 'A' && c <= 'Z') { return 1; }
+    return 0;
+}
+
+int is_digit(int c) {
+    if (c >= '0' && c <= '9') { return 1; }
+    return 0;
+}
+
+int is_space(int c) {
+    if (c == ' ' || c == 9 || c == 10) { return 1; }
+    return 0;
+}
+
+int class_sum() {
+    int s = ident_count + num_count + op_count;
+    s = s + cmp_count + kw_count + str_count + err_count;
+    return s;
+}
+
+void emit(int code) {
+    if (obi < 900) {
+        outbuf[obi] = code;
+        obi = obi + 1;
+    }
+}
+
+int keyword_id() {
+    if (tok_len == 2) {
+        if (tok[0] == 'i' && tok[1] == 'f') { return 1; }
+        if (tok[0] == 'd' && tok[1] == 'o') { return 2; }
+    }
+    if (tok_len == 3) {
+        if (tok[0] == 'f' && tok[1] == 'o' && tok[2] == 'r') { return 3; }
+        if (tok[0] == 'r' && tok[1] == 'e' && tok[2] == 't') { return 4; }
+    }
+    return 0;
+}
+
+void read_input() {
+    int c = getchar();
+    while (c != -1 && inlen < 600) {
+        inbuf[inlen] = c;
+        inlen = inlen + 1;
+        c = getchar();
+    }
+    if (c != -1) { mode = 1; }
+}
+
+int errbuf[8];
+
+void diagnostics(int x) {
+    int e0 = 8 + x % 4;
+    if (e0 < 8) { errbuf[e0] = 1; } /*FPSITE*/
+    int e1 = 8 + (x / 3) % 4;
+    if (e1 < 8) { errbuf[e1] = 2; } /*FPSITE*/
+    int e2 = 9 + x % 3;
+    if (e2 < 8) { errbuf[e2] = 3; } /*FPSITE*/
+    int e3 = 8 + (x / 5) % 4;
+    if (e3 < 8) { errbuf[e3] = 4; } /*FPSITE*/
+    int e4 = 10 + x % 2;
+    if (e4 < 8) { errbuf[e4] = 5; } /*FPSITE*/
+    int e5 = 8 + (x / 7) % 4;
+    if (e5 < 8) { errbuf[e5] = 6; } /*FPSITE*/
+    int e6 = 9 + (x / 2) % 3;
+    if (e6 < 8) { errbuf[e6] = 7; } /*FPSITE*/
+    int r0 = 8 + x % 4;
+    if (r0 < 8) { errbuf[r0 + 2] = 8; } /*FPRES*/
+    int r1 = 9 + x % 3;
+    if (r1 < 8) { errbuf[r1 + 3] = 9; } /*FPRES*/
+}
+
+int main() {
+    read_input();
+    int pos = 0;
+    while (pos < inlen) {
+        int c = inbuf[pos];
+        diagnostics(c + token_count);
+        if (trace_mode > 0) { audit(c + token_count); }
+        if (is_space(c)) {
+            pos = pos + 1;
+            if (stmt_len > 12) {
+                token_count = token_count + 1;
+                assert(token_count == class_sum()); /*BUG:pt2-v4*/
+            }
+            continue;
+        }
+        if (c == '"') {
+            int j = 0;
+            while (tok[j] != '"') { j = j + 1; } /*BUG:pt2-v10*/
+            str_count = str_count + 1;
+            token_count = token_count + 1;
+            emit('S');
+            emit(j);
+            pos = pos + 1;
+            continue;
+        }
+        if (c == '@') {
+            kw_count = kw_count + 2;
+            token_count = token_count + 1;
+            assert(token_count == class_sum()); /*BUG:pt2-v1*/
+            emit('D');
+            pos = pos + 1;
+            continue;
+        }
+        if (c == '&') {
+            cmp_count = cmp_count + 2;
+            token_count = token_count + 1;
+            assert(token_count == class_sum()); /*BUG:pt2-v2*/
+            emit('A');
+            pos = pos + 1;
+            continue;
+        }
+        if (c == '~') {
+            err_count = err_count + 1;
+            token_count = token_count + 2;
+            assert(token_count == class_sum()); /*BUG:pt2-v5*/
+            emit('T');
+            pos = pos + 1;
+            continue;
+        }
+        if (c == '$') {
+            int warm = 0;
+            int w;
+            for (w = 0; w < 40; w = w + 1) {
+                warm = warm + inbuf[w % inlen];
+            }
+            if (warm < 0) {
+                token_count = token_count + 2;
+                err_count = err_count + 1;
+                assert(token_count == class_sum()); /*BUG:pt2-v8*/
+            }
+            op_count = op_count + 1;
+            token_count = token_count + 1;
+            emit('$');
+            pos = pos + 1;
+            continue;
+        }
+        if (c == '(') {
+            paren_depth = paren_depth + 1;
+            op_count = op_count + 1;
+            token_count = token_count + 1;
+            if (paren_depth > 3) {
+                assert(paren_depth <= 4); /*BUG:pt2-v3*/
+            }
+            emit('(');
+            pos = pos + 1;
+            continue;
+        }
+        if (c == ')') {
+            if (paren_depth > 0) { paren_depth = paren_depth - 1; }
+            op_count = op_count + 1;
+            token_count = token_count + 1;
+            emit(')');
+            pos = pos + 1;
+            continue;
+        }
+        if (c == '<' || c == '>' || c == '=') {
+            cmp_count = cmp_count + 1;
+            token_count = token_count + 1;
+            stmt_len = stmt_len + 1;
+            emit('C');
+            pos = pos + 1;
+            continue;
+        }
+        if (c == ';') {
+            stmt_len = 0;
+            op_count = op_count + 1;
+            token_count = token_count + 1;
+            emit(';');
+            pos = pos + 1;
+            continue;
+        }
+        if (is_alpha(c)) {
+            tok_len = 0;
+            while (pos < inlen && is_alpha(inbuf[pos])) {
+                if (tok_len < 5) {
+                    tok[tok_len] = inbuf[pos];
+                    tok_len = tok_len + 1;
+                }
+                pos = pos + 1;
+            }
+            tok[tok_len] = 0;
+            int kw = keyword_id();
+            if (kw == 4) {
+                kw_count = kw_count + 2;
+                token_count = token_count + 1;
+                assert(token_count == class_sum()); /*BUG:pt2-v7*/
+                emit('R');
+                continue;
+            }
+            if (kw != 0) {
+                kw_count = kw_count + 1;
+                token_count = token_count + 1;
+                emit('K');
+                continue;
+            }
+            ident_count = ident_count + 1;
+            token_count = token_count + 1;
+            stmt_len = stmt_len + 1;
+            emit('I');
+            continue;
+        }
+        if (is_digit(c) || c == '-') {
+            int neg = 0;
+            if (c == '-') { neg = 1; pos = pos + 1; }
+            int value = 0;
+            while (pos < inlen && is_digit(inbuf[pos])) {
+                value = value * 10 + (inbuf[pos] - '0');
+                pos = pos + 1;
+            }
+            if (neg == 1) { value = 0 - value; neg_count = neg_count + 1; }
+            chk = chk * 31 + value;
+            if (chk < 0) {
+                chk = 0 - chk;
+                assert(chk >= 0); /*BUG:pt2-v9*/
+            }
+            num_count = num_count + 1;
+            token_count = token_count + 1;
+            stmt_len = stmt_len + 1;
+            emit('N');
+            continue;
+        }
+        if (c == '+' || c == '*' || c == '/' || c == ',') {
+            op_count = op_count + 1;
+            token_count = token_count + 1;
+            stmt_len = stmt_len + 1;
+            emit('O');
+            pos = pos + 1;
+            continue;
+        }
+        err_count = err_count + 1;
+        token_count = token_count + 1;
+        emit('?');
+        pos = pos + 1;
+    }
+    if (mode == 1) {
+        int tail = 0;
+        int j;
+        for (j = 0; j < 60; j = j + 1) {
+            if (inbuf[j] == ';') { tail = tail + 1; }
+        }
+        if (tail > 2) {
+            token_count = token_count + 2;
+            err_count = err_count + 1;
+            assert(token_count == class_sum()); /*BUG:pt2-v6*/
+        }
+    }
+    int k;
+    for (k = 0; k < obi; k = k + 1) {
+        putchar(outbuf[k]);
+    }
+    printint(token_count);
+    return 0;
+}
+"#;
+
+/// General input: identifiers (no `ret` keyword), short numbers, arithmetic
+/// and comparison operators, shallow parens, semicolons every few tokens —
+/// no quotes, directives (`@`), ampersands, tildes or dollars, and
+/// statements shorter than 12 tokens.
+pub(crate) fn general_input(seed: u64) -> Vec<u8> {
+    let mut g = InputGen::new(seed ^ 0x7072_3200);
+    let mut out = Vec::new();
+    let mut depth = 0u32;
+    let mut stmt = 0u32;
+    let words: &[&[u8]] = &[b"alpha", b"beta", b"cnt", b"fo", b"ifx", b"dox", b"val", b"tmp"];
+    let kws: &[&[u8]] = &[b"if", b"do", b"for"];
+    let tokens = g.range(50, 80);
+    for _ in 0..tokens {
+        if stmt >= 9 {
+            out.extend_from_slice(b"; ");
+            stmt = 0;
+            continue;
+        }
+        match g.below(12) {
+            0..=3 => out.extend_from_slice(g.pick_bytes(words)),
+            4 => out.extend_from_slice(g.pick_bytes(kws)),
+            5..=7 => out.extend_from_slice(&g.number(4)),
+            8 => out.push(*g.pick(b"+*/,")),
+            9 => out.push(*g.pick(b"<>=")),
+            10 => {
+                if depth < 2 {
+                    out.push(b'(');
+                    depth += 1;
+                } else {
+                    out.extend_from_slice(g.pick_bytes(words));
+                }
+            }
+            _ => {
+                if depth > 0 {
+                    out.push(b')');
+                    depth -= 1;
+                } else {
+                    out.extend_from_slice(b"; ");
+                    stmt = 0;
+                    continue;
+                }
+            }
+        }
+        stmt += 1;
+        out.push(if g.chance(1, 8) { b'\n' } else { b' ' });
+    }
+    while depth > 0 {
+        out.push(b')');
+        depth -= 1;
+    }
+    // Benign per-input diversity: unknown characters and negative numbers
+    // exercise different (non-buggy) edges across the test suite.
+    if g.chance(1, 3) {
+        out.push(*g.pick(b"?._"));
+        out.push(b' ');
+    }
+    if g.chance(1, 3) {
+        out.push(b'-');
+        out.extend_from_slice(&g.number(3));
+        out.push(b' ');
+    }
+    out.push(b'\n');
+    out
+}
+
+/// The `print_tokens2` workload.
+#[must_use]
+pub fn workload() -> Workload {
+    Workload {
+        name: "print_tokens2",
+        source: SOURCE,
+        family: Family::Siemens,
+        tools: &[Tool::Ccured, Tool::Iwatcher, Tool::Assertions],
+        bugs: vec![
+            BugSpec {
+                id: "pt2-v10-ccured",
+                tool: Tool::Ccured,
+                marker: "/*BUG:pt2-v10*/",
+                escape: EscapeClass::Helped,
+                description: "Figure 1: closing-quote scan without terminator check \
+                              overruns the token buffer",
+            },
+            BugSpec {
+                id: "pt2-v10-iwatcher",
+                tool: Tool::Iwatcher,
+                marker: "/*BUG:pt2-v10*/",
+                escape: EscapeClass::Helped,
+                description: "Figure 1 overrun, caught by the red zone after tok[]",
+            },
+            BugSpec {
+                id: "pt2-v1",
+                tool: Tool::Assertions,
+                marker: "/*BUG:pt2-v1*/",
+                escape: EscapeClass::Helped,
+                description: "directive token double-counts kw_count",
+            },
+            BugSpec {
+                id: "pt2-v2",
+                tool: Tool::Assertions,
+                marker: "/*BUG:pt2-v2*/",
+                escape: EscapeClass::Helped,
+                description: "ampersand token double-counts cmp_count",
+            },
+            BugSpec {
+                id: "pt2-v3",
+                tool: Tool::Assertions,
+                marker: "/*BUG:pt2-v3*/",
+                escape: EscapeClass::Inconsistency,
+                description: "deep-paren bug fails only at depth >= 5; the boundary fix \
+                              pins depth to 4",
+            },
+            BugSpec {
+                id: "pt2-v4",
+                tool: Tool::Assertions,
+                marker: "/*BUG:pt2-v4*/",
+                escape: EscapeClass::Helped,
+                description: "long-statement path counts a phantom token",
+            },
+            BugSpec {
+                id: "pt2-v5",
+                tool: Tool::Assertions,
+                marker: "/*BUG:pt2-v5*/",
+                escape: EscapeClass::Helped,
+                description: "tilde token double-counts token_count",
+            },
+            BugSpec {
+                id: "pt2-v6",
+                tool: Tool::Assertions,
+                marker: "/*BUG:pt2-v6*/",
+                escape: EscapeClass::NeedsSpecialInput,
+                description: "overflow-mode re-scan exceeds MaxNTPathLength before the \
+                              buggy inner branch",
+            },
+            BugSpec {
+                id: "pt2-v7",
+                tool: Tool::Assertions,
+                marker: "/*BUG:pt2-v7*/",
+                escape: EscapeClass::Helped,
+                description: "`ret` keyword double-counts kw_count",
+            },
+            BugSpec {
+                id: "pt2-v8",
+                tool: Tool::Assertions,
+                marker: "/*BUG:pt2-v8*/",
+                escape: EscapeClass::NeedsSpecialInput,
+                description: "dollar token: 40-iteration warm-up exceeds MaxNTPathLength \
+                              before the buggy inner branch",
+            },
+            BugSpec {
+                id: "pt2-v9",
+                tool: Tool::Assertions,
+                marker: "/*BUG:pt2-v9*/",
+                escape: EscapeClass::ValueCoverage,
+                description: "checksum negation is wrong only for INT_MIN — a value \
+                              coverage problem, not a path coverage problem",
+            },
+        ],
+        max_nt_path_len: 100,
+        input: general_input,
+    }
+}

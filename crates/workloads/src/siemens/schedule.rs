@@ -1,0 +1,268 @@
+//! `schedule` — a three-level priority scheduler in the style of the
+//! Siemens benchmark. Operations arrive as an integer stream; the rare
+//! operations (block, flush, rebalance) are the non-taken paths. Five
+//! seeded assertion bugs, two detected (Table 4) — versions 1 and 3 are the
+//! paper's value-coverage escapes (§7.1(1)).
+
+use px_detect::Tool;
+
+use crate::input::InputGen;
+use crate::{BugSpec, EscapeClass, Family, Workload};
+
+pub(crate) const SOURCE: &str = r#"
+int q0[20];
+int q1[20];
+int q2[20];
+int blockedq[20];
+int len0 = 0;
+int len1 = 0;
+int len2 = 0;
+int blen = 0;
+
+int added = 0;
+int finished = 0;
+int flushed = 0;
+int promoted = 0;
+int rejected = 0;
+int tick = 0;
+int total_wait = 0;
+int quantum = 4;
+int next_id = 1;
+
+int trace_mode = 0;
+
+void audit(int v) {
+    if (v > 901) {
+        if (v > 1802) { trace_mode = 2; }
+        if (v > 2703) { trace_mode = 3; }
+    }
+    if (v > 908) {
+        if (v > 1816) { trace_mode = 2; }
+        if (v > 2724) { trace_mode = 3; }
+    }
+    if (v > 915) {
+        if (v > 1830) { trace_mode = 2; }
+        if (v > 2745) { trace_mode = 3; }
+    }
+    if (v > 922) {
+        if (v > 1844) { trace_mode = 2; }
+        if (v > 2766) { trace_mode = 3; }
+    }
+    if (v > 929) {
+        if (v > 1858) { trace_mode = 2; }
+        if (v > 2787) { trace_mode = 3; }
+    }
+}
+
+int queued() {
+    return len0 + len1 + len2;
+}
+
+int balanced() {
+    int live = len0 + len1 + len2 + blen;
+    if (added == finished + flushed + rejected + live) { return 1; }
+    return 0;
+}
+
+void push(int prio, int id) {
+    if (prio == 0) {
+        if (len0 < 20) { q0[len0] = id; len0 = len0 + 1; }
+        else { rejected = rejected + 1; added = added - 1; }
+    } else {
+        if (prio == 1) {
+            if (len1 < 20) { q1[len1] = id; len1 = len1 + 1; }
+            else { rejected = rejected + 1; added = added - 1; }
+        } else {
+            if (len2 < 20) { q2[len2] = id; len2 = len2 + 1; }
+            else { rejected = rejected + 1; added = added - 1; }
+        }
+    }
+}
+
+int pop0() {
+    int id = q0[0];
+    int i;
+    for (i = 1; i < len0; i = i + 1) { q0[i - 1] = q0[i]; }
+    len0 = len0 - 1;
+    return id;
+}
+
+int pop1() {
+    int id = q1[0];
+    int i;
+    for (i = 1; i < len1; i = i + 1) { q1[i - 1] = q1[i]; }
+    len1 = len1 - 1;
+    return id;
+}
+
+int pop2() {
+    int id = q2[0];
+    int i;
+    for (i = 1; i < len2; i = i + 1) { q2[i - 1] = q2[i]; }
+    len2 = len2 - 1;
+    return id;
+}
+
+int main() {
+    int v = readint();
+    while (v >= 0) {
+        int op = v % 8;
+        int arg = v / 8;
+        tick = tick + 1;
+        if (trace_mode > 0) { audit(tick + added); }
+        if (op == 0 || op == 1) {
+            int prio = arg % 3;
+            added = added + 1;
+            push(prio, next_id);
+            next_id = next_id + 1;
+            assert(balanced() == 1);
+        }
+        if (op == 2) {
+            if (len0 > 0) {
+                int id = pop0();
+                finished = finished + 1;
+                total_wait = total_wait + (tick - id % 16);
+                putchar('0' + id % 10);
+            } else { if (len1 > 0) {
+                int id = pop1();
+                finished = finished + 1;
+                total_wait = total_wait + (tick - id % 16);
+                putchar('0' + id % 10);
+            } else { if (len2 > 0) {
+                int id = pop2();
+                finished = finished + 1;
+                total_wait = total_wait + (tick - id % 16);
+                putchar('0' + id % 10);
+            } } }
+            if (finished > 0) {
+                int avg_wait = total_wait / finished;
+                assert(avg_wait <= total_wait); /*BUG:sch-1*/
+            }
+        }
+        if (op == 3) {
+            if (len1 > 0) {
+                int id = pop1();
+                push(0, id);
+                promoted = promoted + 1;
+            }
+            tick = tick + quantum;
+            assert(tick > 0); /*BUG:sch-3*/
+        }
+        if (op == 4) {
+            if (len0 > 0) {
+                int id = q0[len0 - 1];
+                len0 = len0 - 1;
+                if (blen < 20) {
+                    blockedq[blen] = id;
+                }
+                assert(balanced() == 1); /*BUG:sch-2*/
+            }
+        }
+        if (op == 6) {
+            flushed = flushed + len0 + len1 + len2 + 1;
+            len0 = 0;
+            len1 = 0;
+            len2 = 0;
+            assert(balanced() == 1); /*BUG:sch-4*/
+        }
+        if (op == 7) {
+            int load = 0;
+            int i;
+            for (i = 0; i < 20; i = i + 1) {
+                load = load + q0[i] + q1[i] + q2[i];
+            }
+            if (load < 0) {
+                flushed = flushed + 2;
+                assert(balanced() == 1); /*BUG:sch-5*/
+            }
+        }
+        v = readint();
+    }
+    printint(finished);
+    printint(queued());
+    assert(balanced() == 1);
+    return 0;
+}
+"#;
+
+/// General input: add/run/promote operations only — block (4), flush (6)
+/// and rebalance (7) never occur.
+pub(crate) fn general_input(seed: u64) -> Vec<u8> {
+    let mut g = InputGen::new(seed ^ 0x5343_4845);
+    let mut out = Vec::new();
+    // Seed the queues: a few priority-0 adds first, so the early NT-paths
+    // spawned from the rare-op branches see non-empty queues.
+    for _ in 0..6 {
+        let v = 8 * (3 * g.below(30)); // op 0, arg ≡ 0 (mod 3) → priority 0
+        out.extend_from_slice(v.to_string().as_bytes());
+        out.push(b' ');
+    }
+    let n_ops = g.range(40, 70);
+    for _ in 0..n_ops {
+        let op = match g.below(12) {
+            0..=4 => u32::from(g.chance(1, 2)), // add (op 0 or 1)
+            5..=8 => 2,                         // run
+            9 | 10 => 3,                        // promote
+            _ => 5,                             // unhandled no-op
+        };
+        let arg = g.below(100);
+        let v = op + 8 * arg;
+        out.extend_from_slice(v.to_string().as_bytes());
+        out.push(b' ');
+    }
+    out.extend_from_slice(b"-1\n");
+    out
+}
+
+/// The `schedule` workload.
+#[must_use]
+pub fn workload() -> Workload {
+    Workload {
+        name: "schedule",
+        source: SOURCE,
+        family: Family::Siemens,
+        tools: &[Tool::Assertions],
+        bugs: vec![
+            BugSpec {
+                id: "sch-1",
+                tool: Tool::Assertions,
+                marker: "/*BUG:sch-1*/",
+                escape: EscapeClass::ValueCoverage,
+                description: "average-wait bug manifests only when total_wait overflows \
+                              negative — value coverage, the paper's schedule v1",
+            },
+            BugSpec {
+                id: "sch-2",
+                tool: Tool::Assertions,
+                marker: "/*BUG:sch-2*/",
+                escape: EscapeClass::Helped,
+                description: "block path drops the process: blen never incremented",
+            },
+            BugSpec {
+                id: "sch-3",
+                tool: Tool::Assertions,
+                marker: "/*BUG:sch-3*/",
+                escape: EscapeClass::ValueCoverage,
+                description: "tick accounting wrong only at integer overflow — value \
+                              coverage, the paper's schedule v3",
+            },
+            BugSpec {
+                id: "sch-4",
+                tool: Tool::Assertions,
+                marker: "/*BUG:sch-4*/",
+                escape: EscapeClass::Helped,
+                description: "flush path counts one phantom process",
+            },
+            BugSpec {
+                id: "sch-5",
+                tool: Tool::Assertions,
+                marker: "/*BUG:sch-5*/",
+                escape: EscapeClass::NeedsSpecialInput,
+                description: "rebalance: the 20-iteration load scan exceeds \
+                              MaxNTPathLength before the buggy inner branch",
+            },
+        ],
+        max_nt_path_len: 100,
+        input: general_input,
+    }
+}

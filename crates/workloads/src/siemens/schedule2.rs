@@ -1,0 +1,249 @@
+//! `schedule2` — the second Siemens scheduler: four queues with aging and
+//! batch operations. Five seeded assertion bugs, one detected (Table 4);
+//! the escapes cover value coverage (×2), fixed-state inconsistency and a
+//! budget-shielded special-input bug.
+
+use px_detect::Tool;
+
+use crate::input::InputGen;
+use crate::{BugSpec, EscapeClass, Family, Workload};
+
+pub(crate) const SOURCE: &str = r#"
+int queues[80];
+int qlen[4];
+int age[80];
+
+int added = 0;
+int finished = 0;
+int cancelled = 0;
+int rejected = 0;
+int burst = 0;
+int maxburst = 0;
+int tick = 0;
+int credit = 0;
+int next_id = 1;
+
+int trace_mode = 0;
+
+void audit(int v) {
+    if (v > 901) {
+        if (v > 1802) { trace_mode = 2; }
+        if (v > 2703) { trace_mode = 3; }
+    }
+    if (v > 908) {
+        if (v > 1816) { trace_mode = 2; }
+        if (v > 2724) { trace_mode = 3; }
+    }
+    if (v > 915) {
+        if (v > 1830) { trace_mode = 2; }
+        if (v > 2745) { trace_mode = 3; }
+    }
+    if (v > 922) {
+        if (v > 1844) { trace_mode = 2; }
+        if (v > 2766) { trace_mode = 3; }
+    }
+}
+
+int queued() {
+    return qlen[0] + qlen[1] + qlen[2] + qlen[3];
+}
+
+int balanced() {
+    int live = qlen[0] + qlen[1] + qlen[2] + qlen[3];
+    if (added == finished + cancelled + rejected + live) { return 1; }
+    return 0;
+}
+
+int slot(int q, int i) {
+    return q * 20 + i;
+}
+
+void enqueue(int q, int id) {
+    if (qlen[q] < 20) {
+        queues[slot(q, qlen[q])] = id;
+        age[slot(q, qlen[q])] = 0;
+        qlen[q] = qlen[q] + 1;
+    } else {
+        rejected = rejected + 1;
+        added = added - 1;
+    }
+}
+
+int dequeue(int q) {
+    int id = queues[slot(q, 0)];
+    int i;
+    for (i = 1; i < qlen[q]; i = i + 1) {
+        queues[slot(q, i - 1)] = queues[slot(q, i)];
+        age[slot(q, i - 1)] = age[slot(q, i)];
+    }
+    qlen[q] = qlen[q] - 1;
+    return id;
+}
+
+void age_all(int q) {
+    int i;
+    for (i = 0; i < qlen[q]; i = i + 1) {
+        age[slot(q, i)] = age[slot(q, i)] + 1;
+        assert(age[slot(q, i)] > 0); /*BUG:sch2-2*/
+    }
+}
+
+int main() {
+    int v = readint();
+    while (v >= 0) {
+        int op = v % 8;
+        int arg = v / 8;
+        tick = tick + 1;
+        if (trace_mode > 0) { audit(tick + added); }
+        if (op == 0) {
+            added = added + 1;
+            enqueue(arg % 4, next_id);
+            next_id = next_id + 1;
+            burst = burst + 1;
+            if (burst > maxburst) { maxburst = burst; }
+            if (burst > 6) {
+                credit = credit + 1;
+                assert(burst <= 7); /*BUG:sch2-4*/
+            }
+        } else {
+            burst = 0;
+        }
+        if (op == 1 || op == 2) {
+            int q = 0;
+            while (q < 4 && qlen[q] == 0) { q = q + 1; }
+            if (q < 4) {
+                int id = dequeue(q);
+                finished = finished + 1;
+                putchar('0' + id % 10);
+                credit = credit + id % 4;
+                assert(credit >= 0); /*BUG:sch2-3*/
+            }
+            age_all(0);
+        }
+        if (op == 5) {
+            int q = 0;
+            while (q < 4 && qlen[q] == 0) { q = q + 1; }
+            if (q < 4) {
+                int id = queues[q * 20 + qlen[q] - 1];
+                qlen[q] = qlen[q] - 1;
+                cancelled = cancelled + 2;
+                int live = qlen[0] + qlen[1] + qlen[2] + qlen[3];
+                assert(added == finished + cancelled + rejected + live); /*BUG:sch2-1*/
+                putchar('x');
+                putchar('0' + id % 10);
+            }
+        }
+        if (op == 7) {
+            int total_age = 0;
+            int q;
+            int i;
+            for (q = 0; q < 4; q = q + 1) {
+                for (i = 0; i < qlen[q]; i = i + 1) {
+                    total_age = total_age + age[slot(q, i)];
+                }
+            }
+            if (total_age < 0) {
+                finished = finished + 1;
+                assert(balanced() == 1); /*BUG:sch2-5*/
+            }
+        }
+        v = readint();
+    }
+    printint(finished);
+    printint(queued());
+    assert(balanced() == 1);
+    return 0;
+}
+"#;
+
+/// General input: adds (bursts of at most 4), runs and no-ops — cancel (5)
+/// and the aging audit (7) never occur.
+pub(crate) fn general_input(seed: u64) -> Vec<u8> {
+    let mut g = InputGen::new(seed ^ 0x5332_3200);
+    let mut out = Vec::new();
+    // Early priority-0 adds so cancel NT-paths see work in queue 0.
+    for _ in 0..5 {
+        let v = 8 * (4 * g.below(25));
+        out.extend_from_slice(v.to_string().as_bytes());
+        out.push(b' ');
+    }
+    let n_ops = g.range(40, 70);
+    let mut consecutive_adds = 0u32;
+    for _ in 0..n_ops {
+        let op = if consecutive_adds >= 4 {
+            consecutive_adds = 0;
+            1 + g.below(2) // run
+        } else if g.chance(1, 2) {
+            consecutive_adds += 1;
+            0
+        } else {
+            consecutive_adds = 0;
+            match g.below(6) {
+                0 | 1 => 1,
+                2 => 2,
+                3 => 3, // no-op
+                4 => 4, // no-op
+                _ => 6, // no-op
+            }
+        };
+        let arg = g.below(100);
+        let v = op + 8 * arg;
+        out.extend_from_slice(v.to_string().as_bytes());
+        out.push(b' ');
+    }
+    out.extend_from_slice(b"-1\n");
+    out
+}
+
+/// The `schedule2` workload.
+#[must_use]
+pub fn workload() -> Workload {
+    Workload {
+        name: "schedule2",
+        source: SOURCE,
+        family: Family::Siemens,
+        tools: &[Tool::Assertions],
+        bugs: vec![
+            BugSpec {
+                id: "sch2-1",
+                tool: Tool::Assertions,
+                marker: "/*BUG:sch2-1*/",
+                escape: EscapeClass::Helped,
+                description: "cancel path double-counts cancelled",
+            },
+            BugSpec {
+                id: "sch2-2",
+                tool: Tool::Assertions,
+                marker: "/*BUG:sch2-2*/",
+                escape: EscapeClass::ValueCoverage,
+                description: "aging wraps only at INT_MAX — value coverage",
+            },
+            BugSpec {
+                id: "sch2-3",
+                tool: Tool::Assertions,
+                marker: "/*BUG:sch2-3*/",
+                escape: EscapeClass::ValueCoverage,
+                description: "credit accounting wrong only at integer overflow — value \
+                              coverage",
+            },
+            BugSpec {
+                id: "sch2-4",
+                tool: Tool::Assertions,
+                marker: "/*BUG:sch2-4*/",
+                escape: EscapeClass::Inconsistency,
+                description: "burst bug fails only at burst >= 8; the boundary fix pins \
+                              burst to 7",
+            },
+            BugSpec {
+                id: "sch2-5",
+                tool: Tool::Assertions,
+                marker: "/*BUG:sch2-5*/",
+                escape: EscapeClass::NeedsSpecialInput,
+                description: "aging audit: the full queue scan exceeds MaxNTPathLength \
+                              before the buggy inner branch",
+            },
+        ],
+        max_nt_path_len: 100,
+        input: general_input,
+    }
+}

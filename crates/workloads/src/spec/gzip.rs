@@ -1,0 +1,129 @@
+//! `164.gzip` — an LZ77-style compressor kernel. The inner match-search
+//! loops provide compute; literals and match tokens are emitted with
+//! `putchar` from the main loop, so NT-paths frequently reach an unsafe
+//! event — the paper's Figure 3(b) shape, where most early NT-path stops
+//! are unsafe events rather than crashes.
+
+use px_detect::Tool;
+
+use crate::input::InputGen;
+use crate::{Family, Workload};
+
+pub(crate) const SOURCE: &str = r#"
+char inbuf[1600];
+int inlen = 0;
+
+int literals = 0;
+int matches = 0;
+int total_saved = 0;
+int longest = 0;
+int out_bytes = 0;
+char outq[64];
+int oqn = 0;
+
+void read_input() {
+    int c = getchar();
+    while (c != -1 && inlen < 1600) {
+        inbuf[inlen] = c;
+        inlen = inlen + 1;
+        c = getchar();
+    }
+}
+
+void flush_out() {
+    int i;
+    for (i = 0; i < oqn; i = i + 1) {
+        putchar(outq[i]);
+    }
+    oqn = 0;
+}
+
+void emit(int b) {
+    outq[oqn] = b;
+    oqn = oqn + 1;
+    out_bytes = out_bytes + 1;
+    if (oqn >= 56) {
+        flush_out();
+    }
+}
+
+int main() {
+    read_input();
+    int pos = 0;
+    while (pos < inlen) {
+        int best_len = 0;
+        int best_dist = 0;
+        int start = pos - 64;
+        if (start < 0) { start = 0; }
+        int cand;
+        for (cand = start; cand < pos; cand = cand + 1) {
+            int len = 0;
+            while (pos + len < inlen && len < 32 &&
+                   inbuf[cand + len] == inbuf[pos + len]) {
+                len = len + 1;
+            }
+            if (len > best_len) {
+                best_len = len;
+                best_dist = pos - cand;
+            }
+        }
+        if (best_len >= 4) {
+            emit(255);
+            emit(best_dist);
+            emit(best_len);
+            matches = matches + 1;
+            total_saved = total_saved + best_len - 3;
+            if (best_len > longest) { longest = best_len; }
+            pos = pos + best_len;
+        } else {
+            emit(inbuf[pos]);
+            literals = literals + 1;
+            pos = pos + 1;
+        }
+    }
+    flush_out();
+    putchar(10);
+    printint(literals);
+    printint(matches);
+    printint(total_saved);
+    printint(longest);
+    return 0;
+}
+"#;
+
+/// General input: repetitive text with embedded random words — compressible
+/// enough to exercise both the literal and the match paths.
+pub(crate) fn general_input(seed: u64) -> Vec<u8> {
+    let mut g = InputGen::new(seed ^ 0x677A_6970);
+    let mut out = Vec::new();
+    let phrases: &[&[u8]] = &[
+        b"the quick brown fox ",
+        b"lorem ipsum dolor ",
+        b"pack my box with ",
+        b"jumps over the lazy dog ",
+    ];
+    while out.len() < 1200 {
+        if g.chance(3, 5) {
+            out.extend_from_slice(g.pick_bytes(phrases));
+        } else {
+            out.extend_from_slice(&g.word(3, 9));
+            out.push(b' ');
+        }
+    }
+    out.truncate(1400);
+    out
+}
+
+/// The `164.gzip` workload.
+#[must_use]
+pub fn workload() -> Workload {
+    Workload {
+        name: "164.gzip",
+        source: SOURCE,
+        family: Family::Spec,
+        tools: &[Tool::Ccured, Tool::Assertions],
+        bugs: Vec::new(),
+        max_nt_path_len: 1000,
+        input: general_input,
+    }
+}

@@ -1,0 +1,9 @@
+//! SPEC-style kernels for the latency (Figure 3) and overhead experiments.
+//! They carry no seeded bugs; what matters is their *side-effect density*:
+//! `gzip` writes output from its inner loop (NT-paths stop on unsafe
+//! events), `vpr` calls `rand()` per annealing move (likewise), and
+//! `parser` — like `go` — computes over buffered data (NT-paths survive).
+
+pub mod gzip;
+pub mod parser;
+pub mod vpr;

@@ -1,0 +1,175 @@
+//! `197.parser` — a dictionary-driven sentence checker: tokenizes buffered
+//! text, classifies each word by linear dictionary search, and validates a
+//! small grammar with a state machine. Pure computation after input
+//! buffering, like `go` — NT-paths mostly survive to the length limit.
+
+use px_detect::Tool;
+
+use crate::input::InputGen;
+use crate::{Family, Workload};
+
+pub(crate) const SOURCE: &str = r#"
+char inbuf[1200];
+int inlen = 0;
+
+char dict[240];
+int dict_class[30];
+int dict_n = 0;
+
+int nouns = 0;
+int verbs = 0;
+int dets = 0;
+int unknown = 0;
+int sentences = 0;
+int wellformed = 0;
+int state = 0;
+
+void add_word(char* w, int class) {
+    int i = 0;
+    int base = dict_n * 8;
+    while (w[i] != 0 && i < 7) {
+        dict[base + i] = w[i];
+        i = i + 1;
+    }
+    dict[base + i] = 0;
+    dict_class[dict_n] = class;
+    dict_n = dict_n + 1;
+}
+
+void build_dict() {
+    add_word("dog", 1);
+    add_word("cat", 1);
+    add_word("fox", 1);
+    add_word("man", 1);
+    add_word("box", 1);
+    add_word("sees", 2);
+    add_word("bites", 2);
+    add_word("jumps", 2);
+    add_word("finds", 2);
+    add_word("takes", 2);
+    add_word("the", 3);
+    add_word("a", 3);
+    add_word("every", 3);
+    add_word("some", 3);
+}
+
+int lookup(char* w) {
+    int d;
+    for (d = 0; d < dict_n; d = d + 1) {
+        int base = d * 8;
+        int i = 0;
+        int same = 1;
+        while (same == 1 && (w[i] != 0 || dict[base + i] != 0)) {
+            if (w[i] != dict[base + i]) { same = 0; }
+            else { i = i + 1; }
+        }
+        if (same == 1) { return dict_class[d]; }
+    }
+    return 0;
+}
+
+void read_input() {
+    int c = getchar();
+    while (c != -1 && inlen < 1200) {
+        inbuf[inlen] = c;
+        inlen = inlen + 1;
+        c = getchar();
+    }
+}
+
+int main() {
+    build_dict();
+    read_input();
+    int pos = 0;
+    char word[8];
+    while (pos < inlen) {
+        int c = inbuf[pos];
+        if (c == ' ' || c == 10) {
+            pos = pos + 1;
+            continue;
+        }
+        if (c == '.') {
+            sentences = sentences + 1;
+            if (state == 3) { wellformed = wellformed + 1; }
+            state = 0;
+            pos = pos + 1;
+            continue;
+        }
+        int wl = 0;
+        while (pos < inlen && inbuf[pos] != ' ' && inbuf[pos] != 10 &&
+               inbuf[pos] != '.') {
+            if (wl < 7) {
+                word[wl] = inbuf[pos];
+                wl = wl + 1;
+            }
+            pos = pos + 1;
+        }
+        word[wl] = 0;
+        int class = lookup(word);
+        if (class == 1) {
+            nouns = nouns + 1;
+            if (state == 1) { state = 2; }
+            else { if (state == 3) { state = 3; } else { state = 0; } }
+        }
+        if (class == 2) {
+            verbs = verbs + 1;
+            if (state == 2) { state = 3; }
+        }
+        if (class == 3) {
+            dets = dets + 1;
+            if (state == 0 || state == 3) { state = 1; }
+        }
+        if (class == 0) {
+            unknown = unknown + 1;
+        }
+    }
+    printint(nouns);
+    printint(verbs);
+    printint(dets);
+    printint(unknown);
+    printint(sentences);
+    printint(wellformed);
+    return 0;
+}
+"#;
+
+/// General input: sentences built from dictionary words with occasional
+/// out-of-dictionary words.
+pub(crate) fn general_input(seed: u64) -> Vec<u8> {
+    let mut g = InputGen::new(seed ^ 0x7072_7300);
+    let nouns: &[&[u8]] = &[b"dog", b"cat", b"fox", b"man", b"box"];
+    let verbs: &[&[u8]] = &[b"sees", b"bites", b"jumps", b"finds", b"takes"];
+    let dets: &[&[u8]] = &[b"the", b"a", b"every", b"some"];
+    let mut out = Vec::new();
+    let n_sent = g.range(25, 45);
+    for _ in 0..n_sent {
+        out.extend_from_slice(g.pick_bytes(dets));
+        out.push(b' ');
+        out.extend_from_slice(g.pick_bytes(nouns));
+        out.push(b' ');
+        out.extend_from_slice(g.pick_bytes(verbs));
+        if g.chance(1, 3) {
+            out.push(b' ');
+            out.extend_from_slice(&g.word(3, 7));
+        }
+        out.extend_from_slice(b". ");
+        if g.chance(1, 5) {
+            out.push(b'\n');
+        }
+    }
+    out
+}
+
+/// The `197.parser` workload.
+#[must_use]
+pub fn workload() -> Workload {
+    Workload {
+        name: "197.parser",
+        source: SOURCE,
+        family: Family::Spec,
+        tools: &[Tool::Ccured, Tool::Assertions],
+        bugs: Vec::new(),
+        max_nt_path_len: 1000,
+        input: general_input,
+    }
+}

@@ -1,0 +1,138 @@
+//! `175.vpr` — a placement annealing kernel: cells on a 16×16 grid, nets
+//! with Manhattan wirelength cost, random swap moves. Every move consults
+//! `rand()`, so NT-paths reach an unsafe event quickly — the paper's
+//! Figure 3(c) shape.
+
+use px_detect::Tool;
+
+use crate::input::InputGen;
+use crate::{Family, Workload};
+
+pub(crate) const SOURCE: &str = r#"
+int cellx[40];
+int celly[40];
+int net_a[64];
+int net_b[64];
+int ncells = 0;
+int nnets = 0;
+
+int accepted = 0;
+int rejected = 0;
+int best_cost = 0;
+int moves = 0;
+int prng_state = 1;
+
+int next_move() {
+    if (moves % 10 == 7) {
+        prng_state = rand() + 1;
+    }
+    prng_state = prng_state * 1103515245 + 12345;
+    int v = prng_state;
+    if (v < 0) { v = 0 - v; }
+    return v;
+}
+
+int absval(int v) {
+    if (v < 0) { return 0 - v; }
+    return v;
+}
+
+int net_cost(int n) {
+    int a = net_a[n];
+    int b = net_b[n];
+    int dx = absval(cellx[a] - cellx[b]);
+    int dy = absval(celly[a] - celly[b]);
+    return dx + dy;
+}
+
+int total_cost() {
+    int sum = 0;
+    int n;
+    for (n = 0; n < nnets; n = n + 1) {
+        sum = sum + net_cost(n);
+    }
+    return sum;
+}
+
+int main() {
+    ncells = readint();
+    if (ncells < 4) { ncells = 4; }
+    if (ncells > 40) { ncells = 40; }
+    nnets = readint();
+    if (nnets < 4) { nnets = 4; }
+    if (nnets > 64) { nnets = 64; }
+    int iters = readint();
+    if (iters < 10) { iters = 10; }
+    if (iters > 600) { iters = 600; }
+
+    int i;
+    for (i = 0; i < ncells; i = i + 1) {
+        cellx[i] = (i * 7) % 16;
+        celly[i] = (i * 3) % 16;
+    }
+    for (i = 0; i < nnets; i = i + 1) {
+        net_a[i] = (i * 5) % ncells;
+        net_b[i] = (i * 11 + 3) % ncells;
+    }
+
+    int cost = total_cost();
+    best_cost = cost;
+    int temperature = 64;
+    int m;
+    for (m = 0; m < iters; m = m + 1) {
+        moves = moves + 1;
+        int cell = next_move() % ncells;
+        int oldx = cellx[cell];
+        int oldy = celly[cell];
+        cellx[cell] = next_move() % 16;
+        celly[cell] = next_move() % 16;
+        int newcost = total_cost();
+        int delta = newcost - cost;
+        if (delta <= 0) {
+            accepted = accepted + 1;
+            cost = newcost;
+        } else {
+            int gate = next_move() % 64;
+            if (gate < temperature) {
+                accepted = accepted + 1;
+                cost = newcost;
+            } else {
+                cellx[cell] = oldx;
+                celly[cell] = oldy;
+                rejected = rejected + 1;
+            }
+        }
+        if (cost < best_cost) { best_cost = cost; }
+        if (m % 50 == 49 && temperature > 2) {
+            temperature = temperature / 2;
+        }
+    }
+    printint(best_cost);
+    printint(accepted);
+    printint(rejected);
+    return 0;
+}
+"#;
+
+/// General input: cell count, net count and iteration count.
+pub(crate) fn general_input(seed: u64) -> Vec<u8> {
+    let mut g = InputGen::new(seed ^ 0x7670_7200);
+    let cells = g.range(16, 40);
+    let nets = g.range(20, 64);
+    let iters = g.range(150, 400);
+    format!("{cells} {nets} {iters}\n").into_bytes()
+}
+
+/// The `175.vpr` workload.
+#[must_use]
+pub fn workload() -> Workload {
+    Workload {
+        name: "175.vpr",
+        source: SOURCE,
+        family: Family::Spec,
+        tools: &[Tool::Ccured, Tool::Assertions],
+        bugs: Vec::new(),
+        max_nt_path_len: 1000,
+        input: general_input,
+    }
+}

@@ -1,0 +1,86 @@
+//! The standard configuration and the CMP option must agree on what they
+//! detect: the CMP optimization changes *when* NT-paths run, not what they
+//! find (paper §7: "results of different PathExpander implementations are
+//! similar").
+
+use pathexpander::{run_cmp, run_standard};
+use px_detect::{classify, report};
+use px_mach::{IoState, MachConfig};
+
+#[test]
+fn cmp_and_standard_find_the_same_workload_bugs() {
+    // Our kernels spawn far more densely (per instruction) than the paper's
+    // full applications, so the default MaxNumNTPaths=32 queue saturates and
+    // legitimately skips some spawns in CMP mode. With an ample cap the two
+    // engines must agree exactly; with the default cap CMP can only find a
+    // subset.
+    for w in px_workloads::buggy() {
+        let tool = w.tools[0];
+        let compiled = w.compile_for(tool).unwrap();
+        let io = || IoState::new(w.general_input(12345), 12345);
+        let std_r = run_standard(
+            &compiled.program,
+            &MachConfig::single_core(),
+            &w.px_config(),
+            io(),
+        );
+        let lines = w.bug_lines_for(tool);
+        let std_tp =
+            classify(&report(&compiled, &std_r.monitor, tool), &lines, false).true_positives();
+
+        let ample = run_cmp(
+            &compiled.program,
+            &MachConfig::default(),
+            &w.px_config().cmp().with_max_outstanding(512),
+            io(),
+        );
+        let ample_tp =
+            classify(&report(&compiled, &ample.monitor, tool), &lines, false).true_positives();
+        assert_eq!(std_tp, ample_tp, "{}: engines agree with an ample queue", w.name);
+
+        let capped = run_cmp(
+            &compiled.program,
+            &MachConfig::default(),
+            &w.px_config().cmp(),
+            io(),
+        );
+        let capped_tp =
+            classify(&report(&compiled, &capped.monitor, tool), &lines, false).true_positives();
+        assert!(
+            capped_tp <= std_tp,
+            "{}: the outstanding cap can only lose detections",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn software_and_hardware_standard_agree_everywhere() {
+    // The software implementation shares the exploration engine; its
+    // functional results must be identical, not merely similar.
+    for w in px_workloads::buggy().into_iter().take(4) {
+        let tool = w.tools[0];
+        let compiled = w.compile_for(tool).unwrap();
+        let io = || IoState::new(w.general_input(777), 777);
+        let hw = run_standard(
+            &compiled.program,
+            &MachConfig::single_core(),
+            &w.px_config(),
+            io(),
+        );
+        let sw = px_soft::run_soft(
+            &compiled.program,
+            &w.px_config(),
+            &px_soft::SoftConfig::default(),
+            io(),
+        );
+        assert_eq!(hw.monitor.len(), sw.run.monitor.len(), "{}", w.name);
+        assert_eq!(hw.stats.spawns, sw.run.stats.spawns, "{}", w.name);
+        assert_eq!(
+            hw.io.output_string(),
+            sw.run.io.output_string(),
+            "{}",
+            w.name
+        );
+    }
+}
