@@ -1,16 +1,19 @@
-//! Criterion benches of the PXC toolchain: lexing/parsing/compiling the
-//! largest workload source, assembling, and binary encode/decode.
+//! Benches of the PXC toolchain: lexing/parsing/compiling the largest
+//! workload source, assembling, and binary encode/decode.
+//!
+//! Self-timed on the in-tree `px_util::bench` harness.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use px_isa::{decode_program, encode_program};
 use px_lang::{compile, parse, CompileOptions};
+use px_util::bench::{Bench, Throughput};
+use px_util::px_bench_main;
 
 fn biggest_source() -> &'static str {
     // print_tokens2 is the largest PXC source in the suite.
     px_workloads::by_name("print_tokens2").expect("pt2").source
 }
 
-fn toolchain(c: &mut Criterion) {
+fn toolchain(c: &mut Bench) {
     let src = biggest_source();
     let mut group = c.benchmark_group("compiler");
     group.throughput(Throughput::Bytes(src.len() as u64));
@@ -21,7 +24,7 @@ fn toolchain(c: &mut Criterion) {
     group.finish();
 }
 
-fn encoding(c: &mut Criterion) {
+fn encoding(c: &mut Bench) {
     let compiled = compile(biggest_source(), &CompileOptions::ccured()).expect("compiles");
     let code = compiled.program.code;
     let bytes = encode_program(&code);
@@ -34,7 +37,7 @@ fn encoding(c: &mut Criterion) {
     group.finish();
 }
 
-fn assembler(c: &mut Criterion) {
+fn assembler(c: &mut Bench) {
     let src = r"
     .data
     buf: .space 256
@@ -55,5 +58,4 @@ fn assembler(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, toolchain, encoding, assembler);
-criterion_main!(benches);
+px_bench_main!(toolchain, encoding, assembler);

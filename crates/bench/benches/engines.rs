@@ -1,18 +1,20 @@
-//! Criterion benches of the PathExpander engines themselves: the cost of a
+//! Benches of the PathExpander engines themselves (on the in-tree
+//! `px_util::bench` harness): the cost of a
 //! monitored run under the standard configuration, the CMP option, the
 //! feasibility harness and the software implementation — the code every
 //! experiment in the harness spends its time in.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pathexpander::{measure_latency, run_cmp, run_standard, PxConfig};
 use px_detect::Tool;
 use px_mach::{IoState, MachConfig};
+use px_util::bench::Bench;
+use px_util::px_bench_main;
 
 fn io(w: &px_workloads::Workload) -> IoState {
     IoState::new(w.general_input(1), 1)
 }
 
-fn engines(c: &mut Criterion) {
+fn engines(c: &mut Bench) {
     let w = px_workloads::by_name("print_tokens2").expect("pt2");
     let compiled = w.compile_for(Tool::Ccured).expect("compiles");
     let px = w.px_config();
@@ -43,7 +45,7 @@ fn engines(c: &mut Criterion) {
     group.finish();
 }
 
-fn spawn_heavy(c: &mut Criterion) {
+fn spawn_heavy(c: &mut Bench) {
     // A spawn-heavy configuration stresses checkpoint/rollback.
     let w = px_workloads::by_name("099.go").expect("go");
     let compiled = w.compile_for(Tool::Ccured).expect("compiles");
@@ -56,5 +58,4 @@ fn spawn_heavy(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, engines, spawn_heavy);
-criterion_main!(benches);
+px_bench_main!(engines, spawn_heavy);

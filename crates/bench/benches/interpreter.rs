@@ -1,12 +1,16 @@
-//! Criterion benches of the machine substrate: interpreter throughput,
+//! Benches of the machine substrate: interpreter throughput,
 //! cache-hierarchy accesses and BTB updates — the structures on the
 //! simulator's critical path.
+//!
+//! Self-timed on the in-tree `px_util::bench` harness (warmup +
+//! median-of-N, JSON-lines output).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use px_detect::Tool;
 use px_mach::{run_baseline, Btb, Edge, Hierarchy, IoState, MachConfig, COMMITTED};
+use px_util::bench::{Bench, Throughput};
+use px_util::px_bench_main;
 
-fn interpreter_throughput(c: &mut Criterion) {
+fn interpreter_throughput(c: &mut Bench) {
     let w = px_workloads::by_name("164.gzip").expect("gzip");
     let compiled = w.compile_for(Tool::Assertions).expect("compiles");
     let probe = run_baseline(
@@ -31,7 +35,7 @@ fn interpreter_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-fn cache_hierarchy(c: &mut Criterion) {
+fn cache_hierarchy(c: &mut Bench) {
     let mut group = c.benchmark_group("cache");
     group.throughput(Throughput::Elements(10_000));
     group.bench_function("hierarchy_10k_accesses", |b| {
@@ -50,7 +54,7 @@ fn cache_hierarchy(c: &mut Criterion) {
     group.finish();
 }
 
-fn btb_updates(c: &mut Criterion) {
+fn btb_updates(c: &mut Bench) {
     let mut group = c.benchmark_group("btb");
     group.throughput(Throughput::Elements(10_000));
     group.bench_function("exercise_10k", |b| {
@@ -65,5 +69,4 @@ fn btb_updates(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, interpreter_throughput, cache_hierarchy, btb_updates);
-criterion_main!(benches);
+px_bench_main!(interpreter_throughput, cache_hierarchy, btb_updates);

@@ -3,7 +3,10 @@
 
 fn main() {
     let r = px_bench::ablation_nt_from_nt();
-    println!("Ablation: exploring non-taken edges from NT-paths ({})\n", r.app);
+    println!(
+        "Ablation: exploring non-taken edges from NT-paths ({})\n",
+        r.app
+    );
     println!(
         "coverage:     {:.1}% -> {:.1}% (paper: +2 points)",
         r.coverage_off * 100.0,

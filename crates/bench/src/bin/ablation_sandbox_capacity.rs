@@ -16,7 +16,9 @@ fn main() {
             ]
         })
         .collect();
-    println!("Ablation: sandbox capacity (store buffer vs L1; 099.go, 10000-instruction NT-paths)\n");
+    println!(
+        "Ablation: sandbox capacity (store buffer vs L1; 099.go, 10000-instruction NT-paths)\n"
+    );
     println!(
         "{}",
         render_table(

@@ -14,6 +14,12 @@ fn main() {
     println!(" execute up to 1000 instructions')\n");
 
     println!("Extension 2: random factor in NT-path selection (paper §7.1(2))\n");
-    println!("bc hot-entry bug (bc-2) detected at default threshold: {}", r.bc2_plain);
-    println!("bc hot-entry bug detected with 1-in-8 random admits:   {}", r.bc2_random);
+    println!(
+        "bc hot-entry bug (bc-2) detected at default threshold: {}",
+        r.bc2_plain
+    );
+    println!(
+        "bc hot-entry bug detected with 1-in-8 random admits:   {}",
+        r.bc2_random
+    );
 }

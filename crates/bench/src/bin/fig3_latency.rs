@@ -22,7 +22,10 @@ fn main() {
             .collect();
         println!(
             "{}",
-            render_table(&["Instructions", "Crash CDF", "Unsafe CDF", "Stopped CDF"], &cells)
+            render_table(
+                &["Instructions", "Crash CDF", "Unsafe CDF", "Stopped CDF"],
+                &cells
+            )
         );
         println!(
             "Survived to 1000 instructions: {:.1}% (paper: 65-99% across apps)\n",

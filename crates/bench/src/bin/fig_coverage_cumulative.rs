@@ -3,13 +3,19 @@
 
 use px_bench::experiments::coverage::{coverage_cumulative, cumulative_improvement};
 use px_bench::fmt::{pct, render_table};
+use px_util::json::to_json_lines;
 
 fn main() {
-    let inputs = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(50);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let inputs = args.iter().find_map(|a| a.parse().ok()).unwrap_or(50);
     let rows = coverage_cumulative(inputs);
+    if json {
+        // One row object per line; byte-deterministic for a fixed seed
+        // (pinned by the determinism regression test).
+        print!("{}", to_json_lines(&rows));
+        return;
+    }
     let cells: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -26,7 +32,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Application", "Inputs", "Baseline", "PathExpander", "Improvement"],
+            &[
+                "Application",
+                "Inputs",
+                "Baseline",
+                "PathExpander",
+                "Improvement"
+            ],
             &cells
         )
     );

@@ -10,7 +10,10 @@ fn main() {
         .map(|r| vec![r.app.clone(), pct(r.baseline), pct(r.pathexpander)])
         .collect();
     println!("Branch coverage of a single monitored run\n");
-    println!("{}", render_table(&["Application", "Baseline", "PathExpander"], &cells));
+    println!(
+        "{}",
+        render_table(&["Application", "Baseline", "PathExpander"], &cells)
+    );
     let (b, p) = coverage_averages(&rows);
     println!("Average: {} -> {} (paper: 40% -> 65%)", pct(b), pct(p));
 }

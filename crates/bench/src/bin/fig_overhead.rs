@@ -21,10 +21,20 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Application", "Baseline cycles", "Standard", "CMP option", "NT-paths"],
+            &[
+                "Application",
+                "Baseline cycles",
+                "Standard",
+                "CMP option",
+                "NT-paths"
+            ],
             &cells
         )
     );
     let (s, c) = overhead_averages(&rows);
-    println!("Average overhead: standard {} | CMP {} (paper: CMP < 9.9%)", pct(s), pct(c));
+    println!(
+        "Average overhead: standard {} | CMP {} (paper: CMP < 9.9%)",
+        pct(s),
+        pct(c)
+    );
 }

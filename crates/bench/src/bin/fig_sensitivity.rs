@@ -21,7 +21,10 @@ fn main() {
             .collect();
         println!(
             "{}",
-            render_table(&["Application", "Value", "Coverage", "Overhead", "Spawns"], &cells)
+            render_table(
+                &["Application", "Value", "Coverage", "Overhead", "Spawns"],
+                &cells
+            )
         );
     }
 }

@@ -5,8 +5,14 @@ fn main() {
     println!("{}", px_mach::MachConfig::default().table2());
     println!("\nPathExpander defaults (paper §6.3):");
     let px = pathexpander::PxConfig::default();
-    println!("MaxNTPathLength        {} (100 for Siemens benchmarks)", px.max_nt_path_len);
+    println!(
+        "MaxNTPathLength        {} (100 for Siemens benchmarks)",
+        px.max_nt_path_len
+    );
     println!("NTPathCounterThreshold {}", px.counter_threshold);
     println!("MaxNumNTPaths          {}", px.max_outstanding);
-    println!("CounterResetInterval   {} instructions", px.counter_reset_interval);
+    println!(
+        "CounterResetInterval   {} instructions",
+        px.counter_reset_interval
+    );
 }

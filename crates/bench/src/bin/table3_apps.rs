@@ -6,10 +6,20 @@ fn main() {
     let rows = px_bench::table3();
     let cells: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| vec![r.app.clone(), r.loc.to_string(), r.bugs.to_string(), r.tools.clone()])
+        .map(|r| {
+            vec![
+                r.app.clone(),
+                r.loc.to_string(),
+                r.bugs.to_string(),
+                r.tools.clone(),
+            ]
+        })
         .collect();
     println!("Table 3: Applications and bugs evaluated\n");
-    println!("{}", render_table(&["Application", "LOC", "#Bugs", "Detection Tool"], &cells));
+    println!(
+        "{}",
+        render_table(&["Application", "LOC", "#Bugs", "Detection Tool"], &cells)
+    );
     let total: usize = rows.iter().map(|r| r.bugs).sum();
     println!("Total tested bugs: {total} (paper: 38)");
 }

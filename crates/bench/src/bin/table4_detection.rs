@@ -21,7 +21,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Dynamic Tool", "Application", "#Bug Tested", "Baseline", "PathExpander"],
+            &[
+                "Dynamic Tool",
+                "Application",
+                "#Bug Tested",
+                "Baseline",
+                "PathExpander"
+            ],
             &cells
         )
     );

@@ -24,7 +24,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Method", "Application", "FP before", "FP after", "Bugs before", "Bugs after"],
+            &[
+                "Method",
+                "Application",
+                "FP before",
+                "FP after",
+                "Bugs before",
+                "Bugs after"
+            ],
             &cells
         )
     );
@@ -36,9 +43,16 @@ fn main() {
         let cells: Vec<Vec<String>> = ablation_fix_strategy()
             .iter()
             .map(|r| {
-                vec![r.strategy.clone(), r.false_positives.to_string(), r.bugs.to_string()]
+                vec![
+                    r.strategy.clone(),
+                    r.false_positives.to_string(),
+                    r.bugs.to_string(),
+                ]
             })
             .collect();
-        println!("{}", render_table(&["Strategy", "NT false positives", "Bugs found"], &cells));
+        println!(
+            "{}",
+            render_table(&["Strategy", "NT false positives", "Bugs found"], &cells)
+        );
     }
 }

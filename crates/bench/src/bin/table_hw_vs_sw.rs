@@ -22,7 +22,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Application", "HW standard", "HW CMP", "SW slowdown", "Orders vs CMP"],
+            &[
+                "Application",
+                "HW standard",
+                "HW CMP",
+                "SW slowdown",
+                "Orders vs CMP"
+            ],
             &cells
         )
     );

@@ -3,14 +3,14 @@
 use pathexpander::measure_latency;
 use px_detect::Tool;
 use px_mach::{CacheConfig, MachConfig};
+use px_util::{Json, ToJson};
 use px_workloads::by_name;
-use serde::Serialize;
 
 use super::{compile, io_for, run_px, BUDGET, SEED};
 
 /// Result of the §4.2(3) ablation: exploring non-taken edges from inside
 /// NT-paths.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct NtFromNtResult {
     /// Application (the paper used 164.gzip).
     pub app: String,
@@ -22,6 +22,18 @@ pub struct NtFromNtResult {
     pub crash_ratio_off: f64,
     /// Same, ablation on (the paper saw 5% → 16%).
     pub crash_ratio_on: f64,
+}
+
+impl ToJson for NtFromNtResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("app", self.app.to_json()),
+            ("coverage_off", self.coverage_off.to_json()),
+            ("coverage_on", self.coverage_on.to_json()),
+            ("crash_ratio_off", self.crash_ratio_off.to_json()),
+            ("crash_ratio_on", self.crash_ratio_on.to_json()),
+        ])
+    }
 }
 
 /// Reproduces the paper's experiment: following non-taken edges from
@@ -58,7 +70,7 @@ pub fn ablation_nt_from_nt() -> NtFromNtResult {
 /// One point of the sandbox-capacity ablation (§4.2(2)): the paper buffers
 /// NT-path state in the L1 cache rather than a store buffer because the
 /// cache "can buffer more updates, allowing NT-Paths to execute for longer".
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SandboxPoint {
     /// Sandbox capacity in bytes (the L1 size used).
     pub capacity_bytes: u32,
@@ -68,6 +80,17 @@ pub struct SandboxPoint {
     pub mean_length: f64,
     /// PathExpander branch coverage at this capacity.
     pub coverage: f64,
+}
+
+impl ToJson for SandboxPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("capacity_bytes", self.capacity_bytes.to_json()),
+            ("overflow_ratio", self.overflow_ratio.to_json()),
+            ("mean_length", self.mean_length.to_json()),
+            ("coverage", self.coverage.to_json()),
+        ])
+    }
 }
 
 /// Sweeps the sandbox capacity from store-buffer-sized (256 B) up to the
@@ -97,7 +120,12 @@ pub fn ablation_sandbox() -> Vec<SandboxPoint> {
             let r = pathexpander::run_standard(&compiled.program, &mach, &px, io_for(&w, SEED));
             let total_paths = r.stats.paths.len().max(1);
             let overflows = r.stats.stops_of("sandbox-overflow");
-            let mean_length = r.stats.paths.iter().map(|p| f64::from(p.executed)).sum::<f64>()
+            let mean_length = r
+                .stats
+                .paths
+                .iter()
+                .map(|p| f64::from(p.executed))
+                .sum::<f64>()
                 / total_paths as f64;
             SandboxPoint {
                 capacity_bytes: bytes,
@@ -112,7 +140,7 @@ pub fn ablation_sandbox() -> Vec<SandboxPoint> {
 /// Fix-strategy ablation (design decision D4): no fixing vs boundary fixing
 /// vs random-satisfying fixing, measured as NT-only false positives on the
 /// `bc` workload.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FixStrategyResult {
     /// Strategy label.
     pub strategy: String,
@@ -120,6 +148,16 @@ pub struct FixStrategyResult {
     pub false_positives: usize,
     /// Seeded bugs detected.
     pub bugs: usize,
+}
+
+impl ToJson for FixStrategyResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("strategy", self.strategy.to_json()),
+            ("false_positives", self.false_positives.to_json()),
+            ("bugs", self.bugs.to_json()),
+        ])
+    }
 }
 
 /// Runs the fix-strategy ablation.
@@ -156,7 +194,10 @@ pub fn ablation_fix_strategy() -> Vec<FixStrategyResult> {
             );
             let _ = px_lang::refit_fixes(&mut compiled, &profile);
         }
-        let px = w.px_config().with_fixes(fixes).with_max_instructions(BUDGET);
+        let px = w
+            .px_config()
+            .with_fixes(fixes)
+            .with_max_instructions(BUDGET);
         let r = pathexpander::run_standard(
             &compiled.program,
             &MachConfig::single_core(),
@@ -190,7 +231,7 @@ pub fn latency_profile_of(app: &str) -> pathexpander::LatencyProfile {
 }
 
 /// Results of the two forward-looking extensions the paper sketches.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExtensionResults {
     /// Per-app NT-path survival (to 1000 instructions) without OS support.
     pub survival_plain: Vec<(String, f64)>,
@@ -201,6 +242,17 @@ pub struct ExtensionResults {
     pub bc2_plain: bool,
     /// Whether it is detected with the §7.1(2) random spawn factor.
     pub bc2_random: bool,
+}
+
+impl ToJson for ExtensionResults {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("survival_plain", self.survival_plain.to_json()),
+            ("survival_os", self.survival_os.to_json()),
+            ("bc2_plain", self.bc2_plain.to_json()),
+            ("bc2_random", self.bc2_random.to_json()),
+        ])
+    }
 }
 
 /// Measures the §3.2 OS-sandbox and §7.1(2) random-factor extensions.

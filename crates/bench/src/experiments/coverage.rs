@@ -2,15 +2,14 @@
 //! 40% → 65% claim) and cumulative coverage over 50 random inputs per
 //! application (+19%).
 
-use crossbeam::thread;
 use px_mach::Coverage;
+use px_util::{par_map, Json, ToJson};
 use px_workloads::buggy;
-use serde::Serialize;
 
 use super::{compile, primary_tool, run_px, SEED};
 
 /// One application's single-input coverage.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CoverageRow {
     /// Application name.
     pub app: String,
@@ -20,8 +19,18 @@ pub struct CoverageRow {
     pub pathexpander: f64,
 }
 
+impl ToJson for CoverageRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("app", self.app.to_json()),
+            ("baseline", self.baseline.to_json()),
+            ("pathexpander", self.pathexpander.to_json()),
+        ])
+    }
+}
+
 /// One application's cumulative-coverage series over multiple inputs.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CumulativeRow {
     /// Application name.
     pub app: String,
@@ -33,6 +42,18 @@ pub struct CumulativeRow {
     pub pathexpander: f64,
     /// `(after_k_inputs, baseline, pathexpander)` growth curve.
     pub curve: Vec<(usize, f64, f64)>,
+}
+
+impl ToJson for CumulativeRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("app", self.app.to_json()),
+            ("inputs", self.inputs.to_json()),
+            ("baseline", self.baseline.to_json()),
+            ("pathexpander", self.pathexpander.to_json()),
+            ("curve", self.curve.to_json()),
+        ])
+    }
 }
 
 /// Single-input coverage for the seven buggy applications (experiment E6).
@@ -68,42 +89,32 @@ pub fn coverage_averages(rows: &[CoverageRow]) -> (f64, f64) {
 /// processed in parallel.
 #[must_use]
 pub fn coverage_cumulative(inputs: usize) -> Vec<CumulativeRow> {
-    let workloads = buggy();
-    thread::scope(|s| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|w| {
-                s.spawn(move |_| {
-                    let tool = primary_tool(w);
-                    let compiled = compile(w, tool);
-                    let mut cum_base = Coverage::for_program(&compiled.program);
-                    let mut cum_px = Coverage::for_program(&compiled.program);
-                    let mut curve = Vec::new();
-                    for k in 0..inputs {
-                        let r = run_px(w, &compiled, SEED + k as u64, |c| c);
-                        cum_base.merge(&r.taken_coverage);
-                        cum_px.merge(&r.total_coverage);
-                        if (k + 1) % 10 == 0 || k + 1 == inputs || k == 0 {
-                            curve.push((
-                                k + 1,
-                                cum_base.branch_coverage(&compiled.program),
-                                cum_px.branch_coverage(&compiled.program),
-                            ));
-                        }
-                    }
-                    CumulativeRow {
-                        app: w.name.to_owned(),
-                        inputs,
-                        baseline: cum_base.branch_coverage(&compiled.program),
-                        pathexpander: cum_px.branch_coverage(&compiled.program),
-                        curve,
-                    }
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    par_map(&buggy(), |w| {
+        let tool = primary_tool(w);
+        let compiled = compile(w, tool);
+        let mut cum_base = Coverage::for_program(&compiled.program);
+        let mut cum_px = Coverage::for_program(&compiled.program);
+        let mut curve = Vec::new();
+        for k in 0..inputs {
+            let r = run_px(w, &compiled, SEED + k as u64, |c| c);
+            cum_base.merge(&r.taken_coverage);
+            cum_px.merge(&r.total_coverage);
+            if (k + 1) % 10 == 0 || k + 1 == inputs || k == 0 {
+                curve.push((
+                    k + 1,
+                    cum_base.branch_coverage(&compiled.program),
+                    cum_px.branch_coverage(&compiled.program),
+                ));
+            }
+        }
+        CumulativeRow {
+            app: w.name.to_owned(),
+            inputs,
+            baseline: cum_base.branch_coverage(&compiled.program),
+            pathexpander: cum_px.branch_coverage(&compiled.program),
+            curve,
+        }
     })
-    .expect("scope")
 }
 
 /// Average cumulative improvement (PathExpander − baseline), in coverage
@@ -111,5 +122,8 @@ pub fn coverage_cumulative(inputs: usize) -> Vec<CumulativeRow> {
 #[must_use]
 pub fn cumulative_improvement(rows: &[CumulativeRow]) -> f64 {
     let n = rows.len() as f64;
-    rows.iter().map(|r| r.pathexpander - r.baseline).sum::<f64>() / n
+    rows.iter()
+        .map(|r| r.pathexpander - r.baseline)
+        .sum::<f64>()
+        / n
 }

@@ -3,8 +3,8 @@
 
 use pathexpander::measure_latency;
 use px_detect::Tool;
+use px_util::{Json, ToJson};
 use px_workloads::by_name;
-use serde::Serialize;
 
 use super::{io_for, BUDGET, SEED};
 
@@ -12,7 +12,7 @@ use super::{io_for, BUDGET, SEED};
 pub const LATENCY_POINTS: [u32; 8] = [5, 10, 25, 50, 100, 250, 500, 1000];
 
 /// One application's Figure 3 panel.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3Panel {
     /// Application name.
     pub app: String,
@@ -23,6 +23,17 @@ pub struct Fig3Panel {
     /// Fraction of NT-paths that executed the full 1000 instructions (or
     /// reached the end of the program).
     pub survived: f64,
+}
+
+impl ToJson for Fig3Panel {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("app", self.app.to_json()),
+            ("spawned", self.spawned.to_json()),
+            ("points", self.points.to_json()),
+            ("survived", self.survived.to_json()),
+        ])
+    }
 }
 
 /// Inputs aggregated per application (the paper runs the full SPEC inputs;
@@ -41,9 +52,9 @@ pub fn fig3() -> Vec<Fig3Panel> {
             let w = by_name(name).expect("known workload");
             // Figure 3 measures the raw program (no checker instrumentation):
             // the assertion build carries no CCured/iWatcher code.
-            let compiled = w.compile_for(Tool::Assertions).unwrap_or_else(|_| {
-                w.compile_for(w.tools[0]).expect("compiles")
-            });
+            let compiled = w
+                .compile_for(Tool::Assertions)
+                .unwrap_or_else(|_| w.compile_for(w.tools[0]).expect("compiles"));
             let mut profile: Option<pathexpander::LatencyProfile> = None;
             for seed in 0..FIG3_INPUTS {
                 let p = measure_latency(
@@ -68,7 +79,12 @@ pub fn fig3() -> Vec<Fig3Panel> {
                 points: LATENCY_POINTS
                     .iter()
                     .map(|&n| {
-                        (n, profile.crash_cdf(n), profile.unsafe_cdf(n), profile.stopped_cdf(n))
+                        (
+                            n,
+                            profile.crash_cdf(n),
+                            profile.unsafe_cdf(n),
+                            profile.stopped_cdf(n),
+                        )
                     })
                     .collect(),
                 survived: profile.survived_ratio(),

@@ -44,12 +44,7 @@ pub(crate) fn run_px(
     tweak: impl FnOnce(PxConfig) -> PxConfig,
 ) -> PxRunResult {
     let px = tweak(w.px_config().with_max_instructions(BUDGET));
-    pathexpander::run(
-        &compiled.program,
-        &machine_for(&px),
-        &px,
-        io_for(w, seed),
-    )
+    pathexpander::run(&compiled.program, &machine_for(&px), &px, io_for(w, seed))
 }
 
 pub(crate) fn machine_for(px: &PxConfig) -> MachConfig {

@@ -1,16 +1,15 @@
 //! The execution-overhead experiments (E8: standard vs CMP, E9: hardware
 //! vs software implementation).
 
-use crossbeam::thread;
 use px_mach::{run_baseline, MachConfig};
 use px_soft::{compare_hw_sw, SoftConfig};
+use px_util::{par_map, Json, ToJson};
 use px_workloads::{all, Workload};
-use serde::Serialize;
 
 use super::{compile, io_for, primary_tool, run_px, BUDGET, SEED};
 
 /// One application's overhead numbers.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct OverheadRow {
     /// Application name.
     pub app: String,
@@ -25,18 +24,22 @@ pub struct OverheadRow {
     pub nt_paths: u64,
 }
 
+impl ToJson for OverheadRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("app", self.app.to_json()),
+            ("baseline_cycles", self.baseline_cycles.to_json()),
+            ("standard", self.standard.to_json()),
+            ("cmp", self.cmp.to_json()),
+            ("nt_paths", self.nt_paths.to_json()),
+        ])
+    }
+}
+
 /// Measures PathExpander execution overhead on every workload.
 #[must_use]
 pub fn overhead() -> Vec<OverheadRow> {
-    let workloads = all();
-    thread::scope(|s| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|w| s.spawn(move |_| overhead_row(w)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
-    })
-    .expect("scope")
+    par_map(&all(), overhead_row)
 }
 
 fn overhead_row(w: &Workload) -> OverheadRow {
@@ -70,7 +73,7 @@ pub fn overhead_averages(rows: &[OverheadRow]) -> (f64, f64) {
 }
 
 /// One application's hardware-vs-software comparison (E9).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct HwSwRow {
     /// Application name.
     pub app: String,
@@ -84,35 +87,37 @@ pub struct HwSwRow {
     pub orders_vs_cmp: f64,
 }
 
+impl ToJson for HwSwRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("app", self.app.to_json()),
+            ("hw_standard", self.hw_standard.to_json()),
+            ("hw_cmp", self.hw_cmp.to_json()),
+            ("software", self.software.to_json()),
+            ("orders_vs_cmp", self.orders_vs_cmp.to_json()),
+        ])
+    }
+}
+
 /// Runs the hardware/software comparison on every workload.
 #[must_use]
 pub fn hw_vs_sw() -> Vec<HwSwRow> {
-    let workloads = all();
-    thread::scope(|s| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|w| {
-                s.spawn(move |_| {
-                    let compiled = compile(w, primary_tool(w));
-                    let px = w.px_config().with_max_instructions(BUDGET);
-                    let c = compare_hw_sw(
-                        &compiled.program,
-                        &MachConfig::default(),
-                        &px,
-                        &SoftConfig::default(),
-                        &io_for(w, SEED),
-                    );
-                    HwSwRow {
-                        app: w.name.to_owned(),
-                        hw_standard: c.hw_standard_overhead,
-                        hw_cmp: c.hw_cmp_overhead,
-                        software: c.soft_overhead,
-                        orders_vs_cmp: c.orders_vs_cmp(),
-                    }
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    par_map(&all(), |w| {
+        let compiled = compile(w, primary_tool(w));
+        let px = w.px_config().with_max_instructions(BUDGET);
+        let c = compare_hw_sw(
+            &compiled.program,
+            &MachConfig::default(),
+            &px,
+            &SoftConfig::default(),
+            &io_for(w, SEED),
+        );
+        HwSwRow {
+            app: w.name.to_owned(),
+            hw_standard: c.hw_standard_overhead,
+            hw_cmp: c.hw_cmp_overhead,
+            software: c.soft_overhead,
+            orders_vs_cmp: c.orders_vs_cmp(),
+        }
     })
-    .expect("scope")
 }

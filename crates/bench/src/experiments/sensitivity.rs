@@ -2,10 +2,9 @@
 //! `MaxNTPathLength`, `NTPathCounterThreshold` and `MaxNumNTPaths` on
 //! coverage and overhead.
 
-use crossbeam::thread;
 use px_mach::{run_baseline, MachConfig};
+use px_util::{par_map, Json, ToJson};
 use px_workloads::{by_name, Workload};
-use serde::Serialize;
 
 use super::{compile, io_for, primary_tool, run_px, BUDGET, SEED};
 
@@ -13,7 +12,7 @@ use super::{compile, io_for, primary_tool, run_px, BUDGET, SEED};
 pub const SWEEP_APPS: [&str; 3] = ["099.go", "print_tokens2", "164.gzip"];
 
 /// One sweep sample.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// Application.
     pub app: String,
@@ -31,22 +30,27 @@ pub struct SweepPoint {
     pub spawns: u64,
 }
 
+impl ToJson for SweepPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("app", self.app.to_json()),
+            ("param", self.param.to_json()),
+            ("value", self.value.to_json()),
+            ("coverage", self.coverage.to_json()),
+            ("overhead", self.overhead.to_json()),
+            ("spawns", self.spawns.to_json()),
+        ])
+    }
+}
+
 /// Runs all three parameter sweeps.
 #[must_use]
 pub fn sensitivity() -> Vec<SweepPoint> {
-    let apps: Vec<Workload> =
-        SWEEP_APPS.iter().map(|n| by_name(n).expect("known")).collect();
-    thread::scope(|s| {
-        let handles: Vec<_> = apps
-            .iter()
-            .map(|w| s.spawn(move |_| sweep_one(w)))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("no panics"))
-            .collect()
-    })
-    .expect("scope")
+    let apps: Vec<Workload> = SWEEP_APPS
+        .iter()
+        .map(|n| by_name(n).expect("known"))
+        .collect();
+    par_map(&apps, sweep_one).into_iter().flatten().collect()
 }
 
 fn sweep_one(w: &Workload) -> Vec<SweepPoint> {

@@ -2,13 +2,13 @@
 
 use px_detect::{classify, report, Tool};
 use px_mach::run_baseline;
+use px_util::{Json, ToJson};
 use px_workloads::{buggy, by_name, Workload};
-use serde::Serialize;
 
 use super::{compile, io_for, run_px, BUDGET, SEED};
 
 /// One row of Table 3 (applications and bugs evaluated).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Row {
     /// Application name.
     pub app: String,
@@ -18,6 +18,17 @@ pub struct Table3Row {
     pub bugs: usize,
     /// Detection tools.
     pub tools: String,
+}
+
+impl ToJson for Table3Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("app", self.app.to_json()),
+            ("loc", self.loc.to_json()),
+            ("bugs", self.bugs.to_json()),
+            ("tools", self.tools.to_json()),
+        ])
+    }
 }
 
 /// Regenerates Table 3.
@@ -40,7 +51,7 @@ pub fn table3() -> Vec<Table3Row> {
 }
 
 /// One row of Table 4 (bug detection results).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table4Row {
     /// Detection method.
     pub tool: String,
@@ -52,6 +63,18 @@ pub struct Table4Row {
     pub baseline: usize,
     /// Detected with PathExpander.
     pub pathexpander: usize,
+}
+
+impl ToJson for Table4Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("tool", self.tool.to_json()),
+            ("app", self.app.to_json()),
+            ("tested", self.tested.to_json()),
+            ("baseline", self.baseline.to_json()),
+            ("pathexpander", self.pathexpander.to_json()),
+        ])
+    }
 }
 
 /// Regenerates Table 4 by actually running every (tool, application) pair
@@ -107,7 +130,7 @@ pub fn table4_totals(rows: &[Table4Row]) -> (usize, usize, usize) {
 
 /// One row of Table 5 (effects of consistency fixing), for one
 /// (tool, application) pair.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table5Row {
     /// Detection method.
     pub tool: String,
@@ -121,6 +144,19 @@ pub struct Table5Row {
     pub bugs_before: usize,
     /// Seeded bugs detected after fixing.
     pub bugs_after: usize,
+}
+
+impl ToJson for Table5Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("tool", self.tool.to_json()),
+            ("app", self.app.to_json()),
+            ("fp_before", self.fp_before.to_json()),
+            ("fp_after", self.fp_after.to_json()),
+            ("bugs_before", self.bugs_before.to_json()),
+            ("bugs_after", self.bugs_after.to_json()),
+        ])
+    }
 }
 
 /// Regenerates Table 5: the memory-checked applications, with fixing off

@@ -4,7 +4,7 @@
 //! evaluation; see `DESIGN.md` §5 for the experiment index. Each experiment
 //! is a plain function returning typed rows, so the same code runs from the
 //! regenerator binaries, the integration tests that pin the paper's shape
-//! claims, and the Criterion benches.
+//! claims, and the self-timing benches (`px_util::bench`).
 
 pub mod experiments;
 pub mod fmt;

@@ -1,0 +1,34 @@
+//! Determinism regression: the evaluation harness is a pure function of
+//! the px-util seed. Two runs of the `fig_coverage_cumulative` logic with
+//! the same seed must produce byte-identical JSON rows, even though the
+//! per-application work is farmed out to scoped threads whose scheduling
+//! varies run to run.
+
+use px_bench::experiments::coverage::coverage_cumulative;
+use px_util::json::to_json_lines;
+
+#[test]
+fn cumulative_coverage_rows_are_byte_identical_across_runs() {
+    // 5 inputs per application keeps the double run cheap while still
+    // exercising the merge loop and the growth-curve sampling.
+    let first = to_json_lines(&coverage_cumulative(5));
+    let second = to_json_lines(&coverage_cumulative(5));
+    assert!(!first.is_empty(), "the experiment must produce rows");
+    assert_eq!(
+        first, second,
+        "same px-util seed must reproduce byte-identical JSON rows"
+    );
+    // Every row is a well-formed object rooted at the application name, in
+    // the fixed workload order (thread scheduling must not reorder rows).
+    let mut apps = Vec::new();
+    for line in first.lines() {
+        assert!(line.starts_with("{\"app\":\""), "row shape: {line}");
+        assert!(line.ends_with('}'), "row shape: {line}");
+        apps.push(line.split('"').nth(3).expect("app value").to_owned());
+    }
+    let expected: Vec<String> = px_workloads::buggy()
+        .iter()
+        .map(|w| w.name.to_owned())
+        .collect();
+    assert_eq!(apps, expected, "rows keep the canonical workload order");
+}

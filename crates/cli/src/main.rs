@@ -111,11 +111,9 @@ fn run(opts: &Options) -> Result<ExitCode, String> {
 }
 
 fn load(path: &str, opts: &Options) -> Result<CompiledProgram, String> {
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     if path.ends_with(".pxs") || path.ends_with(".s") {
-        let program =
-            px_isa::asm::assemble(&source).map_err(|e| format!("assembly error: {e}"))?;
+        let program = px_isa::asm::assemble(&source).map_err(|e| format!("assembly error: {e}"))?;
         return Ok(CompiledProgram {
             program,
             sites: Vec::new(),

@@ -123,15 +123,20 @@ impl Options {
                 }
                 "--cmp" => opts.px = opts.px.clone().cmp(),
                 "--max-nt-len" => {
-                    opts.px = opts.px.clone().with_max_nt_path_len(parse_num(&value("--max-nt-len")?)?);
+                    opts.px = opts
+                        .px
+                        .clone()
+                        .with_max_nt_path_len(parse_num(&value("--max-nt-len")?)?);
                 }
                 "--threshold" => {
                     let n: u32 = parse_num(&value("--threshold")?)?;
                     opts.px = opts.px.clone().with_counter_threshold(n.min(255) as u8);
                 }
                 "--max-outstanding" => {
-                    opts.px =
-                        opts.px.clone().with_max_outstanding(parse_num(&value("--max-outstanding")?)?);
+                    opts.px = opts
+                        .px
+                        .clone()
+                        .with_max_outstanding(parse_num(&value("--max-outstanding")?)?);
                 }
                 "--no-fixes" => opts.px = opts.px.clone().with_fixes(false),
                 "--os-sandbox" => opts.px = opts.px.clone().with_os_sandbox(true),
@@ -195,8 +200,14 @@ mod tests {
         assert_eq!(parse(&["help"]).unwrap().action, Action::Help);
         assert_eq!(parse(&[]).unwrap().action, Action::Help);
         assert_eq!(parse(&["list"]).unwrap().action, Action::List);
-        assert_eq!(parse(&["run", "x.pxc"]).unwrap().action, Action::Run("x.pxc".into()));
-        assert_eq!(parse(&["bench", "bc"]).unwrap().action, Action::Bench("bc".into()));
+        assert_eq!(
+            parse(&["run", "x.pxc"]).unwrap().action,
+            Action::Run("x.pxc".into())
+        );
+        assert_eq!(
+            parse(&["bench", "bc"]).unwrap().action,
+            Action::Bench("bc".into())
+        );
         assert!(parse(&["run"]).is_err());
         assert!(parse(&["frobnicate"]).is_err());
     }
@@ -204,9 +215,22 @@ mod tests {
     #[test]
     fn options_apply() {
         let o = parse(&[
-            "run", "x.pxc", "--tool", "ccured", "--cmp", "--max-nt-len", "50",
-            "--threshold", "2", "--no-fixes", "--os-sandbox", "--random-factor", "9",
-            "--seed", "7", "--verbose",
+            "run",
+            "x.pxc",
+            "--tool",
+            "ccured",
+            "--cmp",
+            "--max-nt-len",
+            "50",
+            "--threshold",
+            "2",
+            "--no-fixes",
+            "--os-sandbox",
+            "--random-factor",
+            "9",
+            "--seed",
+            "7",
+            "--verbose",
         ])
         .unwrap();
         assert_eq!(o.tool, Some(Tool::Ccured));

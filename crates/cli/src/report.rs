@@ -35,7 +35,13 @@ pub fn print_px(compiled: &CompiledProgram, r: &PxRunResult, tool: Tool, opts: &
         r.stats.spawns, r.stats.nt_instructions, r.stats.skipped_hot
     );
     if opts.verbose {
-        for class in ["max-length", "crash", "unsafe", "program-end", "sandbox-overflow"] {
+        for class in [
+            "max-length",
+            "crash",
+            "unsafe",
+            "program-end",
+            "sandbox-overflow",
+        ] {
             let n = r.stats.stops_of(class);
             if n > 0 {
                 println!("  stops[{class}]: {n}");

@@ -82,7 +82,10 @@ impl MemView for PrimaryView<'_> {
 /// Panics if `mach.cores < 2` — the CMP option needs at least one idle core.
 #[must_use]
 pub fn run_cmp(program: &Program, mach: &MachConfig, px: &PxConfig, io: IoState) -> PxRunResult {
-    assert!(mach.cores >= 2, "the CMP optimization needs at least 2 cores");
+    assert!(
+        mach.cores >= 2,
+        "the CMP optimization needs at least 2 cores"
+    );
 
     let mut memory = Memory::new(mach.mem_size.max(program.mem_size));
     for item in &program.data {
@@ -153,9 +156,11 @@ pub fn run_cmp(program: &Program, mach: &MachConfig, px: &PxConfig, io: IoState)
                 costs: &mach.costs,
             };
             let s = {
-                let live: Vec<&mut Sandbox> =
-                    paths.iter_mut().map(|p| &mut p.sandbox).collect();
-                let mut view = PrimaryView { memory: &mut memory, live };
+                let live: Vec<&mut Sandbox> = paths.iter_mut().map(|p| &mut p.sandbox).collect();
+                let mut view = PrimaryView {
+                    memory: &mut memory,
+                    live,
+                };
                 px_mach::step(program, &mut primary, &mut view, &mut env)
             };
             ready[0] += u64::from(s.base_cost);
@@ -165,7 +170,11 @@ pub fn run_cmp(program: &Program, mach: &MachConfig, px: &PxConfig, io: IoState)
             if let Some(access) = s.access {
                 // Primary stores made while NT-paths are live are speculative
                 // segment data (they still need their sibling's squash token).
-                let vtag = if access.write && !paths.is_empty() { SEGMENT_VTAG } else { COMMITTED };
+                let vtag = if access.write && !paths.is_empty() {
+                    SEGMENT_VTAG
+                } else {
+                    COMMITTED
+                };
                 let a = caches.access(0, access.addr, access.write, vtag);
                 ready[0] += u64::from(a.cycles);
                 if a.volatile_evicted == Some(SEGMENT_VTAG) {
@@ -184,7 +193,13 @@ pub fn run_cmp(program: &Program, mach: &MachConfig, px: &PxConfig, io: IoState)
             }
 
             match s.event {
-                StepEvent::Branch { pc, taken, taken_target, not_taken_target, .. } => {
+                StepEvent::Branch {
+                    pc,
+                    taken,
+                    taken_target,
+                    not_taken_target,
+                    ..
+                } => {
                     stats.dyn_branches += 1;
                     let edge = Edge::from_taken(taken);
                     btb.exercise(pc, edge);
@@ -213,10 +228,18 @@ pub fn run_cmp(program: &Program, mach: &MachConfig, px: &PxConfig, io: IoState)
                         stats.spawns += 1;
                         ready[0] += u64::from(mach.spawn_cycles);
                         let mut state = Checkpoint::take(&primary).state();
-                        state.pc = if taken { not_taken_target } else { taken_target };
+                        state.pc = if taken {
+                            not_taken_target
+                        } else {
+                            taken_target
+                        };
                         state.pred = px.apply_fixes;
                         let id = next_id;
-                        next_id = if next_id >= SEGMENT_VTAG - 1 { 1 } else { next_id + 1 };
+                        next_id = if next_id >= SEGMENT_VTAG - 1 {
+                            1
+                        } else {
+                            next_id + 1
+                        };
                         let scratch_io = if px.os_sandbox_unsafe {
                             io.clone()
                         } else {
@@ -250,8 +273,17 @@ pub fn run_cmp(program: &Program, mach: &MachConfig, px: &PxConfig, io: IoState)
                     cycle: ready[0],
                     path: PathKind::Taken,
                 }),
-                StepEvent::WatchHit { tag, addr, is_write, pc } => monitor.push(MonitorRecord {
-                    kind: RecordKind::Watch { tag, addr, is_write },
+                StepEvent::WatchHit {
+                    tag,
+                    addr,
+                    is_write,
+                    pc,
+                } => monitor.push(MonitorRecord {
+                    kind: RecordKind::Watch {
+                        tag,
+                        addr,
+                        is_write,
+                    },
                     site: tag,
                     pc,
                     cycle: ready[0],
@@ -328,7 +360,11 @@ fn start_queued(
     freed_core: usize,
     mach: &MachConfig,
 ) {
-    if let Some(p) = paths.iter_mut().filter(|p| p.core.is_none()).min_by_key(|p| p.seq) {
+    if let Some(p) = paths
+        .iter_mut()
+        .filter(|p| p.core.is_none())
+        .min_by_key(|p| p.seq)
+    {
         p.core = Some(freed_core);
         core_busy[freed_core] = true;
         // Register copy onto the freed core.
@@ -341,7 +377,11 @@ fn finish_path(path: &mut NtPath, stop: NtStop, caches: &mut Hierarchy, stats: &
         caches.squash_path(c, path.id);
     }
     path.sandbox.clear();
-    stats.paths.push(NtPathRecord { spawn_pc: path.spawn_pc, executed: path.executed, stop });
+    stats.paths.push(NtPathRecord {
+        spawn_pc: path.spawn_pc,
+        executed: path.executed,
+        stop,
+    });
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -390,18 +430,28 @@ fn step_nt_path(
     path.executed += 1;
 
     let stop = match s.event {
-        StepEvent::Branch { pc, taken, taken_target, not_taken_target, .. } => {
+        StepEvent::Branch {
+            pc,
+            taken,
+            taken_target,
+            not_taken_target,
+            ..
+        } => {
             stats.dyn_branches += 1;
             let edge = Edge::from_taken(taken);
             nt_cov.record(pc, edge);
             if px.explore_nt_from_nt {
                 let other = edge.other();
                 if btb.edge_count(pc, other) < px.counter_threshold
-                            && !program.in_checker_region(pc)
-                        {
+                    && !program.in_checker_region(pc)
+                {
                     btb.exercise(pc, other);
                     nt_cov.record(pc, other);
-                    path.state.pc = if taken { not_taken_target } else { taken_target };
+                    path.state.pc = if taken {
+                        not_taken_target
+                    } else {
+                        taken_target
+                    };
                 }
             }
             None
@@ -412,17 +462,30 @@ fn step_nt_path(
                 site,
                 pc,
                 cycle: now,
-                path: PathKind::NtPath { spawn_pc: path.spawn_pc },
+                path: PathKind::NtPath {
+                    spawn_pc: path.spawn_pc,
+                },
             });
             None
         }
-        StepEvent::WatchHit { tag, addr, is_write, pc } => {
+        StepEvent::WatchHit {
+            tag,
+            addr,
+            is_write,
+            pc,
+        } => {
             monitor.push(MonitorRecord {
-                kind: RecordKind::Watch { tag, addr, is_write },
+                kind: RecordKind::Watch {
+                    tag,
+                    addr,
+                    is_write,
+                },
                 site: tag,
                 pc,
                 cycle: now,
-                path: PathKind::NtPath { spawn_pc: path.spawn_pc },
+                path: PathKind::NtPath {
+                    spawn_pc: path.spawn_pc,
+                },
             });
             None
         }
@@ -641,10 +704,17 @@ mod tests {
             ";
         let program = px_isa::asm::assemble(src).unwrap();
         let mach = MachConfig {
-            l1: px_mach::CacheConfig { size_bytes: 64, assoc: 2, line_bytes: 32, hit_cycles: 3 },
+            l1: px_mach::CacheConfig {
+                size_bytes: 64,
+                assoc: 2,
+                line_bytes: 32,
+                hit_cycles: 3,
+            },
             ..MachConfig::default()
         };
-        let px = PxConfig::default().with_max_nt_path_len(5_000).with_counter_threshold(15);
+        let px = PxConfig::default()
+            .with_max_nt_path_len(5_000)
+            .with_counter_threshold(15);
         let r = run_cmp(&program, &mach, &px, IoState::default());
         assert!(r.exit.is_success());
         assert!(
@@ -724,7 +794,10 @@ mod tests {
             &PxConfig::default().cmp().with_os_sandbox(true),
             IoState::default(),
         );
-        assert!(!os.monitor.is_empty(), "the bug past the syscall is reached");
+        assert!(
+            !os.monitor.is_empty(),
+            "the bug past the syscall is reached"
+        );
         assert!(os.io.output().is_empty(), "sandboxed putc must not leak");
         assert!(os.stats.nt_syscalls_sandboxed >= 1);
     }

@@ -77,7 +77,10 @@ impl PxConfig {
     /// (`MaxNTPathLength` = 100, §6.3).
     #[must_use]
     pub fn siemens_defaults() -> PxConfig {
-        PxConfig { max_nt_path_len: 100, ..PxConfig::default() }
+        PxConfig {
+            max_nt_path_len: 100,
+            ..PxConfig::default()
+        }
     }
 
     /// Switches to the CMP optimization.

@@ -59,10 +59,7 @@ impl LatencyProfile {
         let survived = self
             .latencies
             .iter()
-            .filter(|(n, stop)| {
-                *n >= self.threshold
-                    || matches!(stop, NtStop::ProgramEnd)
-            })
+            .filter(|(n, stop)| *n >= self.threshold || matches!(stop, NtStop::ProgramEnd))
             .count();
         survived as f64 / self.latencies.len() as f64
     }

@@ -116,7 +116,11 @@ pub fn run_standard(
             if in_nt && access.write {
                 stats.nt_writes += 1;
             }
-            let vtag = if in_nt && access.write { NT_VTAG } else { COMMITTED };
+            let vtag = if in_nt && access.write {
+                NT_VTAG
+            } else {
+                COMMITTED
+            };
             let a = caches.access(0, access.addr, access.write, vtag);
             cycles += u64::from(a.cycles);
             if in_nt && a.volatile_evicted == Some(NT_VTAG) {
@@ -133,7 +137,13 @@ pub fn run_standard(
 
         // Event handling.
         match s.event {
-            StepEvent::Branch { pc, taken, taken_target, not_taken_target, .. } => {
+            StepEvent::Branch {
+                pc,
+                taken,
+                taken_target,
+                not_taken_target,
+                ..
+            } => {
                 stats.dyn_branches += 1;
                 let edge = Edge::from_taken(taken);
                 if let Some(ctx) = nt.as_mut() {
@@ -147,7 +157,11 @@ pub fn run_standard(
                         {
                             btb.exercise(pc, other);
                             nt_cov.record(pc, other);
-                            core.pc = if taken { not_taken_target } else { taken_target };
+                            core.pc = if taken {
+                                not_taken_target
+                            } else {
+                                taken_target
+                            };
                             let _ = ctx;
                         }
                     }
@@ -178,12 +192,21 @@ pub fn run_standard(
                         stats.spawns += 1;
                         cycles += u64::from(mach.spawn_cycles);
                         let checkpoint = Checkpoint::take(&core);
-                        core.pc = if taken { not_taken_target } else { taken_target };
+                        core.pc = if taken {
+                            not_taken_target
+                        } else {
+                            taken_target
+                        };
                         core.pred = px.apply_fixes;
                         watches.begin_log();
                         debug_assert_eq!(sandbox.written_bytes(), 0);
                         let scratch_io = px.os_sandbox_unsafe.then(|| io.clone());
-                        nt = Some(NtContext { spawn_pc: pc, executed: 0, checkpoint, scratch_io });
+                        nt = Some(NtContext {
+                            spawn_pc: pc,
+                            executed: 0,
+                            checkpoint,
+                            scratch_io,
+                        });
                         continue 'run;
                     }
                 }
@@ -195,8 +218,17 @@ pub fn run_standard(
                 cycle: cycles,
                 path: path_kind(&nt),
             }),
-            StepEvent::WatchHit { tag, addr, is_write, pc } => monitor.push(MonitorRecord {
-                kind: RecordKind::Watch { tag, addr, is_write },
+            StepEvent::WatchHit {
+                tag,
+                addr,
+                is_write,
+                pc,
+            } => monitor.push(MonitorRecord {
+                kind: RecordKind::Watch {
+                    tag,
+                    addr,
+                    is_write,
+                },
                 site: tag,
                 pc,
                 cycle: cycles,
@@ -210,8 +242,15 @@ pub fn run_standard(
                     NtStop::Unsafe(code)
                 };
                 squash(
-                    ctx, stop, &mut core, &mut caches, &mut watches, &mut sandbox, &mut stats,
-                    &mut cycles, mach,
+                    ctx,
+                    stop,
+                    &mut core,
+                    &mut caches,
+                    &mut watches,
+                    &mut sandbox,
+                    &mut stats,
+                    &mut cycles,
+                    mach,
                 );
                 continue 'run;
             }
@@ -264,11 +303,22 @@ pub fn run_standard(
             ctx.executed += 1;
             let hit_limit = ctx.executed >= px.max_nt_path_len;
             if overflow || hit_limit {
-                let stop = if overflow { NtStop::SandboxOverflow } else { NtStop::MaxLength };
+                let stop = if overflow {
+                    NtStop::SandboxOverflow
+                } else {
+                    NtStop::MaxLength
+                };
                 let ctx = nt.take().expect("checked above");
                 squash(
-                    ctx, stop, &mut core, &mut caches, &mut watches, &mut sandbox, &mut stats,
-                    &mut cycles, mach,
+                    ctx,
+                    stop,
+                    &mut core,
+                    &mut caches,
+                    &mut watches,
+                    &mut sandbox,
+                    &mut stats,
+                    &mut cycles,
+                    mach,
                 );
             }
         }
@@ -289,7 +339,9 @@ pub fn run_standard(
 
 fn path_kind(nt: &Option<NtContext>) -> PathKind {
     match nt {
-        Some(ctx) => PathKind::NtPath { spawn_pc: ctx.spawn_pc },
+        Some(ctx) => PathKind::NtPath {
+            spawn_pc: ctx.spawn_pc,
+        },
         None => PathKind::Taken,
     }
 }
@@ -311,7 +363,11 @@ fn squash(
     sandbox.clear();
     watches.rollback();
     ctx.checkpoint.restore(core);
-    stats.paths.push(NtPathRecord { spawn_pc: ctx.spawn_pc, executed: ctx.executed, stop });
+    stats.paths.push(NtPathRecord {
+        spawn_pc: ctx.spawn_pc,
+        executed: ctx.executed,
+        stop,
+    });
 }
 
 #[cfg(test)]
@@ -381,7 +437,11 @@ mod tests {
         assert_eq!(rec.path, PathKind::NtPath { spawn_pc: 1 });
         // And the taken path itself never reports it.
         assert_eq!(
-            base.monitor.records().iter().filter(|r| !r.path.is_nt()).count(),
+            base.monitor
+                .records()
+                .iter()
+                .filter(|r| !r.path.is_nt())
+                .count(),
             0
         );
     }
@@ -522,7 +582,10 @@ mod tests {
     fn taken_path_crash_still_faults() {
         let src = ".code\nmain:\n  lw r1, 0(zero)\n";
         let r = run(src, &PxConfig::default());
-        assert!(matches!(r.exit, RunExit::Crashed(CrashKind::NullDeref { .. })));
+        assert!(matches!(
+            r.exit,
+            RunExit::Crashed(CrashKind::NullDeref { .. })
+        ));
     }
 
     #[test]
@@ -543,10 +606,18 @@ mod tests {
                 li r2, 0
                 exit
             ";
-        let no_reset =
-            run(src, &PxConfig::default().with_counter_threshold(1).with_counter_reset_interval(u64::MAX));
-        let with_reset =
-            run(src, &PxConfig::default().with_counter_threshold(1).with_counter_reset_interval(20));
+        let no_reset = run(
+            src,
+            &PxConfig::default()
+                .with_counter_threshold(1)
+                .with_counter_reset_interval(u64::MAX),
+        );
+        let with_reset = run(
+            src,
+            &PxConfig::default()
+                .with_counter_threshold(1)
+                .with_counter_reset_interval(20),
+        );
         assert!(with_reset.stats.counter_resets > 0);
         assert!(
             with_reset.stats.spawns > no_reset.stats.spawns,
@@ -604,7 +675,9 @@ mod tests {
         let plain = run(src, &PxConfig::default().with_counter_threshold(1));
         let random = run(
             src,
-            &PxConfig::default().with_counter_threshold(1).with_random_factor(Some(16)),
+            &PxConfig::default()
+                .with_counter_threshold(1)
+                .with_random_factor(Some(16)),
         );
         assert_eq!(plain.stats.random_spawns, 0);
         assert!(random.stats.random_spawns > 0, "hot edges re-explored");
@@ -612,7 +685,9 @@ mod tests {
         // Determinism.
         let again = run(
             src,
-            &PxConfig::default().with_counter_threshold(1).with_random_factor(Some(16)),
+            &PxConfig::default()
+                .with_counter_threshold(1)
+                .with_random_factor(Some(16)),
         );
         assert_eq!(again.stats.random_spawns, random.stats.random_spawns);
     }
@@ -639,8 +714,6 @@ mod tests {
         let p = assemble(src).unwrap();
         let plain = run(src, &PxConfig::default());
         let ablate = run(src, &PxConfig::default().with_explore_nt_from_nt(true));
-        assert!(
-            ablate.total_coverage.covered_edges(&p) > plain.total_coverage.covered_edges(&p)
-        );
+        assert!(ablate.total_coverage.covered_edges(&p) > plain.total_coverage.covered_edges(&p));
     }
 }

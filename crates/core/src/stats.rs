@@ -90,7 +90,10 @@ impl PxStats {
     /// Number of completed NT-paths that stopped for the given class.
     #[must_use]
     pub fn stops_of(&self, class: &str) -> usize {
-        self.paths.iter().filter(|p| p.stop.class() == class).count()
+        self.paths
+            .iter()
+            .filter(|p| p.stop.class() == class)
+            .count()
     }
 
     /// Fraction of NT-paths that stopped before executing `n` instructions
@@ -134,7 +137,11 @@ mod tests {
     use super::*;
 
     fn rec(executed: u32, stop: NtStop) -> NtPathRecord {
-        NtPathRecord { spawn_pc: 0, executed, stop }
+        NtPathRecord {
+            spawn_pc: 0,
+            executed,
+            stop,
+        }
     }
 
     #[test]

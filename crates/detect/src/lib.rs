@@ -64,8 +64,10 @@ impl Tool {
     pub fn owns(self, kind: &RecordKind) -> bool {
         matches!(
             (self, kind),
-            (Tool::Ccured, RecordKind::Check(CheckKind::CcuredBound | CheckKind::CcuredNull))
-                | (Tool::Iwatcher, RecordKind::Watch { .. })
+            (
+                Tool::Ccured,
+                RecordKind::Check(CheckKind::CcuredBound | CheckKind::CcuredNull)
+            ) | (Tool::Iwatcher, RecordKind::Watch { .. })
                 | (Tool::Assertions, RecordKind::Check(CheckKind::Assertion))
         )
     }
@@ -177,7 +179,11 @@ mod tests {
         let bound = RecordKind::Check(CheckKind::CcuredBound);
         let null = RecordKind::Check(CheckKind::CcuredNull);
         let asrt = RecordKind::Check(CheckKind::Assertion);
-        let watch = RecordKind::Watch { tag: 1, addr: 0, is_write: true };
+        let watch = RecordKind::Watch {
+            tag: 1,
+            addr: 0,
+            is_write: true,
+        };
         assert!(Tool::Ccured.owns(&bound));
         assert!(Tool::Ccured.owns(&null));
         assert!(!Tool::Ccured.owns(&asrt));
@@ -214,15 +220,34 @@ mod tests {
     #[test]
     fn classification_splits_tp_fp() {
         let dets = vec![
-            Detection { line: 10, count: 1, on_nt_path: true, on_taken_path: false },
-            Detection { line: 20, count: 3, on_nt_path: true, on_taken_path: false },
-            Detection { line: 30, count: 1, on_nt_path: false, on_taken_path: true },
+            Detection {
+                line: 10,
+                count: 1,
+                on_nt_path: true,
+                on_taken_path: false,
+            },
+            Detection {
+                line: 20,
+                count: 3,
+                on_nt_path: true,
+                on_taken_path: false,
+            },
+            Detection {
+                line: 30,
+                count: 1,
+                on_nt_path: false,
+                on_taken_path: true,
+            },
         ];
         let c = classify(&dets, &[10], false);
         assert_eq!(c.true_positive_lines, vec![10]);
         assert_eq!(c.false_positive_lines, vec![20, 30]);
         let c = classify(&dets, &[10], true);
-        assert_eq!(c.false_positive_lines, vec![20], "taken-path-only line excluded");
+        assert_eq!(
+            c.false_positive_lines,
+            vec![20],
+            "taken-path-only line excluded"
+        );
     }
 
     #[test]

@@ -52,11 +52,13 @@ impl fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err<T>(line: u32, message: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError { line, message: message.into() })
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 enum Section {
     #[default]
     Code,
@@ -98,7 +100,6 @@ struct Assembler {
     data: Vec<u8>,
     section: Section,
 }
-
 
 impl Assembler {
     fn run(mut self, source: &str) -> Result<Program, AsmError> {
@@ -256,7 +257,11 @@ impl Assembler {
     }
 
     fn push_insn(&mut self, line: u32, insn: Instruction) {
-        self.pending.push(PendingInsn { line, insn, fixup: None });
+        self.pending.push(PendingInsn {
+            line,
+            insn,
+            fixup: None,
+        });
     }
 
     fn push_fixup(&mut self, line: u32, insn: Instruction, target: Target) {
@@ -266,7 +271,11 @@ impl Assembler {
                 insn: retarget(insn, t),
                 fixup: None,
             }),
-            Target::Label(l) => self.pending.push(PendingInsn { line, insn, fixup: Some(l) }),
+            Target::Label(l) => self.pending.push(PendingInsn {
+                line,
+                insn,
+                fixup: Some(l),
+            }),
         }
     }
 
@@ -296,7 +305,14 @@ impl Assembler {
             need(2)?;
             let cond = parse_reg(arg(0), ln)?;
             let site = parse_site(arg(1), ln)?;
-            self.push_insn(ln, Instruction::Check { kind: *kind, cond, site });
+            self.push_insn(
+                ln,
+                Instruction::Check {
+                    kind: *kind,
+                    cond,
+                    site,
+                },
+            );
             return Ok(());
         }
         // Branches.
@@ -307,7 +323,12 @@ impl Assembler {
             let target = self.parse_target(arg(2), ln)?;
             self.push_fixup(
                 ln,
-                Instruction::Branch { cond: *cond, rs1, rs2, target: 0 },
+                Instruction::Branch {
+                    cond: *cond,
+                    rs1,
+                    rs2,
+                    target: 0,
+                },
                 target,
             );
             return Ok(());
@@ -382,22 +403,58 @@ impl Assembler {
                 need(2)?;
                 let rd = parse_reg(arg(0), ln)?;
                 let (offset, base) = parse_mem_operand(arg(1), ln)?;
-                let width = if mnemonic == "lw" { Width::Word } else { Width::Byte };
-                self.push_insn(ln, Instruction::Load { width, rd, base, offset });
+                let width = if mnemonic == "lw" {
+                    Width::Word
+                } else {
+                    Width::Byte
+                };
+                self.push_insn(
+                    ln,
+                    Instruction::Load {
+                        width,
+                        rd,
+                        base,
+                        offset,
+                    },
+                );
             }
             "sw" | "sb" => {
                 need(2)?;
                 let rs = parse_reg(arg(0), ln)?;
                 let (offset, base) = parse_mem_operand(arg(1), ln)?;
-                let width = if mnemonic == "sw" { Width::Word } else { Width::Byte };
-                self.push_insn(ln, Instruction::Store { width, rs, base, offset });
+                let width = if mnemonic == "sw" {
+                    Width::Word
+                } else {
+                    Width::Byte
+                };
+                self.push_insn(
+                    ln,
+                    Instruction::Store {
+                        width,
+                        rs,
+                        base,
+                        offset,
+                    },
+                );
             }
             "psw" | "psb" => {
                 need(2)?;
                 let rs = parse_reg(arg(0), ln)?;
                 let (offset, base) = parse_mem_operand(arg(1), ln)?;
-                let width = if mnemonic == "psw" { Width::Word } else { Width::Byte };
-                self.push_insn(ln, Instruction::PStore { width, rs, base, offset });
+                let width = if mnemonic == "psw" {
+                    Width::Word
+                } else {
+                    Width::Byte
+                };
+                self.push_insn(
+                    ln,
+                    Instruction::PStore {
+                        width,
+                        rs,
+                        base,
+                        offset,
+                    },
+                );
             }
             "li" => {
                 need(2)?;
@@ -473,7 +530,12 @@ impl Assembler {
             }
             "unwatch" => {
                 need(1)?;
-                self.push_insn(ln, Instruction::ClearWatch { tag: parse_site(arg(0), ln)? });
+                self.push_insn(
+                    ln,
+                    Instruction::ClearWatch {
+                        tag: parse_site(arg(0), ln)?,
+                    },
+                );
             }
             _ => return err(ln, format!("unknown mnemonic `{mnemonic}`")),
         }
@@ -500,9 +562,12 @@ fn builder_data_len(_builder: &ProgramBuilder) -> u32 {
 
 fn retarget(insn: Instruction, target: u32) -> Instruction {
     match insn {
-        Instruction::Branch { cond, rs1, rs2, .. } => {
-            Instruction::Branch { cond, rs1, rs2, target }
-        }
+        Instruction::Branch { cond, rs1, rs2, .. } => Instruction::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        },
         Instruction::Jump { .. } => Instruction::Jump { target },
         Instruction::Call { .. } => Instruction::Call { target },
         other => other,
@@ -531,7 +596,9 @@ fn find_label_colon(line: &str) -> Option<usize> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -550,8 +617,10 @@ fn split_operands(rest: &str) -> Vec<String> {
 }
 
 fn parse_reg(s: &str, ln: u32) -> Result<Reg, AsmError> {
-    s.parse()
-        .map_err(|_| AsmError { line: ln, message: format!("invalid register `{s}`") })
+    s.parse().map_err(|_| AsmError {
+        line: ln,
+        message: format!("invalid register `{s}`"),
+    })
 }
 
 fn parse_int(s: &str, ln: u32) -> Result<i32, AsmError> {
@@ -567,7 +636,10 @@ fn parse_int(s: &str, ln: u32) -> Result<i32, AsmError> {
             .map(|v| v as i32)
             .map_err(|_| "bad".parse::<i32>().unwrap_err())
     };
-    parsed.map_err(|_| AsmError { line: ln, message: format!("invalid integer `{s}`") })
+    parsed.map_err(|_| AsmError {
+        line: ln,
+        message: format!("invalid integer `{s}`"),
+    })
 }
 
 fn parse_site(s: &str, ln: u32) -> Result<u32, AsmError> {
@@ -585,7 +657,11 @@ fn parse_mem_operand(s: &str, ln: u32) -> Result<(i32, Reg), AsmError> {
         return err(ln, format!("missing `)` in `{s}`"));
     };
     let offset_str = s[..open].trim();
-    let offset = if offset_str.is_empty() { 0 } else { parse_int(offset_str, ln)? };
+    let offset = if offset_str.is_empty() {
+        0
+    } else {
+        parse_int(offset_str, ln)?
+    };
     let base = parse_reg(s[open + 1..close].trim(), ln)?;
     Ok((offset, base))
 }
@@ -594,7 +670,10 @@ fn parse_string(s: &str, ln: u32) -> Result<Vec<u8>, AsmError> {
     let inner = s
         .strip_prefix('"')
         .and_then(|s| s.strip_suffix('"'))
-        .ok_or_else(|| AsmError { line: ln, message: format!("expected string literal, got `{s}`") })?;
+        .ok_or_else(|| AsmError {
+            line: ln,
+            message: format!("expected string literal, got `{s}`"),
+        })?;
     let mut out = Vec::new();
     let mut chars = inner.chars();
     while let Some(c) = chars.next() {
@@ -720,16 +799,35 @@ mod tests {
         .unwrap();
         assert_eq!(
             p.code[0],
-            Instruction::Check { kind: CheckKind::Assertion, cond: Reg::RV, site: 9 }
+            Instruction::Check {
+                kind: CheckKind::Assertion,
+                cond: Reg::RV,
+                site: 9
+            }
         );
         assert_eq!(
             p.code[3],
-            Instruction::SetWatch { base: Reg::new(4), len: Reg::new(5), tag: 12 }
+            Instruction::SetWatch {
+                base: Reg::new(4),
+                len: Reg::new(5),
+                tag: 12
+            }
         );
-        assert_eq!(p.code[5], Instruction::PMovI { rd: Reg::new(6), imm: -2 });
+        assert_eq!(
+            p.code[5],
+            Instruction::PMovI {
+                rd: Reg::new(6),
+                imm: -2
+            }
+        );
         assert_eq!(
             p.code[7],
-            Instruction::PAluI { op: AluOp::Add, rd: Reg::new(9), rs1: Reg::new(10), imm: 1 }
+            Instruction::PAluI {
+                op: AluOp::Add,
+                rd: Reg::new(9),
+                rs1: Reg::new(10),
+                imm: 1
+            }
         );
         assert!(p.code[8].is_predicated());
     }

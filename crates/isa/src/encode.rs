@@ -87,7 +87,10 @@ fn decode_alu(c: u8) -> Result<AluOp, DecodeError> {
 }
 
 fn cond_code(c: BranchCond) -> u8 {
-    BranchCond::ALL.iter().position(|&o| o == c).expect("in ALL") as u8
+    BranchCond::ALL
+        .iter()
+        .position(|&o| o == c)
+        .expect("in ALL") as u8
 }
 
 fn decode_cond(c: u8) -> Result<BranchCond, DecodeError> {
@@ -98,7 +101,10 @@ fn decode_cond(c: u8) -> Result<BranchCond, DecodeError> {
 }
 
 fn sys_code(c: SyscallCode) -> u8 {
-    SyscallCode::ALL.iter().position(|&o| o == c).expect("in ALL") as u8
+    SyscallCode::ALL
+        .iter()
+        .position(|&o| o == c)
+        .expect("in ALL") as u8
 }
 
 fn decode_sys(c: u8) -> Result<SyscallCode, DecodeError> {
@@ -134,7 +140,14 @@ struct Fields {
 
 impl Fields {
     fn new(op: u8) -> Fields {
-        Fields { op, a: 0, b: 0, c: 0, imm: 0, ext: 0 }
+        Fields {
+            op,
+            a: 0,
+            b: 0,
+            c: 0,
+            imm: 0,
+            ext: 0,
+        }
     }
 
     fn to_bytes(&self) -> [u8; ENCODED_LEN] {
@@ -180,21 +193,36 @@ pub fn encode(insn: Instruction) -> [u8; ENCODED_LEN] {
             f.c = alu_code(op);
             f.imm = imm;
         }
-        Instruction::Load { width, rd, base, offset } => {
+        Instruction::Load {
+            width,
+            rd,
+            base,
+            offset,
+        } => {
             f = Fields::new(OP_LOAD);
             f.a = rd.raw();
             f.b = base.raw();
             f.c = width_code(width);
             f.imm = offset;
         }
-        Instruction::Store { width, rs, base, offset } => {
+        Instruction::Store {
+            width,
+            rs,
+            base,
+            offset,
+        } => {
             f = Fields::new(OP_STORE);
             f.a = rs.raw();
             f.b = base.raw();
             f.c = width_code(width);
             f.imm = offset;
         }
-        Instruction::Branch { cond, rs1, rs2, target } => {
+        Instruction::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
             f = Fields::new(OP_BRANCH);
             f.a = cond_code(cond);
             f.b = rs1.raw();
@@ -247,7 +275,12 @@ pub fn encode(insn: Instruction) -> [u8; ENCODED_LEN] {
             f.c = alu_code(op);
             f.imm = imm;
         }
-        Instruction::PStore { width, rs, base, offset } => {
+        Instruction::PStore {
+            width,
+            rs,
+            base,
+            offset,
+        } => {
             f = Fields::new(OP_PSTORE);
             f.a = rs.raw();
             f.b = base.raw();
@@ -301,7 +334,9 @@ pub fn decode(bytes: &[u8; ENCODED_LEN]) -> Result<Instruction, DecodeError> {
         OP_JUMP => Instruction::Jump { target: f.ext },
         OP_CALL => Instruction::Call { target: f.ext },
         OP_RET => Instruction::Ret,
-        OP_SYSCALL => Instruction::Syscall { code: decode_sys(f.a)? },
+        OP_SYSCALL => Instruction::Syscall {
+            code: decode_sys(f.a)?,
+        },
         OP_CHECK => Instruction::Check {
             kind: decode_check(f.a)?,
             cond: decode_reg(f.b)?,
@@ -313,8 +348,14 @@ pub fn decode(bytes: &[u8; ENCODED_LEN]) -> Result<Instruction, DecodeError> {
             tag: f.ext,
         },
         OP_CLEARWATCH => Instruction::ClearWatch { tag: f.ext },
-        OP_PMOVI => Instruction::PMovI { rd: decode_reg(f.a)?, imm: f.imm },
-        OP_PMOV => Instruction::PMov { rd: decode_reg(f.a)?, rs: decode_reg(f.b)? },
+        OP_PMOVI => Instruction::PMovI {
+            rd: decode_reg(f.a)?,
+            imm: f.imm,
+        },
+        OP_PMOV => Instruction::PMov {
+            rd: decode_reg(f.a)?,
+            rs: decode_reg(f.b)?,
+        },
         OP_PALUI => Instruction::PAluI {
             op: decode_alu(f.c)?,
             rd: decode_reg(f.a)?,
@@ -421,7 +462,9 @@ mod tests {
         bytes[1] = 77; // rd out of range
         assert_eq!(decode(&bytes).unwrap_err(), DecodeError::BadRegister(77));
 
-        let mut bytes = encode(Instruction::Syscall { code: SyscallCode::Exit });
+        let mut bytes = encode(Instruction::Syscall {
+            code: SyscallCode::Exit,
+        });
         bytes[1] = 200; // selector out of range
         assert_eq!(decode(&bytes).unwrap_err(), DecodeError::BadSelector(200));
     }

@@ -293,17 +293,42 @@ impl CheckKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Instruction {
     /// `rd = rs1 <op> rs2`
-    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// `rd = rs1 <op> imm`
-    AluI { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    AluI {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// `rd = mem[rs(base) + offset]`
-    Load { width: Width, rd: Reg, base: Reg, offset: i32 },
+    Load {
+        width: Width,
+        rd: Reg,
+        base: Reg,
+        offset: i32,
+    },
     /// `mem[rs(base) + offset] = rs`
-    Store { width: Width, rs: Reg, base: Reg, offset: i32 },
+    Store {
+        width: Width,
+        rs: Reg,
+        base: Reg,
+        offset: i32,
+    },
     /// Conditional branch: if `cond(rs1, rs2)`, `pc = target`, else fall
     /// through. This is the instruction the BTB exercise counters and the
     /// PathExpander NT-path selector observe.
-    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, target: u32 },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        target: u32,
+    },
     /// Unconditional jump to an instruction index.
     Jump { target: u32 },
     /// `ra = pc + 1; pc = target`
@@ -315,7 +340,11 @@ pub enum Instruction {
     /// Dynamic-checker probe: if the value of `cond` is zero, a bug report
     /// with site identifier `site` is written to the monitor memory area.
     /// Execution continues either way.
-    Check { kind: CheckKind, cond: Reg, site: u32 },
+    Check {
+        kind: CheckKind,
+        cond: Reg,
+        site: u32,
+    },
     /// iWatcher-style: watch `len` bytes at address `base`+`A1`... registers a
     /// watch range `[rs(base), rs(base)+rs(len))` tagged `tag`.
     SetWatch { base: Reg, len: Reg, tag: u32 },
@@ -327,9 +356,19 @@ pub enum Instruction {
     /// Predicated `rd = rs`.
     PMov { rd: Reg, rs: Reg },
     /// Predicated `rd = rs1 <op> imm` (for boundary fixes such as `x = y-1`).
-    PAluI { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    PAluI {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// Predicated store, for fixing condition variables that live in memory.
-    PStore { width: Width, rs: Reg, base: Reg, offset: i32 },
+    PStore {
+        width: Width,
+        rs: Reg,
+        base: Reg,
+        offset: i32,
+    },
     /// No operation.
     Nop,
 }
@@ -371,19 +410,44 @@ impl fmt::Display for Instruction {
             Instruction::AluI { op, rd, rs1, imm } => {
                 write!(f, "{}i {rd}, {rs1}, {imm}", op.mnemonic())
             }
-            Instruction::Load { width: Width::Word, rd, base, offset } => {
+            Instruction::Load {
+                width: Width::Word,
+                rd,
+                base,
+                offset,
+            } => {
                 write!(f, "lw {rd}, {offset}({base})")
             }
-            Instruction::Load { width: Width::Byte, rd, base, offset } => {
+            Instruction::Load {
+                width: Width::Byte,
+                rd,
+                base,
+                offset,
+            } => {
                 write!(f, "lb {rd}, {offset}({base})")
             }
-            Instruction::Store { width: Width::Word, rs, base, offset } => {
+            Instruction::Store {
+                width: Width::Word,
+                rs,
+                base,
+                offset,
+            } => {
                 write!(f, "sw {rs}, {offset}({base})")
             }
-            Instruction::Store { width: Width::Byte, rs, base, offset } => {
+            Instruction::Store {
+                width: Width::Byte,
+                rs,
+                base,
+                offset,
+            } => {
                 write!(f, "sb {rs}, {offset}({base})")
             }
-            Instruction::Branch { cond, rs1, rs2, target } => {
+            Instruction::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 write!(f, "{} {rs1}, {rs2}, @{target}", cond.mnemonic())
             }
             Instruction::Jump { target } => write!(f, "jmp @{target}"),
@@ -402,10 +466,20 @@ impl fmt::Display for Instruction {
             Instruction::PAluI { op, rd, rs1, imm } => {
                 write!(f, "p{}i {rd}, {rs1}, {imm}", op.mnemonic())
             }
-            Instruction::PStore { width: Width::Word, rs, base, offset } => {
+            Instruction::PStore {
+                width: Width::Word,
+                rs,
+                base,
+                offset,
+            } => {
                 write!(f, "psw {rs}, {offset}({base})")
             }
-            Instruction::PStore { width: Width::Byte, rs, base, offset } => {
+            Instruction::PStore {
+                width: Width::Byte,
+                rs,
+                base,
+                offset,
+            } => {
                 write!(f, "psb {rs}, {offset}({base})")
             }
             Instruction::Nop => write!(f, "nop"),
@@ -452,8 +526,15 @@ mod tests {
         assert!(Instruction::Ret.is_control_transfer());
         assert!(Instruction::Jump { target: 0 }.is_control_transfer());
         assert!(!Instruction::Nop.is_control_transfer());
-        assert!(!Instruction::Syscall { code: SyscallCode::Exit }.is_control_transfer());
-        assert!(Instruction::PMovI { rd: Reg::RV, imm: 3 }.is_predicated());
+        assert!(!Instruction::Syscall {
+            code: SyscallCode::Exit
+        }
+        .is_control_transfer());
+        assert!(Instruction::PMovI {
+            rd: Reg::RV,
+            imm: 3
+        }
+        .is_predicated());
         assert!(!Instruction::Nop.is_predicated());
     }
 

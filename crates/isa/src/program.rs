@@ -129,9 +129,7 @@ impl Program {
     /// The source line for `pc`, or 0 when unknown.
     #[must_use]
     pub fn source_line(&self, pc: u32) -> u32 {
-        self.source_lines
-            .get(pc as usize)
-            .map_or(0, |loc| loc.line)
+        self.source_lines.get(pc as usize).map_or(0, |loc| loc.line)
     }
 
     /// Renders the whole program as assembly text (disassembly listing).
@@ -289,7 +287,12 @@ mod tests {
         b.push(branch(0), 1);
         b.push(branch(0), 2);
         b.push(
-            Instruction::AluI { op: AluOp::Add, rd: Reg::RV, rs1: Reg::ZERO, imm: 0 },
+            Instruction::AluI {
+                op: AluOp::Add,
+                rd: Reg::RV,
+                rs1: Reg::ZERO,
+                imm: 0,
+            },
             3,
         );
         b.push(branch(0), 4);

@@ -1,146 +1,173 @@
 //! Property tests: the binary encoding round-trips exactly, and the
 //! assembler/disassembler agree on every instruction it can print.
+//!
+//! Runs on the in-tree `px_util` property harness (`px_prop!`); strategies
+//! cover **all instruction forms** of the PXVM-32 ISA.
 
-use proptest::prelude::*;
 use px_isa::{
-    decode, decode_program, encode, encode_program, AluOp, BranchCond, CheckKind, Instruction,
-    Reg, SyscallCode, Width,
+    decode, decode_program, encode, encode_program, AluOp, BranchCond, CheckKind, Instruction, Reg,
+    SyscallCode, Width,
 };
+use px_util::prop::{any_i32, any_u32, any_u8, just, vec_exact, vec_of, BoxedStrategy, Strategy};
+use px_util::{px_oneof, px_prop};
 
 fn arb_reg() -> impl Strategy<Value = Reg> {
     (0u8..32).prop_map(Reg::new)
 }
 
-fn arb_width() -> impl Strategy<Value = Width> {
-    prop_oneof![Just(Width::Byte), Just(Width::Word)]
+fn arb_width() -> BoxedStrategy<Width> {
+    px_oneof![just(Width::Byte), just(Width::Word)].boxed()
 }
 
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::Div),
-        Just(AluOp::Rem),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Shl),
-        Just(AluOp::Shr),
-        Just(AluOp::Sar),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-        Just(AluOp::Sle),
-        Just(AluOp::Seq),
-        Just(AluOp::Sne),
+fn arb_alu_op() -> BoxedStrategy<AluOp> {
+    px_oneof![
+        just(AluOp::Add),
+        just(AluOp::Sub),
+        just(AluOp::Mul),
+        just(AluOp::Div),
+        just(AluOp::Rem),
+        just(AluOp::And),
+        just(AluOp::Or),
+        just(AluOp::Xor),
+        just(AluOp::Shl),
+        just(AluOp::Shr),
+        just(AluOp::Sar),
+        just(AluOp::Slt),
+        just(AluOp::Sltu),
+        just(AluOp::Sle),
+        just(AluOp::Seq),
+        just(AluOp::Sne),
     ]
+    .boxed()
 }
 
-fn arb_cond() -> impl Strategy<Value = BranchCond> {
-    prop_oneof![
-        Just(BranchCond::Eq),
-        Just(BranchCond::Ne),
-        Just(BranchCond::Lt),
-        Just(BranchCond::Ge),
-        Just(BranchCond::Le),
-        Just(BranchCond::Gt),
+fn arb_cond() -> BoxedStrategy<BranchCond> {
+    px_oneof![
+        just(BranchCond::Eq),
+        just(BranchCond::Ne),
+        just(BranchCond::Lt),
+        just(BranchCond::Ge),
+        just(BranchCond::Le),
+        just(BranchCond::Gt),
     ]
+    .boxed()
 }
 
-fn arb_syscall() -> impl Strategy<Value = SyscallCode> {
-    prop_oneof![
-        Just(SyscallCode::Exit),
-        Just(SyscallCode::PutChar),
-        Just(SyscallCode::GetChar),
-        Just(SyscallCode::PrintInt),
-        Just(SyscallCode::ReadInt),
-        Just(SyscallCode::Rand),
-        Just(SyscallCode::Time),
+fn arb_syscall() -> BoxedStrategy<SyscallCode> {
+    px_oneof![
+        just(SyscallCode::Exit),
+        just(SyscallCode::PutChar),
+        just(SyscallCode::GetChar),
+        just(SyscallCode::PrintInt),
+        just(SyscallCode::ReadInt),
+        just(SyscallCode::Rand),
+        just(SyscallCode::Time),
     ]
+    .boxed()
 }
 
-fn arb_check_kind() -> impl Strategy<Value = CheckKind> {
-    prop_oneof![
-        Just(CheckKind::Assertion),
-        Just(CheckKind::CcuredBound),
-        Just(CheckKind::CcuredNull),
+fn arb_check_kind() -> BoxedStrategy<CheckKind> {
+    px_oneof![
+        just(CheckKind::Assertion),
+        just(CheckKind::CcuredBound),
+        just(CheckKind::CcuredNull),
     ]
+    .boxed()
 }
 
-fn arb_instruction() -> impl Strategy<Value = Instruction> {
-    prop_oneof![
-        Just(Instruction::Nop),
-        Just(Instruction::Ret),
+fn arb_instruction() -> BoxedStrategy<Instruction> {
+    px_oneof![
+        just(Instruction::Nop),
+        just(Instruction::Ret),
         (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
             .prop_map(|(op, rd, rs1, rs2)| Instruction::Alu { op, rd, rs1, rs2 }),
-        (arb_alu_op(), arb_reg(), arb_reg(), any::<i32>())
+        (arb_alu_op(), arb_reg(), arb_reg(), any_i32())
             .prop_map(|(op, rd, rs1, imm)| Instruction::AluI { op, rd, rs1, imm }),
-        (arb_width(), arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(width, rd, base, offset)| Instruction::Load { width, rd, base, offset }),
-        (arb_width(), arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(width, rs, base, offset)| Instruction::Store { width, rs, base, offset }),
-        (arb_cond(), arb_reg(), arb_reg(), any::<u32>())
-            .prop_map(|(cond, rs1, rs2, target)| Instruction::Branch { cond, rs1, rs2, target }),
-        any::<u32>().prop_map(|target| Instruction::Jump { target }),
-        any::<u32>().prop_map(|target| Instruction::Call { target }),
+        (arb_width(), arb_reg(), arb_reg(), any_i32()).prop_map(|(width, rd, base, offset)| {
+            Instruction::Load {
+                width,
+                rd,
+                base,
+                offset,
+            }
+        }),
+        (arb_width(), arb_reg(), arb_reg(), any_i32()).prop_map(|(width, rs, base, offset)| {
+            Instruction::Store {
+                width,
+                rs,
+                base,
+                offset,
+            }
+        }),
+        (arb_cond(), arb_reg(), arb_reg(), any_u32()).prop_map(|(cond, rs1, rs2, target)| {
+            Instruction::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            }
+        }),
+        any_u32().prop_map(|target| Instruction::Jump { target }),
+        any_u32().prop_map(|target| Instruction::Call { target }),
         arb_syscall().prop_map(|code| Instruction::Syscall { code }),
-        (arb_check_kind(), arb_reg(), any::<u32>())
+        (arb_check_kind(), arb_reg(), any_u32())
             .prop_map(|(kind, cond, site)| Instruction::Check { kind, cond, site }),
-        (arb_reg(), arb_reg(), any::<u32>())
-            .prop_map(|(base, len, tag)| Instruction::SetWatch { base, len, tag }),
-        any::<u32>().prop_map(|tag| Instruction::ClearWatch { tag }),
-        (arb_reg(), any::<i32>()).prop_map(|(rd, imm)| Instruction::PMovI { rd, imm }),
+        (arb_reg(), arb_reg(), any_u32()).prop_map(|(base, len, tag)| Instruction::SetWatch {
+            base,
+            len,
+            tag
+        }),
+        any_u32().prop_map(|tag| Instruction::ClearWatch { tag }),
+        (arb_reg(), any_i32()).prop_map(|(rd, imm)| Instruction::PMovI { rd, imm }),
         (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instruction::PMov { rd, rs }),
-        (arb_alu_op(), arb_reg(), arb_reg(), any::<i32>())
+        (arb_alu_op(), arb_reg(), arb_reg(), any_i32())
             .prop_map(|(op, rd, rs1, imm)| Instruction::PAluI { op, rd, rs1, imm }),
-        (arb_width(), arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(width, rs, base, offset)| Instruction::PStore { width, rs, base, offset }),
+        (arb_width(), arb_reg(), arb_reg(), any_i32()).prop_map(|(width, rs, base, offset)| {
+            Instruction::PStore {
+                width,
+                rs,
+                base,
+                offset,
+            }
+        }),
     ]
+    .boxed()
 }
 
-proptest! {
-    #[test]
+px_prop! {
     fn encode_decode_round_trip(insn in arb_instruction()) {
-        prop_assert_eq!(decode(&encode(insn)).unwrap(), insn);
+        assert_eq!(decode(&encode(insn)).unwrap(), insn);
     }
 
-    #[test]
-    fn program_encoding_round_trip(code in proptest::collection::vec(arb_instruction(), 0..64)) {
+    fn program_encoding_round_trip(code in vec_of(arb_instruction(), 0..64)) {
         let bytes = encode_program(&code);
-        prop_assert_eq!(bytes.len(), code.len() * px_isa::ENCODED_LEN);
-        prop_assert_eq!(decode_program(&bytes).unwrap(), code);
+        assert_eq!(bytes.len(), code.len() * px_isa::ENCODED_LEN);
+        assert_eq!(decode_program(&bytes).unwrap(), code);
     }
 
-    #[test]
-    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), px_isa::ENCODED_LEN)) {
+    fn decode_never_panics(bytes in vec_exact(any_u8(), px_isa::ENCODED_LEN)) {
         let arr: [u8; px_isa::ENCODED_LEN] = bytes.try_into().unwrap();
         let _ = decode(&arr); // must not panic, may error
     }
 
-    #[test]
-    fn alu_eval_total_except_divrem_by_zero(op in arb_alu_op(), a in any::<i32>(), b in any::<i32>()) {
+    fn alu_eval_total_except_divrem_by_zero(op in arb_alu_op(), a in any_i32(), b in any_i32()) {
         let result = op.eval(a, b);
         let by_zero = matches!(op, AluOp::Div | AluOp::Rem) && b == 0;
-        prop_assert_eq!(result.is_none(), by_zero);
+        assert_eq!(result.is_none(), by_zero);
     }
 
-    #[test]
-    fn branch_negate_flips(cond in arb_cond(), a in any::<i32>(), b in any::<i32>()) {
-        prop_assert_eq!(cond.eval(a, b), !cond.negate().eval(a, b));
+    fn branch_negate_flips(cond in arb_cond(), a in any_i32(), b in any_i32()) {
+        assert_eq!(cond.eval(a, b), !cond.negate().eval(a, b));
     }
-}
 
-proptest! {
-    #[test]
     fn any_instruction_prints_and_reassembles(insn in arb_instruction()) {
         let text = format!(".code\nmain:\n  {insn}\n");
         let program = px_isa::asm::assemble(&text)
-            .map_err(|e| TestCaseError::fail(format!("`{insn}` failed to assemble: {e}")))?;
-        prop_assert_eq!(program.code[0], insn);
+            .unwrap_or_else(|e| panic!("`{insn}` failed to assemble: {e}"));
+        assert_eq!(program.code[0], insn);
     }
 
-    #[test]
-    fn assembled_streams_encode_and_decode(code in proptest::collection::vec(arb_instruction(), 1..48)) {
+    fn assembled_streams_encode_and_decode(code in vec_of(arb_instruction(), 1..48)) {
         // Disassemble a whole stream, reassemble it, then push it through the
         // binary encoding: three representations, one program.
         let mut text = String::from(".code\nmain:\n");
@@ -148,10 +175,10 @@ proptest! {
             text.push_str(&format!("  {insn}\n"));
         }
         let program = px_isa::asm::assemble(&text)
-            .map_err(|e| TestCaseError::fail(format!("assembly failed: {e}")))?;
-        prop_assert_eq!(&program.code, &code);
+            .unwrap_or_else(|e| panic!("assembly failed: {e}"));
+        assert_eq!(&program.code, &code);
         let bytes = encode_program(&program.code);
-        prop_assert_eq!(decode_program(&bytes).unwrap(), code);
+        assert_eq!(decode_program(&bytes).unwrap(), code);
     }
 }
 
@@ -160,22 +187,73 @@ fn display_then_reassemble_round_trips() {
     // Instructions printed by the disassembler reassemble to themselves when
     // wrapped in a trivial program (targets use `@index` literals).
     let insns = [
-        Instruction::Alu { op: AluOp::Sltu, rd: Reg::new(3), rs1: Reg::new(4), rs2: Reg::new(5) },
-        Instruction::AluI { op: AluOp::Sar, rd: Reg::new(6), rs1: Reg::new(7), imm: -9 },
-        Instruction::Load { width: Width::Byte, rd: Reg::new(8), base: Reg::SP, offset: 16 },
-        Instruction::Store { width: Width::Word, rs: Reg::new(9), base: Reg::FP, offset: -4 },
-        Instruction::Branch { cond: BranchCond::Ne, rs1: Reg::new(1), rs2: Reg::ZERO, target: 0 },
+        Instruction::Alu {
+            op: AluOp::Sltu,
+            rd: Reg::new(3),
+            rs1: Reg::new(4),
+            rs2: Reg::new(5),
+        },
+        Instruction::AluI {
+            op: AluOp::Sar,
+            rd: Reg::new(6),
+            rs1: Reg::new(7),
+            imm: -9,
+        },
+        Instruction::Load {
+            width: Width::Byte,
+            rd: Reg::new(8),
+            base: Reg::SP,
+            offset: 16,
+        },
+        Instruction::Store {
+            width: Width::Word,
+            rs: Reg::new(9),
+            base: Reg::FP,
+            offset: -4,
+        },
+        Instruction::Branch {
+            cond: BranchCond::Ne,
+            rs1: Reg::new(1),
+            rs2: Reg::ZERO,
+            target: 0,
+        },
         Instruction::Jump { target: 1 },
         Instruction::Call { target: 0 },
         Instruction::Ret,
-        Instruction::Syscall { code: SyscallCode::Rand },
-        Instruction::Check { kind: CheckKind::CcuredNull, cond: Reg::new(2), site: 7 },
-        Instruction::SetWatch { base: Reg::new(3), len: Reg::new(4), tag: 8 },
+        Instruction::Syscall {
+            code: SyscallCode::Rand,
+        },
+        Instruction::Check {
+            kind: CheckKind::CcuredNull,
+            cond: Reg::new(2),
+            site: 7,
+        },
+        Instruction::SetWatch {
+            base: Reg::new(3),
+            len: Reg::new(4),
+            tag: 8,
+        },
         Instruction::ClearWatch { tag: 8 },
-        Instruction::PMovI { rd: Reg::new(5), imm: 11 },
-        Instruction::PMov { rd: Reg::new(6), rs: Reg::new(7) },
-        Instruction::PAluI { op: AluOp::Sub, rd: Reg::new(8), rs1: Reg::new(9), imm: 1 },
-        Instruction::PStore { width: Width::Byte, rs: Reg::new(1), base: Reg::new(2), offset: 3 },
+        Instruction::PMovI {
+            rd: Reg::new(5),
+            imm: 11,
+        },
+        Instruction::PMov {
+            rd: Reg::new(6),
+            rs: Reg::new(7),
+        },
+        Instruction::PAluI {
+            op: AluOp::Sub,
+            rd: Reg::new(8),
+            rs1: Reg::new(9),
+            imm: 1,
+        },
+        Instruction::PStore {
+            width: Width::Byte,
+            rs: Reg::new(1),
+            base: Reg::new(2),
+            offset: 3,
+        },
         Instruction::Nop,
     ];
     for insn in insns {

@@ -133,13 +133,21 @@ pub struct Stmt {
 #[derive(Debug, Clone, PartialEq)]
 pub enum StmtKind {
     /// Local declaration with optional initializer.
-    Decl { name: String, ty: Type, init: Option<Expr> },
+    Decl {
+        name: String,
+        ty: Type,
+        init: Option<Expr>,
+    },
     /// Assignment `lvalue = expr;`.
     Assign { target: Expr, value: Expr },
     /// Expression evaluated for side effects (calls).
     Expr(Expr),
     /// `if` with optional `else`.
-    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
     /// `while` loop.
     While { cond: Expr, body: Vec<Stmt> },
     /// `for (init; cond; step) body` — init/step are statements.

@@ -64,13 +64,19 @@ impl CompileOptions {
     /// Options for a CCured-monitored build.
     #[must_use]
     pub fn ccured() -> CompileOptions {
-        CompileOptions { ccured: true, ..CompileOptions::default() }
+        CompileOptions {
+            ccured: true,
+            ..CompileOptions::default()
+        }
     }
 
     /// Options for an iWatcher-monitored build.
     #[must_use]
     pub fn iwatcher() -> CompileOptions {
-        CompileOptions { iwatcher: true, ..CompileOptions::default() }
+        CompileOptions {
+            iwatcher: true,
+            ..CompileOptions::default()
+        }
     }
 
     /// Options for an assertions-only build.
@@ -130,7 +136,10 @@ impl CompiledProgram {
     /// Finds the watch tag guarding a named array (first match).
     #[must_use]
     pub fn watch_tag_for(&self, array: &str) -> Option<u32> {
-        self.watches.iter().find(|w| w.array == array).map(|w| w.tag)
+        self.watches
+            .iter()
+            .find(|w| w.array == array)
+            .map(|w| w.tag)
     }
 }
 
@@ -181,7 +190,10 @@ impl Place {
 enum FixValue {
     Const(i32),
     /// `other_reg + delta` (for variable-vs-variable comparisons).
-    Rel { other: Reg, delta: i32 },
+    Rel {
+        other: Reg,
+        delta: i32,
+    },
 }
 
 /// Which branch operand a fix site pins (for value-profile refitting).
@@ -306,11 +318,21 @@ impl<'a> Cg<'a> {
     }
 
     fn li(&mut self, rd: Reg, imm: i32) {
-        self.emit(Instruction::AluI { op: AluOp::Add, rd, rs1: Reg::ZERO, imm });
+        self.emit(Instruction::AluI {
+            op: AluOp::Add,
+            rd,
+            rs1: Reg::ZERO,
+            imm,
+        });
     }
 
     fn mv(&mut self, rd: Reg, rs: Reg) {
-        self.emit(Instruction::AluI { op: AluOp::Add, rd, rs1: rs, imm: 0 });
+        self.emit(Instruction::AluI {
+            op: AluOp::Add,
+            rd,
+            rs1: rs,
+            imm: 0,
+        });
     }
 
     fn new_label(&mut self) -> Label {
@@ -329,7 +351,12 @@ impl<'a> Cg<'a> {
     }
 
     fn emit_branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, l: Label) {
-        let pc = self.emit(Instruction::Branch { cond, rs1, rs2, target: 0 });
+        let pc = self.emit(Instruction::Branch {
+            cond,
+            rs1,
+            rs2,
+            target: 0,
+        });
         self.fixups.push((pc, l));
     }
 
@@ -340,7 +367,10 @@ impl<'a> Cg<'a> {
 
     fn alloc_temp(&mut self) -> Result<Reg, CompileError> {
         if self.temp_depth >= TEMP_COUNT {
-            return cerr(self.cur_line, "expression too complex (temporary registers exhausted)");
+            return cerr(
+                self.cur_line,
+                "expression too complex (temporary registers exhausted)",
+            );
         }
         let r = Reg::new(TEMP_BASE + self.temp_depth);
         self.temp_depth += 1;
@@ -357,7 +387,9 @@ impl<'a> Cg<'a> {
     }
 
     fn live_temps(&self) -> Vec<Reg> {
-        (0..self.temp_depth).map(|i| Reg::new(TEMP_BASE + i)).collect()
+        (0..self.temp_depth)
+            .map(|i| Reg::new(TEMP_BASE + i))
+            .collect()
     }
 
     fn next_rand(&mut self) -> u64 {
@@ -372,7 +404,12 @@ impl<'a> Cg<'a> {
     fn new_site(&mut self, kind: CheckKind, line: u32) -> u32 {
         let id = self.sites.len() as u32 + 1;
         let func = self.f.as_ref().map_or_else(String::new, |f| f.name.clone());
-        self.sites.push(SiteInfo { id, kind, line, func });
+        self.sites.push(SiteInfo {
+            id,
+            kind,
+            line,
+            func,
+        });
         id
     }
 
@@ -448,7 +485,8 @@ impl<'a> Cg<'a> {
                     line: g.line,
                     func: None,
                 });
-                self.global_watches.push((zone_addr, self.opts.redzone_bytes, tag));
+                self.global_watches
+                    .push((zone_addr, self.opts.redzone_bytes, tag));
             }
         }
 
@@ -489,7 +527,8 @@ impl<'a> Cg<'a> {
             }
             let label = self.new_label();
             let params = f.params.iter().map(|p| p.ty.clone()).collect();
-            self.func_labels.insert(f.name.clone(), (label, f.ret.clone(), params));
+            self.func_labels
+                .insert(f.name.clone(), (label, f.ret.clone(), params));
         }
         if !self.func_labels.contains_key("main") {
             return cerr(0, "no `main` function");
@@ -501,12 +540,18 @@ impl<'a> Cg<'a> {
         for (addr, len, tag) in global_watches {
             self.li(SCRATCH, addr as i32);
             self.li(SCRATCH2, len as i32);
-            self.emit(Instruction::SetWatch { base: SCRATCH, len: SCRATCH2, tag });
+            self.emit(Instruction::SetWatch {
+                base: SCRATCH,
+                len: SCRATCH2,
+                tag,
+            });
         }
         let main_label = self.func_labels["main"].0;
         self.emit_call(main_label);
         self.mv(Reg::A0, Reg::RV);
-        self.emit(Instruction::Syscall { code: SyscallCode::Exit });
+        self.emit(Instruction::Syscall {
+            code: SyscallCode::Exit,
+        });
 
         for f in &self.unit.funcs {
             self.gen_function(f)?;
@@ -520,9 +565,12 @@ impl<'a> Cg<'a> {
             let insn = match self.b.at(pc) {
                 Instruction::Jump { .. } => Instruction::Jump { target },
                 Instruction::Call { .. } => Instruction::Call { target },
-                Instruction::Branch { cond, rs1, rs2, .. } => {
-                    Instruction::Branch { cond, rs1, rs2, target }
-                }
+                Instruction::Branch { cond, rs1, rs2, .. } => Instruction::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                },
                 other => other,
             };
             self.b.patch(pc, insn);
@@ -559,12 +607,36 @@ impl<'a> Cg<'a> {
         self.b.define_function(&f.name, self.b.next_pc());
 
         // Prologue.
-        self.emit(Instruction::AluI { op: AluOp::Sub, rd: Reg::SP, rs1: Reg::SP, imm: 8 });
-        self.emit(Instruction::Store { width: Width::Word, rs: Reg::RA, base: Reg::SP, offset: 4 });
-        self.emit(Instruction::Store { width: Width::Word, rs: Reg::FP, base: Reg::SP, offset: 0 });
-        self.emit(Instruction::AluI { op: AluOp::Add, rd: Reg::FP, rs1: Reg::SP, imm: 8 });
-        let frame_patch =
-            self.emit(Instruction::AluI { op: AluOp::Sub, rd: Reg::SP, rs1: Reg::SP, imm: 0 });
+        self.emit(Instruction::AluI {
+            op: AluOp::Sub,
+            rd: Reg::SP,
+            rs1: Reg::SP,
+            imm: 8,
+        });
+        self.emit(Instruction::Store {
+            width: Width::Word,
+            rs: Reg::RA,
+            base: Reg::SP,
+            offset: 4,
+        });
+        self.emit(Instruction::Store {
+            width: Width::Word,
+            rs: Reg::FP,
+            base: Reg::SP,
+            offset: 0,
+        });
+        self.emit(Instruction::AluI {
+            op: AluOp::Add,
+            rd: Reg::FP,
+            rs1: Reg::SP,
+            imm: 8,
+        });
+        let frame_patch = self.emit(Instruction::AluI {
+            op: AluOp::Sub,
+            rd: Reg::SP,
+            rs1: Reg::SP,
+            imm: 0,
+        });
 
         let epilogue = self.new_label();
         let mut scope = HashMap::new();
@@ -596,9 +668,19 @@ impl<'a> Cg<'a> {
         for tag in tags {
             self.emit(Instruction::ClearWatch { tag });
         }
-        self.emit(Instruction::Load { width: Width::Word, rd: Reg::RA, base: Reg::FP, offset: -4 });
+        self.emit(Instruction::Load {
+            width: Width::Word,
+            rd: Reg::RA,
+            base: Reg::FP,
+            offset: -4,
+        });
         self.mv(SCRATCH, Reg::FP);
-        self.emit(Instruction::Load { width: Width::Word, rd: Reg::FP, base: Reg::FP, offset: -8 });
+        self.emit(Instruction::Load {
+            width: Width::Word,
+            rd: Reg::FP,
+            base: Reg::FP,
+            offset: -8,
+        });
         self.mv(Reg::SP, SCRATCH);
         self.emit(Instruction::Ret);
 
@@ -626,7 +708,11 @@ impl<'a> Cg<'a> {
         if let Some(f) = &self.f {
             for scope in f.scopes.iter().rev() {
                 if let Some((offset, ty)) = scope.get(name) {
-                    return Some(Place::Mem { base: Base::Fp, offset: *offset, ty: ty.clone() });
+                    return Some(Place::Mem {
+                        base: Base::Fp,
+                        offset: *offset,
+                        ty: ty.clone(),
+                    });
                 }
             }
         }
@@ -689,7 +775,11 @@ impl<'a> Cg<'a> {
                         imm: zone_off,
                     });
                     self.li(SCRATCH2, self.opts.redzone_bytes as i32);
-                    self.emit(Instruction::SetWatch { base: SCRATCH, len: SCRATCH2, tag });
+                    self.emit(Instruction::SetWatch {
+                        base: SCRATCH,
+                        len: SCRATCH2,
+                        tag,
+                    });
                 }
 
                 if let Some(e) = init {
@@ -697,8 +787,17 @@ impl<'a> Cg<'a> {
                         return cerr(s.line, "array locals cannot have initializers");
                     }
                     let (r, _vt) = self.gen_expr(e)?;
-                    let width = if *ty == Type::Char { Width::Byte } else { Width::Word };
-                    self.emit(Instruction::Store { width, rs: r, base: Reg::FP, offset });
+                    let width = if *ty == Type::Char {
+                        Width::Byte
+                    } else {
+                        Width::Word
+                    };
+                    self.emit(Instruction::Store {
+                        width,
+                        rs: r,
+                        base: Reg::FP,
+                        offset,
+                    });
                     self.free_temp(r);
                 }
             }
@@ -721,7 +820,11 @@ impl<'a> Cg<'a> {
                     self.free_temp(r);
                 }
             }
-            StmtKind::If { cond, then_body, else_body } => {
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let l_then = self.new_label();
                 let l_end = self.new_label();
                 if else_body.is_empty() {
@@ -754,7 +857,12 @@ impl<'a> Cg<'a> {
                 self.emit_jump(l_cond);
                 self.bind(l_end);
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(init) = init {
                     self.gen_stmt(init)?;
                 }
@@ -831,7 +939,10 @@ impl<'a> Cg<'a> {
             ExprKind::Un(UnOp::Not, x) => self.branch_false(x, l_true),
             _ => {
                 // Truthiness: e != 0.
-                let zero = Expr { kind: ExprKind::Int(0), line: e.line };
+                let zero = Expr {
+                    kind: ExprKind::Int(0),
+                    line: e.line,
+                };
                 self.primitive_branch(BinOp::Ne, e, &zero, true, l_true, e.line)
             }
         }
@@ -855,7 +966,10 @@ impl<'a> Cg<'a> {
             }
             ExprKind::Un(UnOp::Not, x) => self.branch_true(x, l_false),
             _ => {
-                let zero = Expr { kind: ExprKind::Int(0), line: e.line };
+                let zero = Expr {
+                    kind: ExprKind::Int(0),
+                    line: e.line,
+                };
                 self.primitive_branch(BinOp::Ne, e, &zero, false, l_false, e.line)
             }
         }
@@ -882,8 +996,11 @@ impl<'a> Cg<'a> {
 
         let fix_true = self.fix_plan(op, lhs, &ta, ra, rhs, &tb, rb, true);
         let fix_false = self.fix_plan(op, lhs, &ta, ra, rhs, &tb, rb, false);
-        let (fix_taken, fix_fall) =
-            if jump_if { (fix_true, fix_false) } else { (fix_false, fix_true) };
+        let (fix_taken, fix_fall) = if jump_if {
+            (fix_true, fix_false)
+        } else {
+            (fix_false, fix_true)
+        };
 
         if self.opts.insert_fixes && (fix_taken.is_some() || fix_fall.is_some()) {
             let pad = self.new_label();
@@ -945,14 +1062,20 @@ impl<'a> Cg<'a> {
         want: bool,
         side: OperandSide,
     ) -> Option<FixAction> {
-        let ExprKind::Var(name) = &var.kind else { return None };
+        let ExprKind::Var(name) = &var.kind else {
+            return None;
+        };
         if !var_ty.is_scalar() {
             return None;
         }
         let Some(Place::Mem { base, offset, ty }) = self.lookup_var(name) else {
             return None;
         };
-        let width = if ty == Type::Char { Width::Byte } else { Width::Word };
+        let width = if ty == Type::Char {
+            Width::Byte
+        } else {
+            Width::Word
+        };
 
         // Pointer-vs-null: the non-null edge points at the blank structure.
         if let Type::Ptr(pointee) = &ty {
@@ -998,17 +1121,37 @@ impl<'a> Cg<'a> {
         let (value, refit) = match other.kind {
             ExprKind::Int(k) => (
                 FixValue::Const((k as i32).wrapping_add(delta)),
-                Some(RefitMeta { side, op, want, literal: k as i32 }),
+                Some(RefitMeta {
+                    side,
+                    op,
+                    want,
+                    literal: k as i32,
+                }),
             ),
-            _ => (FixValue::Rel { other: other_reg, delta }, None),
+            _ => (
+                FixValue::Rel {
+                    other: other_reg,
+                    delta,
+                },
+                None,
+            ),
         };
-        Some(FixAction { value, home_base: base, home_offset: offset, width, refit })
+        Some(FixAction {
+            value,
+            home_base: base,
+            home_offset: offset,
+            width,
+            refit,
+        })
     }
 
     fn emit_fix(&mut self, plan: Option<FixAction>, branch_pc: u32, taken_when: bool) {
         let Some(plan) = plan else { return };
         let fix_pc = match plan.value {
-            FixValue::Const(v) => self.emit(Instruction::PMovI { rd: SCRATCH, imm: v }),
+            FixValue::Const(v) => self.emit(Instruction::PMovI {
+                rd: SCRATCH,
+                imm: v,
+            }),
             FixValue::Rel { other, delta } => self.emit(Instruction::PAluI {
                 op: AluOp::Add,
                 rd: SCRATCH,
@@ -1044,19 +1187,20 @@ impl<'a> Cg<'a> {
     fn gen_lvalue(&mut self, e: &Expr) -> Result<Place, CompileError> {
         self.cur_line = e.line;
         match &e.kind {
-            ExprKind::Var(name) => self
-                .lookup_var(name)
-                .ok_or_else(|| CompileError {
-                    line: e.line,
-                    message: format!("unknown variable `{name}`"),
-                }),
+            ExprKind::Var(name) => self.lookup_var(name).ok_or_else(|| CompileError {
+                line: e.line,
+                message: format!("unknown variable `{name}`"),
+            }),
             ExprKind::Un(UnOp::Deref, inner) => {
                 let (p, pt) = self.gen_expr(inner)?;
                 let Type::Ptr(pointee) = pt else {
                     return cerr(e.line, "dereference of a non-pointer");
                 };
                 self.ccured_null_check(p, e.line);
-                Ok(Place::Indirect { addr: p, ty: *pointee })
+                Ok(Place::Indirect {
+                    addr: p,
+                    ty: *pointee,
+                })
             }
             ExprKind::Index(base, index) => self.gen_index_place(base, index, e.line),
             ExprKind::Member(base, field) => {
@@ -1074,9 +1218,11 @@ impl<'a> Cg<'a> {
                 })?;
                 let (foffset, fty) = (fl.offset as i32, fl.ty.clone());
                 match place {
-                    Place::Mem { base, offset, .. } => {
-                        Ok(Place::Mem { base, offset: offset + foffset, ty: fty })
-                    }
+                    Place::Mem { base, offset, .. } => Ok(Place::Mem {
+                        base,
+                        offset: offset + foffset,
+                        ty: fty,
+                    }),
                     Place::Indirect { addr, .. } => {
                         self.emit(Instruction::AluI {
                             op: AluOp::Add,
@@ -1106,7 +1252,12 @@ impl<'a> Cg<'a> {
                     message: format!("no field `{field}` in struct `{sname}`"),
                 })?;
                 let (foffset, fty) = (fl.offset as i32, fl.ty.clone());
-                self.emit(Instruction::AluI { op: AluOp::Add, rd: p, rs1: p, imm: foffset });
+                self.emit(Instruction::AluI {
+                    op: AluOp::Add,
+                    rd: p,
+                    rs1: p,
+                    imm: foffset,
+                });
                 Ok(Place::Indirect { addr: p, ty: fty })
             }
             _ => cerr(e.line, "expression is not assignable"),
@@ -1123,26 +1274,44 @@ impl<'a> Cg<'a> {
         let base_ty = self.type_of_lvalue_or_expr(base)?;
         match base_ty {
             Type::Array(elem, n) => {
-                let esz = self.types.size_of(&elem).map_err(|m| CompileError { line, message: m })?;
+                let esz = self
+                    .types
+                    .size_of(&elem)
+                    .map_err(|m| CompileError { line, message: m })?;
                 // Address of the array.
                 let addr = self.addr_of_lvalue(base)?;
                 let (ri, _) = self.gen_expr(index)?;
                 self.ccured_bounds_check(ri, n, line);
                 self.scale_index(ri, esz)?;
-                self.emit(Instruction::Alu { op: AluOp::Add, rd: addr, rs1: addr, rs2: ri });
+                self.emit(Instruction::Alu {
+                    op: AluOp::Add,
+                    rd: addr,
+                    rs1: addr,
+                    rs2: ri,
+                });
                 self.free_temp(ri);
                 Ok(Place::Indirect { addr, ty: *elem })
             }
             Type::Ptr(pointee) => {
-                let esz =
-                    self.types.size_of(&pointee).map_err(|m| CompileError { line, message: m })?;
+                let esz = self
+                    .types
+                    .size_of(&pointee)
+                    .map_err(|m| CompileError { line, message: m })?;
                 let (p, _) = self.gen_expr(base)?;
                 self.ccured_null_check(p, line);
                 let (ri, _) = self.gen_expr(index)?;
                 self.scale_index(ri, esz)?;
-                self.emit(Instruction::Alu { op: AluOp::Add, rd: p, rs1: p, rs2: ri });
+                self.emit(Instruction::Alu {
+                    op: AluOp::Add,
+                    rd: p,
+                    rs1: p,
+                    rs2: ri,
+                });
                 self.free_temp(ri);
-                Ok(Place::Indirect { addr: p, ty: *pointee })
+                Ok(Place::Indirect {
+                    addr: p,
+                    ty: *pointee,
+                })
             }
             other => cerr(line, format!("cannot index into `{other:?}`")),
         }
@@ -1160,7 +1329,12 @@ impl<'a> Cg<'a> {
                 });
             }
             n => {
-                self.emit(Instruction::AluI { op: AluOp::Mul, rd: ri, rs1: ri, imm: n as i32 });
+                self.emit(Instruction::AluI {
+                    op: AluOp::Mul,
+                    rd: ri,
+                    rs1: ri,
+                    imm: n as i32,
+                });
             }
         }
         Ok(())
@@ -1209,9 +1383,7 @@ impl<'a> Cg<'a> {
                 Type::Ptr(p) => Ok(*p),
                 _ => cerr(e.line, "dereference of a non-pointer"),
             },
-            ExprKind::Un(UnOp::Addr, inner) => {
-                Ok(self.type_of_lvalue_or_expr(inner)?.ptr())
-            }
+            ExprKind::Un(UnOp::Addr, inner) => Ok(self.type_of_lvalue_or_expr(inner)?.ptr()),
             ExprKind::Call(name, _) => {
                 if let Some((_, ret, _)) = self.func_labels.get(name) {
                     Ok(ret.clone())
@@ -1233,7 +1405,12 @@ impl<'a> Cg<'a> {
                     Base::Fp => Reg::FP,
                     Base::Abs => Reg::ZERO,
                 };
-                self.emit(Instruction::AluI { op: AluOp::Add, rd: t, rs1: base_reg, imm: offset });
+                self.emit(Instruction::AluI {
+                    op: AluOp::Add,
+                    rd: t,
+                    rs1: base_reg,
+                    imm: offset,
+                });
                 Ok(t)
             }
             Place::Indirect { addr, .. } => Ok(addr),
@@ -1245,17 +1422,31 @@ impl<'a> Cg<'a> {
         if !ty.is_scalar() {
             return cerr(line, "cannot assign a non-scalar value");
         }
-        let width = if ty == Type::Char { Width::Byte } else { Width::Word };
+        let width = if ty == Type::Char {
+            Width::Byte
+        } else {
+            Width::Word
+        };
         match place {
             Place::Mem { base, offset, .. } => {
                 let base_reg = match base {
                     Base::Fp => Reg::FP,
                     Base::Abs => Reg::ZERO,
                 };
-                self.emit(Instruction::Store { width, rs: value, base: base_reg, offset: *offset });
+                self.emit(Instruction::Store {
+                    width,
+                    rs: value,
+                    base: base_reg,
+                    offset: *offset,
+                });
             }
             Place::Indirect { addr, .. } => {
-                self.emit(Instruction::Store { width, rs: value, base: *addr, offset: 0 });
+                self.emit(Instruction::Store {
+                    width,
+                    rs: value,
+                    base: *addr,
+                    offset: 0,
+                });
             }
         }
         Ok(())
@@ -1287,7 +1478,11 @@ impl<'a> Cg<'a> {
         if !ty.is_scalar() {
             return cerr(line, "cannot load a non-scalar value");
         }
-        let width = if ty == Type::Char { Width::Byte } else { Width::Word };
+        let width = if ty == Type::Char {
+            Width::Byte
+        } else {
+            Width::Word
+        };
         match place {
             Place::Mem { base, offset, .. } => {
                 let t = self.alloc_temp()?;
@@ -1295,11 +1490,21 @@ impl<'a> Cg<'a> {
                     Base::Fp => Reg::FP,
                     Base::Abs => Reg::ZERO,
                 };
-                self.emit(Instruction::Load { width, rd: t, base: base_reg, offset: *offset });
+                self.emit(Instruction::Load {
+                    width,
+                    rd: t,
+                    base: base_reg,
+                    offset: *offset,
+                });
                 Ok((t, ty))
             }
             Place::Indirect { addr, .. } => {
-                self.emit(Instruction::Load { width, rd: *addr, base: *addr, offset: 0 });
+                self.emit(Instruction::Load {
+                    width,
+                    rd: *addr,
+                    base: *addr,
+                    offset: 0,
+                });
                 Ok((*addr, ty))
             }
         }
@@ -1325,10 +1530,10 @@ impl<'a> Cg<'a> {
                 Ok((t, Type::Char.ptr()))
             }
             ExprKind::SizeOf(ty) => {
-                let size = self
-                    .types
-                    .size_of(ty)
-                    .map_err(|m| CompileError { line: e.line, message: m })?;
+                let size = self.types.size_of(ty).map_err(|m| CompileError {
+                    line: e.line,
+                    message: m,
+                })?;
                 let t = self.alloc_temp()?;
                 self.li(t, size as i32);
                 Ok((t, Type::Int))
@@ -1352,12 +1557,22 @@ impl<'a> Cg<'a> {
             }
             ExprKind::Un(UnOp::Neg, inner) => {
                 let (r, _) = self.gen_expr(inner)?;
-                self.emit(Instruction::Alu { op: AluOp::Sub, rd: r, rs1: Reg::ZERO, rs2: r });
+                self.emit(Instruction::Alu {
+                    op: AluOp::Sub,
+                    rd: r,
+                    rs1: Reg::ZERO,
+                    rs2: r,
+                });
                 Ok((r, Type::Int))
             }
             ExprKind::Un(UnOp::Not, inner) => {
                 let (r, _) = self.gen_expr(inner)?;
-                self.emit(Instruction::Alu { op: AluOp::Seq, rd: r, rs1: r, rs2: Reg::ZERO });
+                self.emit(Instruction::Alu {
+                    op: AluOp::Seq,
+                    rd: r,
+                    rs1: r,
+                    rs2: Reg::ZERO,
+                });
                 Ok((r, Type::Int))
             }
             ExprKind::Bin(BinOp::LogAnd | BinOp::LogOr, ..) => {
@@ -1418,8 +1633,17 @@ impl<'a> Cg<'a> {
                         .size_of(pointee)
                         .map_err(|m| CompileError { line, message: m })?;
                     self.scale_index(rb, esz)?;
-                    let alu = if op == BinOp::Add { AluOp::Add } else { AluOp::Sub };
-                    self.emit(Instruction::Alu { op: alu, rd: ra, rs1: ra, rs2: rb });
+                    let alu = if op == BinOp::Add {
+                        AluOp::Add
+                    } else {
+                        AluOp::Sub
+                    };
+                    self.emit(Instruction::Alu {
+                        op: alu,
+                        rd: ra,
+                        rs1: ra,
+                        rs2: rb,
+                    });
                     return Ok(ta.clone());
                 }
                 // ptr - ptr: element count.
@@ -1428,7 +1652,12 @@ impl<'a> Cg<'a> {
                         .types
                         .size_of(pointee)
                         .map_err(|m| CompileError { line, message: m })?;
-                    self.emit(Instruction::Alu { op: AluOp::Sub, rd: ra, rs1: ra, rs2: rb });
+                    self.emit(Instruction::Alu {
+                        op: AluOp::Sub,
+                        rd: ra,
+                        rs1: ra,
+                        rs2: rb,
+                    });
                     if esz > 1 {
                         self.emit(Instruction::AluI {
                             op: AluOp::Div,
@@ -1447,7 +1676,12 @@ impl<'a> Cg<'a> {
                         .size_of(pointee)
                         .map_err(|m| CompileError { line, message: m })?;
                     self.scale_index(ra, esz)?;
-                    self.emit(Instruction::Alu { op: AluOp::Add, rd: ra, rs1: ra, rs2: rb });
+                    self.emit(Instruction::Alu {
+                        op: AluOp::Add,
+                        rd: ra,
+                        rs1: ra,
+                        rs2: rb,
+                    });
                     return Ok(tb.clone());
                 }
             }
@@ -1474,9 +1708,19 @@ impl<'a> Cg<'a> {
         };
         // Gt/Ge swap operands.
         if matches!(op, BinOp::Gt | BinOp::Ge) {
-            self.emit(Instruction::Alu { op: alu, rd: ra, rs1: rb, rs2: ra });
+            self.emit(Instruction::Alu {
+                op: alu,
+                rd: ra,
+                rs1: rb,
+                rs2: ra,
+            });
         } else {
-            self.emit(Instruction::Alu { op: alu, rd: ra, rs1: ra, rs2: rb });
+            self.emit(Instruction::Alu {
+                op: alu,
+                rd: ra,
+                rs1: ra,
+                rs2: rb,
+            });
         }
         Ok(Type::Int)
     }
@@ -1495,7 +1739,10 @@ impl<'a> Cg<'a> {
             if args.len() == n {
                 Ok(())
             } else {
-                cerr(line, format!("`{name}` expects {n} argument(s), got {}", args.len()))
+                cerr(
+                    line,
+                    format!("`{name}` expects {n} argument(s), got {}", args.len()),
+                )
             }
         };
         match name {
@@ -1530,7 +1777,11 @@ impl<'a> Cg<'a> {
                 let region_start = self.b.next_pc();
                 let (r, _) = self.gen_expr(&args[0])?;
                 let site = self.new_site(CheckKind::Assertion, line);
-                self.emit(Instruction::Check { kind: CheckKind::Assertion, cond: r, site });
+                self.emit(Instruction::Check {
+                    kind: CheckKind::Assertion,
+                    cond: r,
+                    site,
+                });
                 self.free_temp(r);
                 self.b.add_checker_region(region_start, self.b.next_pc());
                 return Ok(None);
@@ -1539,8 +1790,18 @@ impl<'a> Cg<'a> {
                 argn(1)?;
                 let (rn, _) = self.gen_expr(&args[0])?;
                 // Align request to 4.
-                self.emit(Instruction::AluI { op: AluOp::Add, rd: rn, rs1: rn, imm: 3 });
-                self.emit(Instruction::AluI { op: AluOp::And, rd: rn, rs1: rn, imm: -4 });
+                self.emit(Instruction::AluI {
+                    op: AluOp::Add,
+                    rd: rn,
+                    rs1: rn,
+                    imm: 3,
+                });
+                self.emit(Instruction::AluI {
+                    op: AluOp::And,
+                    rd: rn,
+                    rs1: rn,
+                    imm: -4,
+                });
                 let t = self.alloc_temp()?;
                 self.emit(Instruction::Load {
                     width: Width::Word,
@@ -1548,7 +1809,12 @@ impl<'a> Cg<'a> {
                     base: Reg::ZERO,
                     offset: self.heap_ptr_addr as i32,
                 });
-                self.emit(Instruction::Alu { op: AluOp::Add, rd: rn, rs1: t, rs2: rn });
+                self.emit(Instruction::Alu {
+                    op: AluOp::Add,
+                    rd: rn,
+                    rs1: t,
+                    rs2: rn,
+                });
                 self.emit(Instruction::Store {
                     width: Width::Word,
                     rs: rn,
@@ -1571,7 +1837,11 @@ impl<'a> Cg<'a> {
                 };
                 let (rp, _) = self.gen_expr(&args[0])?;
                 let (rl, _) = self.gen_expr(&args[1])?;
-                self.emit(Instruction::SetWatch { base: rp, len: rl, tag: tag as u32 });
+                self.emit(Instruction::SetWatch {
+                    base: rp,
+                    len: rl,
+                    tag: tag as u32,
+                });
                 self.free_temp(rl);
                 self.free_temp(rp);
                 return Ok(None);
@@ -1594,7 +1864,11 @@ impl<'a> Cg<'a> {
         if params.len() != args.len() {
             return cerr(
                 line,
-                format!("`{name}` expects {} argument(s), got {}", params.len(), args.len()),
+                format!(
+                    "`{name}` expects {} argument(s), got {}",
+                    params.len(),
+                    args.len()
+                ),
             );
         }
         // Spill the temps that must survive the call *below* the argument
@@ -1678,8 +1952,17 @@ impl<'a> Cg<'a> {
         }
         let start = self.b.next_pc();
         let site = self.new_site(CheckKind::CcuredNull, line);
-        self.emit(Instruction::Alu { op: AluOp::Sne, rd: SCRATCH, rs1: p, rs2: Reg::ZERO });
-        self.emit(Instruction::Check { kind: CheckKind::CcuredNull, cond: SCRATCH, site });
+        self.emit(Instruction::Alu {
+            op: AluOp::Sne,
+            rd: SCRATCH,
+            rs1: p,
+            rs2: Reg::ZERO,
+        });
+        self.emit(Instruction::Check {
+            kind: CheckKind::CcuredNull,
+            cond: SCRATCH,
+            site,
+        });
         self.b.add_checker_region(start, self.b.next_pc());
     }
 
@@ -1689,8 +1972,17 @@ impl<'a> Cg<'a> {
         }
         let start = self.b.next_pc();
         let site = self.new_site(CheckKind::CcuredBound, line);
-        self.emit(Instruction::AluI { op: AluOp::Sltu, rd: SCRATCH, rs1: idx, imm: n as i32 });
-        self.emit(Instruction::Check { kind: CheckKind::CcuredBound, cond: SCRATCH, site });
+        self.emit(Instruction::AluI {
+            op: AluOp::Sltu,
+            rd: SCRATCH,
+            rs1: idx,
+            imm: n as i32,
+        });
+        self.emit(Instruction::Check {
+            kind: CheckKind::CcuredBound,
+            cond: SCRATCH,
+            site,
+        });
         self.b.add_checker_region(start, self.b.next_pc());
     }
 }

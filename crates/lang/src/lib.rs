@@ -54,8 +54,8 @@ pub use codegen::{
     compile_unit, CompileOptions, CompiledProgram, FixSite, FixStrategy, OperandSide, SiteInfo,
     WatchInfo,
 };
-pub use refit::{profiled_value, refit_fixes, BranchRanges};
 pub use parser::{parse, ParseError};
+pub use refit::{profiled_value, refit_fixes, BranchRanges};
 pub use types::{CompileError, TypeTable};
 
 /// Compiles PXC source text.

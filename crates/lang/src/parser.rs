@@ -3,8 +3,8 @@
 use core::fmt;
 
 use crate::ast::{
-    BinOp, Expr, ExprKind, Field, FuncDef, GlobalDef, Param, Stmt, StmtKind, StructDef, Type,
-    UnOp, Unit,
+    BinOp, Expr, ExprKind, Field, FuncDef, GlobalDef, Param, Stmt, StmtKind, StructDef, Type, UnOp,
+    Unit,
 };
 use crate::token::{lex, Token, TokenKind};
 
@@ -27,7 +27,10 @@ impl std::error::Error for ParseError {}
 
 impl From<crate::token::LexError> for ParseError {
     fn from(e: crate::token::LexError) -> ParseError {
-        ParseError { line: e.line, message: e.message }
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 
@@ -85,7 +88,10 @@ impl Parser {
     }
 
     fn err(&self, message: &str) -> ParseError {
-        ParseError { line: self.line(), message: message.to_owned() }
+        ParseError {
+            line: self.line(),
+            message: message.to_owned(),
+        }
     }
 
     fn ident(&mut self) -> Result<String, ParseError> {
@@ -148,12 +154,7 @@ impl Parser {
         Ok(StructDef { name, fields, line })
     }
 
-    fn global_def(
-        &mut self,
-        ty: Type,
-        name: String,
-        line: u32,
-    ) -> Result<GlobalDef, ParseError> {
+    fn global_def(&mut self, ty: Type, name: String, line: u32) -> Result<GlobalDef, ParseError> {
         let ty = self.maybe_array(ty)?;
         let mut init = None;
         let mut array_init = Vec::new();
@@ -171,7 +172,13 @@ impl Parser {
             }
         }
         self.expect(&TokenKind::Semi)?;
-        Ok(GlobalDef { name, ty, init, array_init, line })
+        Ok(GlobalDef {
+            name,
+            ty,
+            init,
+            array_init,
+            line,
+        })
     }
 
     fn const_int(&mut self) -> Result<i64, ParseError> {
@@ -201,7 +208,13 @@ impl Parser {
             self.expect(&TokenKind::RParen)?;
         }
         let body = self.block()?;
-        Ok(FuncDef { name, ret, params, body, line })
+        Ok(FuncDef {
+            name,
+            ret,
+            params,
+            body,
+            line,
+        })
     }
 
     // ---- types ----
@@ -272,7 +285,11 @@ impl Parser {
                 } else {
                     Vec::new()
                 };
-                StmtKind::If { cond, then_body, else_body }
+                StmtKind::If {
+                    cond,
+                    then_body,
+                    else_body,
+                }
             }
             TokenKind::KwWhile => {
                 self.bump();
@@ -305,7 +322,12 @@ impl Parser {
                 };
                 self.expect(&TokenKind::RParen)?;
                 let body = self.stmt_or_block()?;
-                StmtKind::For { init, cond, step, body }
+                StmtKind::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                }
             }
             TokenKind::KwReturn => {
                 self.bump();
@@ -357,14 +379,23 @@ impl Parser {
             } else {
                 None
             };
-            return Ok(Stmt { kind: StmtKind::Decl { name, ty, init }, line });
+            return Ok(Stmt {
+                kind: StmtKind::Decl { name, ty, init },
+                line,
+            });
         }
         let e = self.expr()?;
         if self.eat(&TokenKind::Assign) {
             let value = self.expr()?;
-            return Ok(Stmt { kind: StmtKind::Assign { target: e, value }, line });
+            return Ok(Stmt {
+                kind: StmtKind::Assign { target: e, value },
+                line,
+            });
         }
-        Ok(Stmt { kind: StmtKind::Expr(e), line })
+        Ok(Stmt {
+            kind: StmtKind::Expr(e),
+            line,
+        })
     }
 
     // ---- expressions (precedence climbing) ----
@@ -386,7 +417,10 @@ impl Parser {
             let line = self.line();
             self.bump();
             let rhs = next(self)?;
-            lhs = Expr { kind: ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)), line };
+            lhs = Expr {
+                kind: ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)),
+                line,
+            };
         }
         Ok(lhs)
     }
@@ -404,7 +438,9 @@ impl Parser {
     }
 
     fn bit_or(&mut self) -> Result<Expr, ParseError> {
-        self.bin_level(Parser::bit_xor, |t| (*t == TokenKind::Pipe).then_some(BinOp::BitOr))
+        self.bin_level(Parser::bit_xor, |t| {
+            (*t == TokenKind::Pipe).then_some(BinOp::BitOr)
+        })
     }
 
     fn bit_xor(&mut self) -> Result<Expr, ParseError> {
@@ -414,7 +450,9 @@ impl Parser {
     }
 
     fn bit_and(&mut self) -> Result<Expr, ParseError> {
-        self.bin_level(Parser::equality, |t| (*t == TokenKind::Amp).then_some(BinOp::BitAnd))
+        self.bin_level(Parser::equality, |t| {
+            (*t == TokenKind::Amp).then_some(BinOp::BitAnd)
+        })
     }
 
     fn equality(&mut self) -> Result<Expr, ParseError> {
@@ -472,7 +510,10 @@ impl Parser {
         if let Some(op) = op {
             self.bump();
             let inner = self.unary()?;
-            return Ok(Expr { kind: ExprKind::Un(op, Box::new(inner)), line });
+            return Ok(Expr {
+                kind: ExprKind::Un(op, Box::new(inner)),
+                line,
+            });
         }
         self.postfix()
     }
@@ -484,13 +525,22 @@ impl Parser {
             if self.eat(&TokenKind::LBracket) {
                 let idx = self.expr()?;
                 self.expect(&TokenKind::RBracket)?;
-                e = Expr { kind: ExprKind::Index(Box::new(e), Box::new(idx)), line };
+                e = Expr {
+                    kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                    line,
+                };
             } else if self.eat(&TokenKind::Dot) {
                 let f = self.ident()?;
-                e = Expr { kind: ExprKind::Member(Box::new(e), f), line };
+                e = Expr {
+                    kind: ExprKind::Member(Box::new(e), f),
+                    line,
+                };
             } else if self.eat(&TokenKind::Arrow) {
                 let f = self.ident()?;
-                e = Expr { kind: ExprKind::Arrow(Box::new(e), f), line };
+                e = Expr {
+                    kind: ExprKind::Arrow(Box::new(e), f),
+                    line,
+                };
             } else {
                 break;
             }
@@ -501,15 +551,27 @@ impl Parser {
     fn primary(&mut self) -> Result<Expr, ParseError> {
         let line = self.line();
         match self.bump() {
-            TokenKind::Int(v) => Ok(Expr { kind: ExprKind::Int(v), line }),
-            TokenKind::CharLit(c) => Ok(Expr { kind: ExprKind::Int(i64::from(c)), line }),
-            TokenKind::Str(s) => Ok(Expr { kind: ExprKind::Str(s), line }),
+            TokenKind::Int(v) => Ok(Expr {
+                kind: ExprKind::Int(v),
+                line,
+            }),
+            TokenKind::CharLit(c) => Ok(Expr {
+                kind: ExprKind::Int(i64::from(c)),
+                line,
+            }),
+            TokenKind::Str(s) => Ok(Expr {
+                kind: ExprKind::Str(s),
+                line,
+            }),
             TokenKind::KwSizeof => {
                 self.expect(&TokenKind::LParen)?;
                 let ty = self.parse_type()?;
                 let ty = self.maybe_array(ty)?;
                 self.expect(&TokenKind::RParen)?;
-                Ok(Expr { kind: ExprKind::SizeOf(ty), line })
+                Ok(Expr {
+                    kind: ExprKind::SizeOf(ty),
+                    line,
+                })
             }
             TokenKind::LParen => {
                 let e = self.expr()?;
@@ -528,9 +590,15 @@ impl Parser {
                         }
                         self.expect(&TokenKind::RParen)?;
                     }
-                    Ok(Expr { kind: ExprKind::Call(name, args), line })
+                    Ok(Expr {
+                        kind: ExprKind::Call(name, args),
+                        line,
+                    })
                 } else {
-                    Ok(Expr { kind: ExprKind::Var(name), line })
+                    Ok(Expr {
+                        kind: ExprKind::Var(name),
+                        line,
+                    })
                 }
             }
             other => Err(ParseError {
@@ -558,7 +626,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(unit.structs.len(), 1);
-        assert_eq!(unit.structs[0].fields[1].ty, Type::Struct("Node".into()).ptr());
+        assert_eq!(
+            unit.structs[0].fields[1].ty,
+            Type::Struct("Node".into()).ptr()
+        );
         assert_eq!(unit.globals.len(), 3);
         assert_eq!(unit.globals[0].init, Some(5));
         assert_eq!(unit.globals[1].array_init, vec![1, 2, 3, 4]);
@@ -629,11 +700,22 @@ mod tests {
         let unit =
             parse("int f(int a, int b) { if (a) if (b) return 1; else return 2; return 3; }")
                 .unwrap();
-        let StmtKind::If { else_body, then_body, .. } = &unit.funcs[0].body[0].kind else {
+        let StmtKind::If {
+            else_body,
+            then_body,
+            ..
+        } = &unit.funcs[0].body[0].kind
+        else {
             panic!()
         };
         assert!(else_body.is_empty(), "else belongs to the inner if");
-        let StmtKind::If { else_body: inner_else, .. } = &then_body[0].kind else { panic!() };
+        let StmtKind::If {
+            else_body: inner_else,
+            ..
+        } = &then_body[0].kind
+        else {
+            panic!()
+        };
         assert_eq!(inner_else.len(), 1);
     }
 }

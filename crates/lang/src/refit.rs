@@ -77,7 +77,12 @@ pub fn collect_branch_profile(
         };
         let s = px_mach::step(program, &mut core, &mut memory, &mut env);
         match s.event {
-            StepEvent::Branch { pc, taken, operands: (a, b), .. } => {
+            StepEvent::Branch {
+                pc,
+                taken,
+                operands: (a, b),
+                ..
+            } => {
                 let fresh = ((a, a), (b, b));
                 let obs = ranges.entry(pc).or_insert(BranchObservation {
                     any: fresh,
@@ -85,7 +90,11 @@ pub fn collect_branch_profile(
                     not_taken: None,
                 });
                 widen(&mut obs.any, a, b);
-                let side = if taken { &mut obs.taken } else { &mut obs.not_taken };
+                let side = if taken {
+                    &mut obs.taken
+                } else {
+                    &mut obs.not_taken
+                };
                 match side {
                     Some(r) => widen(r, a, b),
                     None => *side = Some(fresh),
@@ -116,7 +125,11 @@ pub fn refit_fixes(compiled: &mut CompiledProgram, ranges: &BranchRanges) -> u32
             OperandSide::Lhs => r.0,
             OperandSide::Rhs => r.1,
         };
-        let outcome = if site.taken_when { obs.taken } else { obs.not_taken };
+        let outcome = if site.taken_when {
+            obs.taken
+        } else {
+            obs.not_taken
+        };
         let value = match outcome {
             // Values observed on this very edge satisfy the condition; take
             // the one nearest the boundary.

@@ -155,7 +155,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
     let mut i = 0;
     let mut line: u32 = 1;
 
-    let err = |line: u32, msg: &str| LexError { line, message: msg.to_owned() };
+    let err = |line: u32, msg: &str| LexError {
+        line,
+        message: msg.to_owned(),
+    };
 
     while i < bytes.len() {
         let c = bytes[i];
@@ -215,13 +218,14 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                 if value > i64::from(u32::MAX) {
                     value = i64::from(u32::MAX);
                 }
-                tokens.push(Token { kind: TokenKind::Int(value), line });
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    line,
+                });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = std::str::from_utf8(&bytes[start..i]).expect("ascii");
@@ -264,7 +268,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(out), line });
+                tokens.push(Token {
+                    kind: TokenKind::Str(out),
+                    line,
+                });
             }
             b'\'' => {
                 i += 1;
@@ -285,7 +292,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     return Err(err(line, "unterminated char literal"));
                 }
                 i += 1;
-                tokens.push(Token { kind: TokenKind::CharLit(value), line });
+                tokens.push(Token {
+                    kind: TokenKind::CharLit(value),
+                    line,
+                });
             }
             _ => {
                 let two = |a: u8, b: u8| c == a && bytes.get(i + 1) == Some(&b);
@@ -344,7 +354,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, line });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
     Ok(tokens)
 }
 

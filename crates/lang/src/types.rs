@@ -24,12 +24,18 @@ impl std::error::Error for CompileError {}
 
 impl From<crate::parser::ParseError> for CompileError {
     fn from(e: crate::parser::ParseError) -> CompileError {
-        CompileError { line: e.line, message: e.message }
+        CompileError {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 
 pub(crate) fn cerr<T>(line: u32, message: impl Into<String>) -> Result<T, CompileError> {
-    Err(CompileError { line, message: message.into() })
+    Err(CompileError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// One struct field's placement.
@@ -77,11 +83,17 @@ impl TypeTable {
                 offset = align_up(offset, align);
                 fields.insert(
                     field.name.clone(),
-                    FieldLayout { offset, ty: field.ty.clone() },
+                    FieldLayout {
+                        offset,
+                        ty: field.ty.clone(),
+                    },
                 );
                 offset += size;
             }
-            let layout = StructLayout { size: align_up(offset.max(1), 4), fields };
+            let layout = StructLayout {
+                size: align_up(offset.max(1), 4),
+                fields,
+            };
             if table.structs.insert(def.name.clone(), layout).is_some() {
                 return cerr(def.line, format!("duplicate struct `{}`", def.name));
             }
@@ -149,7 +161,10 @@ mod tests {
             name: name.to_owned(),
             fields: fields
                 .into_iter()
-                .map(|(n, ty)| Field { name: n.to_owned(), ty })
+                .map(|(n, ty)| Field {
+                    name: n.to_owned(),
+                    ty,
+                })
                 .collect(),
             line: 1,
         }
@@ -179,7 +194,13 @@ mod tests {
     fn nested_struct_by_value_and_pointer() {
         let t = TypeTable::build(&[
             sdef("A", vec![("x", Type::Int)]),
-            sdef("B", vec![("a", Type::Struct("A".into())), ("next", Type::Struct("B".into()).ptr())]),
+            sdef(
+                "B",
+                vec![
+                    ("a", Type::Struct("A".into())),
+                    ("next", Type::Struct("B".into()).ptr()),
+                ],
+            ),
         ])
         .unwrap();
         assert_eq!(t.size_of(&Type::Struct("B".into())).unwrap(), 8);
@@ -197,7 +218,10 @@ mod tests {
         assert_eq!(t.size_of(&Type::Int).unwrap(), 4);
         assert_eq!(t.size_of(&Type::Char).unwrap(), 1);
         assert_eq!(t.size_of(&Type::Char.ptr()).unwrap(), 4);
-        assert_eq!(t.size_of(&Type::Array(Box::new(Type::Int), 10)).unwrap(), 40);
+        assert_eq!(
+            t.size_of(&Type::Array(Box::new(Type::Int), 10)).unwrap(),
+            40
+        );
         assert!(t.size_of(&Type::Void).is_err());
         assert_eq!(align_up(5, 4), 8);
         assert_eq!(align_up(8, 4), 8);

@@ -286,15 +286,13 @@ fn sizeof_values() {
 
 #[test]
 fn assertion_failures_reach_monitor() {
-    let r = run(
-        "int main() {
+    let r = run("int main() {
             int x = 3;
             assert(x == 3);
             assert(x == 4);
             assert(x < 10);
             return 0;
-        }",
-    );
+        }");
     assert_eq!(r.exit, RunExit::Exited(0));
     assert_eq!(r.monitor.len(), 1, "only the failing assert reports");
 }
@@ -338,18 +336,21 @@ fn ccured_catches_out_of_bounds() {
         .monitor
         .records()
         .iter()
-        .filter(|rec| matches!(rec.kind, px_mach::RecordKind::Check(px_isa::CheckKind::CcuredBound)))
+        .filter(|rec| {
+            matches!(
+                rec.kind,
+                px_mach::RecordKind::Check(px_isa::CheckKind::CcuredBound)
+            )
+        })
         .count();
     assert_eq!(bound_failures, 1, "a[4] trips exactly one bounds check");
     // Without CCured, the overflow is silent (it lands in the frame).
-    let plain = run(
-        "int main() {
+    let plain = run("int main() {
             int a[4];
             int i;
             for (i = 0; i <= 4; i = i + 1) a[i] = i;
             return 0;
-        }",
-    );
+        }");
     assert!(plain.monitor.is_empty());
 }
 
@@ -443,12 +444,24 @@ fn fix_instructions_are_nops_on_the_taken_path() {
     let with = compile(src, &CompileOptions::default()).unwrap();
     let without = compile(
         src,
-        &CompileOptions { insert_fixes: false, ..CompileOptions::default() },
+        &CompileOptions {
+            insert_fixes: false,
+            ..CompileOptions::default()
+        },
     )
     .unwrap();
-    let a = run_baseline(&with.program, &MachConfig::single_core(), IoState::default(), 100_000);
-    let b =
-        run_baseline(&without.program, &MachConfig::single_core(), IoState::default(), 100_000);
+    let a = run_baseline(
+        &with.program,
+        &MachConfig::single_core(),
+        IoState::default(),
+        100_000,
+    );
+    let b = run_baseline(
+        &without.program,
+        &MachConfig::single_core(),
+        IoState::default(),
+        100_000,
+    );
     assert_eq!(a.io.output_string(), b.io.output_string());
     assert_eq!(a.io.output_string(), "22");
     assert!(
@@ -481,9 +494,16 @@ fn compile_errors_are_reported() {
     let opts = CompileOptions::default();
     assert!(compile("int main() { return undefined_var; }", &opts).is_err());
     assert!(compile("int main() { undefined_fn(); return 0; }", &opts).is_err());
-    assert!(compile("int f() { return 0; }", &opts).is_err(), "missing main");
+    assert!(
+        compile("int f() { return 0; }", &opts).is_err(),
+        "missing main"
+    );
     assert!(compile("int main() { break; }", &opts).is_err());
-    assert!(compile("struct S { struct Unknown u; }; int main() { return 0; }", &opts).is_err());
+    assert!(compile(
+        "struct S { struct Unknown u; }; int main() { return 0; }",
+        &opts
+    )
+    .is_err());
     assert!(compile("int main() { int x; x.field = 1; return 0; }", &opts).is_err());
     assert!(compile("int main(int a, int b) { return sum6(1); }", &opts).is_err());
 }
@@ -497,8 +517,7 @@ fn exit_intrinsic_stops_immediately() {
 
 #[test]
 fn rand_and_time_are_available() {
-    let r = run(
-        "int main() {
+    let r = run("int main() {
             int a = rand();
             int b = rand();
             int t = time();
@@ -506,8 +525,7 @@ fn rand_and_time_are_available() {
             if (t < 0) return 2;
             if (a == b) return 3;
             return 0;
-        }",
-    );
+        }");
     assert_eq!(r.exit, RunExit::Exited(0));
 }
 

@@ -4,11 +4,14 @@
 //!
 //! This catches codegen bugs (operand order, precedence, spills across
 //! calls, short-circuit semantics) far beyond what hand-written tests reach.
+//!
+//! Runs on the in-tree `px_util` property harness (`px_prop!`).
 
-use proptest::prelude::*;
 use px_lang::ast::{BinOp, Expr, ExprKind, UnOp};
 use px_lang::{compile, CompileOptions};
 use px_mach::{run_baseline, IoState, MachConfig, RunExit};
+use px_util::prop::{just, BoxedStrategy, Strategy};
+use px_util::{px_oneof, px_prop};
 
 // ---------------------------------------------------------------------------
 // AST generation
@@ -17,53 +20,72 @@ use px_mach::{run_baseline, IoState, MachConfig, RunExit};
 /// Variables available to generated expressions, preset to fixed values.
 const VARS: [(&str, i32); 4] = [("a", 7), ("b", -3), ("c", 100), ("d", 0)];
 
-fn arb_binop() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::Div),
-        Just(BinOp::Rem),
-        Just(BinOp::BitAnd),
-        Just(BinOp::BitOr),
-        Just(BinOp::BitXor),
-        Just(BinOp::Shl),
-        Just(BinOp::Shr),
-        Just(BinOp::Eq),
-        Just(BinOp::Ne),
-        Just(BinOp::Lt),
-        Just(BinOp::Le),
-        Just(BinOp::Gt),
-        Just(BinOp::Ge),
-        Just(BinOp::LogAnd),
-        Just(BinOp::LogOr),
+fn arb_binop() -> BoxedStrategy<BinOp> {
+    px_oneof![
+        just(BinOp::Add),
+        just(BinOp::Sub),
+        just(BinOp::Mul),
+        just(BinOp::Div),
+        just(BinOp::Rem),
+        just(BinOp::BitAnd),
+        just(BinOp::BitOr),
+        just(BinOp::BitXor),
+        just(BinOp::Shl),
+        just(BinOp::Shr),
+        just(BinOp::Eq),
+        just(BinOp::Ne),
+        just(BinOp::Lt),
+        just(BinOp::Le),
+        just(BinOp::Gt),
+        just(BinOp::Ge),
+        just(BinOp::LogAnd),
+        just(BinOp::LogOr),
     ]
+    .boxed()
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-200i64..200).prop_map(|v| Expr { kind: ExprKind::Int(v), line: 1 }),
+fn arb_leaf() -> BoxedStrategy<Expr> {
+    px_oneof![
+        (-200i64..200).prop_map(|v| Expr {
+            kind: ExprKind::Int(v),
+            line: 1
+        }),
         (0usize..VARS.len()).prop_map(|i| Expr {
             kind: ExprKind::Var(VARS[i].0.to_owned()),
             line: 1
         }),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr {
-                kind: ExprKind::Bin(op, Box::new(l), Box::new(r)),
-                line: 1,
-            }),
-            inner.clone().prop_map(|e| Expr {
-                kind: ExprKind::Un(UnOp::Neg, Box::new(e)),
-                line: 1
-            }),
-            inner.prop_map(|e| Expr {
-                kind: ExprKind::Un(UnOp::Not, Box::new(e)),
-                line: 1
-            }),
-        ]
-    })
+    ]
+    .boxed()
+}
+
+/// Expressions up to `depth` operator levels; the recursive alternatives
+/// are weighted 3:2 against leaves, like the original `prop_recursive`
+/// tree (depth 4, expected branch factor 3).
+fn arb_expr_depth(depth: u32) -> BoxedStrategy<Expr> {
+    if depth == 0 {
+        return arb_leaf();
+    }
+    let inner = || arb_expr_depth(depth - 1);
+    px_oneof![
+        arb_leaf(),
+        (arb_binop(), inner(), inner()).prop_map(|(op, l, r)| Expr {
+            kind: ExprKind::Bin(op, Box::new(l), Box::new(r)),
+            line: 1,
+        }),
+        inner().prop_map(|e| Expr {
+            kind: ExprKind::Un(UnOp::Neg, Box::new(e)),
+            line: 1
+        }),
+        inner().prop_map(|e| Expr {
+            kind: ExprKind::Un(UnOp::Not, Box::new(e)),
+            line: 1
+        }),
+    ]
+    .boxed()
+}
+
+fn arb_expr() -> BoxedStrategy<Expr> {
+    arb_expr_depth(4)
 }
 
 // ---------------------------------------------------------------------------
@@ -196,28 +218,26 @@ fn run_expr(e: &Expr) -> Result<i32, RunExit> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+px_prop! {
+    cases = 192;
 
-    #[test]
     fn compiled_expressions_match_the_oracle(e in arb_expr()) {
         match (eval(&e), run_expr(&e)) {
             (Some(expected), Ok(actual)) => {
-                prop_assert_eq!(expected, actual, "expression: {}", render(&e));
+                assert_eq!(expected, actual, "expression: {}", render(&e));
             }
             (None, Err(RunExit::Crashed(_))) => {
                 // Division by zero: both sides crash. OK.
             }
             (oracle, machine) => {
-                return Err(TestCaseError::fail(format!(
+                panic!(
                     "divergence on {}: oracle {oracle:?}, machine {machine:?}",
                     render(&e)
-                )));
+                );
             }
         }
     }
 
-    #[test]
     fn fix_instructions_never_change_program_results(e in arb_expr()) {
         // The same expression compiled with and without §4.4 fix insertion
         // must behave identically when run normally (fixes are NOPs off the
@@ -240,6 +260,6 @@ proptest! {
             let r = run_baseline(p, &MachConfig::single_core(), IoState::default(), 5_000_000);
             (format!("{:?}", r.exit), r.io.output_string())
         };
-        prop_assert_eq!(run(&with.program), run(&without.program));
+        assert_eq!(run(&with.program), run(&without.program));
     }
 }

@@ -73,7 +73,10 @@ impl Btb {
     #[must_use]
     pub fn new(entries: u32, assoc: u32) -> Btb {
         let sets = entries / assoc;
-        assert!(sets.is_power_of_two() && sets > 0, "BTB sets must be a power of two");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "BTB sets must be a power of two"
+        );
         Btb {
             sets: vec![vec![BtbEntry::default(); assoc as usize]; sets as usize],
             set_bits: sets.trailing_zeros(),
@@ -116,7 +119,12 @@ impl Btb {
             .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
             .map(|(i, _)| i)
             .expect("assoc >= 1");
-        let mut entry = BtbEntry { tag, valid: true, lru: self.clock, counters: [0, 0] };
+        let mut entry = BtbEntry {
+            tag,
+            valid: true,
+            lru: self.clock,
+            counters: [0, 0],
+        };
         entry.counters[edge.idx()] = 1;
         set[victim] = entry;
     }
@@ -170,7 +178,11 @@ mod tests {
         btb.exercise(0, Edge::Taken);
         // pc=2 maps to the same set (2 & 1 == 0) and evicts pc=0.
         btb.exercise(2, Edge::Taken);
-        assert_eq!(btb.edge_count(0, Edge::Taken), 0, "evicted entry reads as zero");
+        assert_eq!(
+            btb.edge_count(0, Edge::Taken),
+            0,
+            "evicted entry reads as zero"
+        );
         assert_eq!(btb.edge_count(2, Edge::Taken), 1);
     }
 

@@ -35,7 +35,9 @@ pub enum Lookup {
     MissEvictedVolatile(u8),
     /// Miss; the victim was clean/invalid or a committed dirty line
     /// (write-back charged by the caller).
-    Miss { dirty_writeback: bool },
+    Miss {
+        dirty_writeback: bool,
+    },
 }
 
 /// A set-associative, write-back, tag-only cache.
@@ -64,7 +66,10 @@ impl Cache {
 
     fn index(&self, addr: u32) -> (usize, u32) {
         let line_addr = addr >> self.line_shift;
-        ((line_addr & self.set_mask) as usize, line_addr >> self.sets.len().trailing_zeros())
+        (
+            (line_addr & self.set_mask) as usize,
+            line_addr >> self.sets.len().trailing_zeros(),
+        )
     }
 
     /// Accesses `addr`; on a write, the line's vtag becomes `vtag`.
@@ -114,11 +119,19 @@ impl Cache {
         };
 
         let evicted = set[victim];
-        set[victim] = Line { tag, valid: true, dirty: write, vtag: if write { vtag } else { COMMITTED }, lru: self.clock };
+        set[victim] = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            vtag: if write { vtag } else { COMMITTED },
+            lru: self.clock,
+        };
         if evicted.valid && evicted.vtag != COMMITTED {
             Lookup::MissEvictedVolatile(evicted.vtag)
         } else {
-            Lookup::Miss { dirty_writeback: evicted.valid && evicted.dirty }
+            Lookup::Miss {
+                dirty_writeback: evicted.valid && evicted.dirty,
+            }
         }
     }
 
@@ -234,12 +247,20 @@ impl Hierarchy {
         match l1.access(addr, write, vtag) {
             Lookup::Hit => {
                 self.stats.l1_hits += 1;
-                Access { cycles: l1_hit_cycles, volatile_evicted: None, l1_miss: false }
+                Access {
+                    cycles: l1_hit_cycles,
+                    volatile_evicted: None,
+                    l1_miss: false,
+                }
             }
             Lookup::MissEvictedVolatile(owner) => {
                 self.stats.l1_misses += 1;
                 let cycles = l1_hit_cycles + self.l2_fill(addr);
-                Access { cycles, volatile_evicted: Some(owner), l1_miss: true }
+                Access {
+                    cycles,
+                    volatile_evicted: Some(owner),
+                    l1_miss: true,
+                }
             }
             Lookup::Miss { dirty_writeback } => {
                 self.stats.l1_misses += 1;
@@ -247,7 +268,11 @@ impl Hierarchy {
                 if dirty_writeback {
                     cycles += self.l2.config().hit_cycles;
                 }
-                Access { cycles, volatile_evicted: None, l1_miss: true }
+                Access {
+                    cycles,
+                    volatile_evicted: None,
+                    l1_miss: true,
+                }
             }
         }
     }
@@ -289,16 +314,29 @@ mod tests {
 
     fn small_cache() -> Cache {
         // 4 lines of 32B, 2-way => 2 sets.
-        Cache::new(CacheConfig { size_bytes: 128, assoc: 2, line_bytes: 32, hit_cycles: 3 })
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            assoc: 2,
+            line_bytes: 32,
+            hit_cycles: 3,
+        })
     }
 
     #[test]
     fn hit_after_fill() {
         let mut c = small_cache();
-        assert_eq!(c.access(0x1000, false, COMMITTED), Lookup::Miss { dirty_writeback: false });
+        assert_eq!(
+            c.access(0x1000, false, COMMITTED),
+            Lookup::Miss {
+                dirty_writeback: false
+            }
+        );
         assert_eq!(c.access(0x1000, false, COMMITTED), Lookup::Hit);
         assert_eq!(c.access(0x101F, false, COMMITTED), Lookup::Hit, "same line");
-        assert!(matches!(c.access(0x1020, false, COMMITTED), Lookup::Miss { .. }), "next line");
+        assert!(
+            matches!(c.access(0x1020, false, COMMITTED), Lookup::Miss { .. }),
+            "next line"
+        );
     }
 
     #[test]
@@ -308,10 +346,20 @@ mod tests {
         let a = 0x1000;
         let b = 0x1040;
         let d = 0x1080;
-        assert!(matches!(c.access(a, true, COMMITTED), Lookup::Miss { dirty_writeback: false }));
+        assert!(matches!(
+            c.access(a, true, COMMITTED),
+            Lookup::Miss {
+                dirty_writeback: false
+            }
+        ));
         assert!(matches!(c.access(b, false, COMMITTED), Lookup::Miss { .. }));
         // `a` is LRU victim and dirty.
-        assert_eq!(c.access(d, false, COMMITTED), Lookup::Miss { dirty_writeback: true });
+        assert_eq!(
+            c.access(d, false, COMMITTED),
+            Lookup::Miss {
+                dirty_writeback: true
+            }
+        );
     }
 
     #[test]
@@ -322,8 +370,13 @@ mod tests {
         let d = 0x1080;
         c.access(a, true, 5); // volatile, older
         c.access(b, false, COMMITTED); // committed, newer
-        // Victim should be the committed line even though the volatile one is older.
-        assert_eq!(c.access(d, false, COMMITTED), Lookup::Miss { dirty_writeback: false });
+                                       // Victim should be the committed line even though the volatile one is older.
+        assert_eq!(
+            c.access(d, false, COMMITTED),
+            Lookup::Miss {
+                dirty_writeback: false
+            }
+        );
         assert_eq!(c.volatile_lines(), 1);
     }
 
@@ -353,7 +406,10 @@ mod tests {
         // Committed line still resident.
         assert_eq!(c.access(0x1040, false, COMMITTED), Lookup::Hit);
         // Invalidated lines are gone.
-        assert!(matches!(c.access(0x1000, false, COMMITTED), Lookup::Miss { .. }));
+        assert!(matches!(
+            c.access(0x1000, false, COMMITTED),
+            Lookup::Miss { .. }
+        ));
     }
 
     #[test]

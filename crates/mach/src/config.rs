@@ -23,7 +23,10 @@ impl CacheConfig {
     /// capacity not divisible by `assoc * line_bytes`).
     #[must_use]
     pub fn sets(&self) -> u32 {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = self.size_bytes / self.line_bytes;
         assert!(
             lines.is_multiple_of(self.assoc) && lines > 0,
@@ -112,7 +115,12 @@ impl Default for MachConfig {
         MachConfig {
             cores: 4,
             clock_hz: 2_400_000_000,
-            l1: CacheConfig { size_bytes: 16 * 1024, assoc: 4, line_bytes: 32, hit_cycles: 3 },
+            l1: CacheConfig {
+                size_bytes: 16 * 1024,
+                assoc: 4,
+                line_bytes: 32,
+                hit_cycles: 3,
+            },
             l2: CacheConfig {
                 size_bytes: 1024 * 1024,
                 assoc: 8,
@@ -135,7 +143,10 @@ impl MachConfig {
     /// PathExpander configuration on one core).
     #[must_use]
     pub fn single_core() -> MachConfig {
-        MachConfig { cores: 1, ..MachConfig::default() }
+        MachConfig {
+            cores: 1,
+            ..MachConfig::default()
+        }
     }
 
     /// Renders the configuration as the paper's Table 2 rows.
@@ -191,7 +202,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_line_size_panics() {
-        let c = CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 24, hit_cycles: 1 };
+        let c = CacheConfig {
+            size_bytes: 1024,
+            assoc: 2,
+            line_bytes: 24,
+            hit_cycles: 1,
+        };
         let _ = c.sets();
     }
 }

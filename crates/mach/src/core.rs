@@ -46,7 +46,10 @@ impl CoreState {
     /// top of a `mem_size`-byte memory.
     #[must_use]
     pub fn at_entry(entry: u32, mem_size: u32) -> CoreState {
-        let mut core = CoreState { pc: entry, ..CoreState::default() };
+        let mut core = CoreState {
+            pc: entry,
+            ..CoreState::default()
+        };
         core.regs.set(Reg::SP, mem_size as i32);
         core.regs.set(Reg::FP, mem_size as i32);
         core

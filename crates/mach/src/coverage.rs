@@ -19,7 +19,9 @@ impl Coverage {
     /// Creates a tracker for a program with `code_len` instructions.
     #[must_use]
     pub fn new(code_len: usize) -> Coverage {
-        Coverage { edges: vec![[false; 2]; code_len] }
+        Coverage {
+            edges: vec![[false; 2]; code_len],
+        }
     }
 
     /// Creates a tracker sized for `program`.
@@ -78,7 +80,11 @@ impl Coverage {
     ///
     /// Panics if the trackers were built for different code sizes.
     pub fn merge(&mut self, other: &Coverage) {
-        assert_eq!(self.edges.len(), other.edges.len(), "coverage size mismatch");
+        assert_eq!(
+            self.edges.len(),
+            other.edges.len(),
+            "coverage size mismatch"
+        );
         for (a, b) in self.edges.iter_mut().zip(&other.edges) {
             a[0] |= b[0];
             a[1] |= b[1];
@@ -124,9 +130,7 @@ impl Coverage {
             .zip(&other.edges)
             .enumerate()
             .filter(|&(pc, _)| !program.in_checker_region(pc as u32))
-            .map(|(_, (a, b))| {
-                u32::from(a[0] && !b[0]) + u32::from(a[1] && !b[1])
-            })
+            .map(|(_, (a, b))| u32::from(a[0] && !b[0]) + u32::from(a[1] && !b[1]))
             .sum()
     }
 }
@@ -190,9 +194,17 @@ mod tests {
         total.record(1, Edge::Taken);
         let listing = Coverage::annotated_listing(&p, &taken, &total);
         let lines: Vec<&str> = listing.lines().collect();
-        assert!(lines[0].starts_with("[TN]"), "taken + NT edges: {}", lines[0]);
+        assert!(
+            lines[0].starts_with("[TN]"),
+            "taken + NT edges: {}",
+            lines[0]
+        );
         assert!(lines[1].starts_with("[N.]"), "NT + uncovered: {}", lines[1]);
-        assert!(lines[2].starts_with("    "), "non-branch unmarked: {}", lines[2]);
+        assert!(
+            lines[2].starts_with("    "),
+            "non-branch unmarked: {}",
+            lines[2]
+        );
     }
 
     #[test]

@@ -47,7 +47,12 @@ pub enum StepEvent {
     /// A `check` probe failed (its condition was zero).
     CheckFailed { kind: CheckKind, site: u32, pc: u32 },
     /// A load/store touched a watched range.
-    WatchHit { tag: u32, addr: u32, is_write: bool, pc: u32 },
+    WatchHit {
+        tag: u32,
+        addr: u32,
+        is_write: bool,
+        pc: u32,
+    },
     /// The program exited via the `exit` system call.
     Exit { code: i32 },
     /// The step crashed; the core state is unchanged.
@@ -98,11 +103,19 @@ pub struct StepEnv<'a> {
 /// On [`StepEvent::Crash`] and [`StepEvent::UnsafeEvent`] the core state is
 /// left unchanged (the caller squashes or faults); on every other event the
 /// core has advanced.
-pub fn step(program: &Program, core: &mut CoreState, mem: &mut dyn MemView, env: &mut StepEnv<'_>) -> Step {
+pub fn step(
+    program: &Program,
+    core: &mut CoreState,
+    mem: &mut dyn MemView,
+    env: &mut StepEnv<'_>,
+) -> Step {
     let pc = core.pc;
     let Some(insn) = program.fetch(pc) else {
         return Step {
-            event: StepEvent::Crash { kind: CrashKind::BadPc { pc }, pc },
+            event: StepEvent::Crash {
+                kind: CrashKind::BadPc { pc },
+                pc,
+            },
             base_cost: env.costs.control,
             access: None,
         };
@@ -146,7 +159,12 @@ pub fn step(program: &Program, core: &mut CoreState, mem: &mut dyn MemView, env:
                 None => crash!(CrashKind::DivByZero),
             }
         }
-        Instruction::Load { width, rd, base, offset } => {
+        Instruction::Load {
+            width,
+            rd,
+            base,
+            offset,
+        } => {
             let addr = (core.regs.get(base) as u32).wrapping_add(offset as u32);
             match mem.load(addr, width) {
                 Ok(v) => {
@@ -154,26 +172,46 @@ pub fn step(program: &Program, core: &mut CoreState, mem: &mut dyn MemView, env:
                     access = Some(DataAccess { addr, write: false });
                     if let Some(tag) = env.watches.hit(addr, width.bytes()) {
                         base_cost += costs.watch_hit;
-                        event = StepEvent::WatchHit { tag, addr, is_write: false, pc };
+                        event = StepEvent::WatchHit {
+                            tag,
+                            addr,
+                            is_write: false,
+                            pc,
+                        };
                     }
                 }
                 Err(kind) => crash!(kind),
             }
         }
-        Instruction::Store { width, rs, base, offset } => {
+        Instruction::Store {
+            width,
+            rs,
+            base,
+            offset,
+        } => {
             let addr = (core.regs.get(base) as u32).wrapping_add(offset as u32);
             match mem.store(addr, core.regs.get(rs), width) {
                 Ok(()) => {
                     access = Some(DataAccess { addr, write: true });
                     if let Some(tag) = env.watches.hit(addr, width.bytes()) {
                         base_cost += costs.watch_hit;
-                        event = StepEvent::WatchHit { tag, addr, is_write: true, pc };
+                        event = StepEvent::WatchHit {
+                            tag,
+                            addr,
+                            is_write: true,
+                            pc,
+                        };
                     }
                 }
                 Err(kind) => crash!(kind),
             }
         }
-        Instruction::Branch { cond, rs1, rs2, target } => {
+        Instruction::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
             base_cost = costs.control;
             let a = core.regs.get(rs1);
             let b = core.regs.get(rs2);
@@ -228,7 +266,9 @@ pub fn step(program: &Program, core: &mut CoreState, mem: &mut dyn MemView, env:
             match code {
                 SyscallCode::Exit => {
                     return Step {
-                        event: StepEvent::Exit { code: core.regs.get(Reg::A0) },
+                        event: StepEvent::Exit {
+                            code: core.regs.get(Reg::A0),
+                        },
                         base_cost,
                         access: None,
                     };
@@ -248,7 +288,8 @@ pub fn step(program: &Program, core: &mut CoreState, mem: &mut dyn MemView, env:
                     core.regs.set(Reg::RV, v);
                 }
                 SyscallCode::Time => {
-                    core.regs.set(Reg::RV, (env.now_cycles & 0x7FFF_FFFF) as i32);
+                    core.regs
+                        .set(Reg::RV, (env.now_cycles & 0x7FFF_FFFF) as i32);
                 }
             }
             event = StepEvent::Syscall { code };
@@ -290,7 +331,12 @@ pub fn step(program: &Program, core: &mut CoreState, mem: &mut dyn MemView, env:
                 }
             }
         }
-        Instruction::PStore { width, rs, base, offset } => {
+        Instruction::PStore {
+            width,
+            rs,
+            base,
+            offset,
+        } => {
             if core.pred {
                 let addr = (core.regs.get(base) as u32).wrapping_add(offset as u32);
                 match mem.store(addr, core.regs.get(rs), width) {
@@ -309,7 +355,11 @@ pub fn step(program: &Program, core: &mut CoreState, mem: &mut dyn MemView, env:
     }
     core.pred = next_pred;
 
-    Step { event, base_cost, access }
+    Step {
+        event,
+        base_cost,
+        access,
+    }
 }
 
 fn alu_cost(op: px_isa::AluOp, costs: &CostModel) -> u32 {
@@ -431,7 +481,10 @@ mod tests {
         );
         assert!(matches!(
             event,
-            StepEvent::Crash { kind: CrashKind::DivByZero, pc: 2 }
+            StepEvent::Crash {
+                kind: CrashKind::DivByZero,
+                pc: 2
+            }
         ));
     }
 
@@ -440,7 +493,10 @@ mod tests {
         let (_, _, _, event) = run_snippet(".code\nmain:\n  lw r1, 0(zero)\n  exit\n", b"");
         assert!(matches!(
             event,
-            StepEvent::Crash { kind: CrashKind::NullDeref { addr: 0 }, .. }
+            StepEvent::Crash {
+                kind: CrashKind::NullDeref { addr: 0 },
+                ..
+            }
         ));
     }
 
@@ -478,7 +534,11 @@ mod tests {
             }
         }
         assert_eq!(core.regs.get(Reg::RV), 42, "fix executed at NT entry");
-        assert_eq!(core.regs.get(Reg::A0), 0, "fix after control transfer is a NOP");
+        assert_eq!(
+            core.regs.get(Reg::A0),
+            0,
+            "fix after control transfer is a NOP"
+        );
         assert!(!core.pred);
     }
 
@@ -509,7 +569,9 @@ mod tests {
         let s2 = step(&program, &mut core, &mut mem, &mut env);
         assert!(matches!(
             s2.event,
-            StepEvent::UnsafeEvent { code: SyscallCode::PutChar }
+            StepEvent::UnsafeEvent {
+                code: SyscallCode::PutChar
+            }
         ));
         assert_eq!(core.pc, 1, "pc still at the system call");
         assert!(io.output().is_empty(), "no side effect leaked");
@@ -517,10 +579,8 @@ mod tests {
 
     #[test]
     fn check_fires_only_on_zero() {
-        let (_, _, _, event) = run_snippet(
-            ".code\nmain:\n  li r1, 1\n  assert r1, #3\n  exit\n",
-            b"",
-        );
+        let (_, _, _, event) =
+            run_snippet(".code\nmain:\n  li r1, 1\n  assert r1, #3\n  exit\n", b"");
         assert!(matches!(event, StepEvent::Exit { .. }));
 
         let program = assemble(".code\nmain:\n  assert r1, #3\n  exit\n").unwrap();
@@ -539,7 +599,11 @@ mod tests {
         let s = step(&program, &mut core, &mut mem, &mut env);
         assert!(matches!(
             s.event,
-            StepEvent::CheckFailed { kind: CheckKind::Assertion, site: 3, pc: 0 }
+            StepEvent::CheckFailed {
+                kind: CheckKind::Assertion,
+                site: 3,
+                pc: 0
+            }
         ));
         assert_eq!(core.pc, 1, "execution continues after a failed check");
     }
@@ -573,7 +637,13 @@ mod tests {
                 costs: &costs,
             };
             let s = step(&program, &mut core, &mut mem, &mut env);
-            if let StepEvent::WatchHit { tag, addr, is_write, .. } = s.event {
+            if let StepEvent::WatchHit {
+                tag,
+                addr,
+                is_write,
+                ..
+            } = s.event
+            {
                 hit = Some((tag, addr, is_write));
             }
             if s.event.is_terminal() {

@@ -21,7 +21,12 @@ impl IoState {
     /// Creates I/O state with the given input bytes and RNG seed.
     #[must_use]
     pub fn new(input: Vec<u8>, seed: u64) -> IoState {
-        IoState { input, pos: 0, output: Vec::new(), rng_state: seed.max(1) }
+        IoState {
+            input,
+            pos: 0,
+            output: Vec::new(),
+            rng_state: seed.max(1),
+        }
     }
 
     /// Reads one input byte; `-1` at end of input.
@@ -38,7 +43,11 @@ impl IoState {
     /// Reads a whitespace-delimited signed decimal integer; `-1` at end of
     /// input or when no digits are found.
     pub fn read_int(&mut self) -> i32 {
-        while self.input.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+        while self
+            .input
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
             self.pos += 1;
         }
         let mut negative = false;

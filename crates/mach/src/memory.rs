@@ -60,7 +60,9 @@ impl Memory {
     /// Creates a zeroed memory of `size` bytes.
     #[must_use]
     pub fn new(size: u32) -> Memory {
-        Memory { bytes: vec![0; size as usize] }
+        Memory {
+            bytes: vec![0; size as usize],
+        }
     }
 
     /// Total size in bytes.
@@ -243,16 +245,22 @@ mod tests {
         );
         assert_eq!(
             m.load(DATA_BASE - 1, Width::Byte).unwrap_err(),
-            CrashKind::NullDeref { addr: DATA_BASE - 1 }
+            CrashKind::NullDeref {
+                addr: DATA_BASE - 1
+            }
         );
         assert_eq!(
             m.store(DATA_BASE + 8, 0, Width::Byte).unwrap_err(),
-            CrashKind::OutOfBounds { addr: DATA_BASE + 8 }
+            CrashKind::OutOfBounds {
+                addr: DATA_BASE + 8
+            }
         );
         // Word access straddling the end also traps.
         assert_eq!(
             m.load(DATA_BASE + 6, Width::Word).unwrap_err(),
-            CrashKind::OutOfBounds { addr: DATA_BASE + 6 }
+            CrashKind::OutOfBounds {
+                addr: DATA_BASE + 6
+            }
         );
     }
 
@@ -265,9 +273,17 @@ mod tests {
             let mut v = SandboxView::new(&m, &mut sb);
             assert_eq!(v.load(DATA_BASE, Width::Word).unwrap(), 7);
             v.store(DATA_BASE, 99, Width::Word).unwrap();
-            assert_eq!(v.load(DATA_BASE, Width::Word).unwrap(), 99, "reads own writes");
+            assert_eq!(
+                v.load(DATA_BASE, Width::Word).unwrap(),
+                99,
+                "reads own writes"
+            );
         }
-        assert_eq!(m.load(DATA_BASE, Width::Word).unwrap(), 7, "committed untouched");
+        assert_eq!(
+            m.load(DATA_BASE, Width::Word).unwrap(),
+            7,
+            "committed untouched"
+        );
         assert_eq!(sb.written_bytes(), 4);
         sb.clear();
         assert_eq!(sb.written_bytes(), 0);

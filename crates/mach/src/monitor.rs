@@ -105,7 +105,11 @@ mod tests {
             path: PathKind::Taken,
         });
         area.push(MonitorRecord {
-            kind: RecordKind::Watch { tag: 5, addr: 0x2000, is_write: true },
+            kind: RecordKind::Watch {
+                tag: 5,
+                addr: 0x2000,
+                is_write: true,
+            },
             site: 5,
             pc: 20,
             cycle: 200,

@@ -111,8 +111,17 @@ pub fn run_baseline(
                 cycle: cycles,
                 path: PathKind::Taken,
             }),
-            StepEvent::WatchHit { tag, addr, is_write, pc } => monitor.push(MonitorRecord {
-                kind: RecordKind::Watch { tag, addr, is_write },
+            StepEvent::WatchHit {
+                tag,
+                addr,
+                is_write,
+                pc,
+            } => monitor.push(MonitorRecord {
+                kind: RecordKind::Watch {
+                    tag,
+                    addr,
+                    is_write,
+                },
                 site: tag,
                 pc,
                 cycle: cycles,
@@ -127,7 +136,15 @@ pub fn run_baseline(
         }
     };
 
-    RunResult { exit, instructions, cycles, coverage, monitor, io, memory }
+    RunResult {
+        exit,
+        instructions,
+        cycles,
+        coverage,
+        monitor,
+        io,
+        memory,
+    }
 }
 
 #[cfg(test)]
@@ -150,19 +167,35 @@ mod tests {
             ",
         )
         .unwrap();
-        let r = run_baseline(&program, &MachConfig::single_core(), IoState::default(), 1_000);
+        let r = run_baseline(
+            &program,
+            &MachConfig::single_core(),
+            IoState::default(),
+            1_000,
+        );
         assert_eq!(r.exit, RunExit::Exited(0));
         // Loop branch: taken twice, not-taken once => both edges covered.
         assert_eq!(r.coverage.covered_edges(&program), 2);
         assert!((r.coverage.branch_coverage(&program) - 1.0).abs() < 1e-12);
-        assert!(r.cycles > r.instructions, "memoryless ALU still costs >= 1 cycle each");
+        assert!(
+            r.cycles > r.instructions,
+            "memoryless ALU still costs >= 1 cycle each"
+        );
     }
 
     #[test]
     fn baseline_reports_crash() {
         let program = assemble(".code\nmain:\n  lw r1, 0(zero)\n").unwrap();
-        let r = run_baseline(&program, &MachConfig::single_core(), IoState::default(), 100);
-        assert!(matches!(r.exit, RunExit::Crashed(CrashKind::NullDeref { .. })));
+        let r = run_baseline(
+            &program,
+            &MachConfig::single_core(),
+            IoState::default(),
+            100,
+        );
+        assert!(matches!(
+            r.exit,
+            RunExit::Crashed(CrashKind::NullDeref { .. })
+        ));
     }
 
     #[test]
@@ -185,7 +218,12 @@ mod tests {
             ",
         )
         .unwrap();
-        let r = run_baseline(&program, &MachConfig::single_core(), IoState::default(), 100);
+        let r = run_baseline(
+            &program,
+            &MachConfig::single_core(),
+            IoState::default(),
+            100,
+        );
         assert_eq!(r.monitor.len(), 1);
         assert_eq!(r.monitor.records()[0].site, 4);
         assert_eq!(r.monitor.records()[0].path, PathKind::Taken);

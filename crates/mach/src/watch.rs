@@ -86,7 +86,11 @@ impl WatchTable {
         if len == 0 {
             return;
         }
-        let range = WatchRange { lo, hi: lo.saturating_add(len), tag };
+        let range = WatchRange {
+            lo,
+            hi: lo.saturating_add(len),
+            tag,
+        };
         self.ranges.push(range);
         if self.logging {
             self.log.push(WatchOp::Added(range));

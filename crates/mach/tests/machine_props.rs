@@ -2,26 +2,28 @@
 //! gang invalidation removes exactly the volatile lines, the BTB counters
 //! never exceed saturation, coverage merging is a lattice join, and the
 //! watch table's rollback is an inverse.
+//!
+//! Runs on the in-tree `px_util` property harness (`px_prop!`).
 
-use proptest::prelude::*;
+use px_isa::{Width, DATA_BASE};
 use px_mach::{
     Btb, Cache, CacheConfig, Coverage, Edge, Hierarchy, MachConfig, MemView, Memory, Sandbox,
     SandboxView, WatchTable, COMMITTED,
 };
-use px_isa::{Width, DATA_BASE};
+use px_util::prop::{any_bool, any_i32, vec_of, Strategy};
+use px_util::px_prop;
 
 const MEM_SIZE: u32 = DATA_BASE + 4096;
 
-fn arb_addr() -> impl Strategy<Value = u32> {
+fn arb_addr() -> impl Strategy<Value = u32> + Clone + 'static {
     DATA_BASE..(MEM_SIZE - 4)
 }
 
-proptest! {
-    #[test]
+px_prop! {
     fn sandbox_reads_equal_writes_and_rollback_restores(
-        committed_writes in proptest::collection::vec((arb_addr(), any::<i32>()), 0..20),
-        nt_writes in proptest::collection::vec((arb_addr(), any::<i32>()), 0..20),
-        probes in proptest::collection::vec(arb_addr(), 1..16),
+        committed_writes in vec_of((arb_addr(), any_i32()), 0..20),
+        nt_writes in vec_of((arb_addr(), any_i32()), 0..20),
+        probes in vec_of(arb_addr(), 1..16),
     ) {
         use std::collections::HashMap;
         let mut mem = Memory::new(MEM_SIZE);
@@ -43,24 +45,23 @@ proptest! {
             }
             for &p in &probes {
                 let expected = oracle.get(&p).copied().unwrap_or_else(|| snapshot.byte(p));
-                prop_assert_eq!(
+                assert_eq!(
                     view.load(p, Width::Byte).unwrap(),
                     i32::from(expected),
-                    "probe at {:#x}", p
+                    "probe at {p:#x}"
                 );
             }
         }
         // Rollback: committed memory is untouched by any NT write.
         sb.clear();
-        prop_assert_eq!(mem, snapshot);
-        prop_assert_eq!(sb.written_bytes(), 0);
+        assert_eq!(mem, snapshot);
+        assert_eq!(sb.written_bytes(), 0);
     }
 
-    #[test]
     fn snapshot_preserves_spawn_time_view(
         addr in arb_addr(),
-        before in any::<i32>(),
-        after in any::<i32>(),
+        before in any_i32(),
+        after in any_i32(),
     ) {
         let mut mem = Memory::new(MEM_SIZE);
         mem.store(addr, before, Width::Word).unwrap();
@@ -71,12 +72,11 @@ proptest! {
         }
         mem.store(addr, after, Width::Word).unwrap();
         let mut view = SandboxView::new(&mem, &mut sb);
-        prop_assert_eq!(view.load(addr, Width::Word).unwrap(), before);
+        assert_eq!(view.load(addr, Width::Word).unwrap(), before);
     }
 
-    #[test]
     fn gang_invalidate_removes_exactly_the_tagged_lines(
-        ops in proptest::collection::vec((0u32..1u32 << 16, any::<bool>(), 0u8..4), 1..200),
+        ops in vec_of((0u32..1u32 << 16, any_bool(), 0u8..4), 1..200),
         victim_tag in 1u8..4,
     ) {
         let mut cache = Cache::new(CacheConfig {
@@ -91,32 +91,68 @@ proptest! {
         let before = cache.volatile_lines();
         let dropped = cache.gang_invalidate(victim_tag);
         let after = cache.volatile_lines();
-        prop_assert_eq!(before - after, dropped);
+        assert_eq!(before - after, dropped);
         // A second invalidation finds nothing.
-        prop_assert_eq!(cache.gang_invalidate(victim_tag), 0);
+        assert_eq!(cache.gang_invalidate(victim_tag), 0);
     }
 
-    #[test]
+    // The L1 Vtag squash invariant (paper §4.2(2)/§6.2): squashing an
+    // NT-path gang-invalidates *every* line carrying its volatile tag,
+    // while committed lines — in particular the monitor memory area, which
+    // checker stores always write with the committed tag — survive and
+    // still hit.
+    fn squash_invalidates_all_volatile_lines_and_monitor_lines_survive(
+        monitor_lines in vec_of(0u32..8, 1..8),
+        nt_ops in vec_of((0u32..8, 1u8..4), 0..24),
+    ) {
+        let cfg = CacheConfig { size_bytes: 4096, assoc: 4, line_bytes: 32, hit_cycles: 1 };
+        let line = cfg.line_bytes;
+        let mut cache = Cache::new(cfg);
+        // The "monitor area": committed writes, one distinct cache set per
+        // index (sets 0..8) so capacity eviction cannot disturb the
+        // invariant under test.
+        for &i in &monitor_lines {
+            cache.access(i * line, true, COMMITTED);
+        }
+        // NT-path writes land in disjoint sets (8..16), so they never evict
+        // the monitor lines.
+        for &(i, tag) in &nt_ops {
+            cache.access((i + 8) * line, true, tag);
+        }
+        // Squash every live path: afterwards no volatile line may remain.
+        for tag in 1u8..4 {
+            cache.gang_invalidate(tag);
+        }
+        assert_eq!(cache.volatile_lines(), 0, "squash must drop every volatile line");
+        // Monitor-area lines survived the squash and still hit.
+        for &i in &monitor_lines {
+            assert_eq!(
+                cache.access(i * line, false, COMMITTED),
+                px_mach::Lookup::Hit,
+                "monitor line {i} was lost by an NT-path squash"
+            );
+        }
+    }
+
     fn btb_counters_saturate_and_reset(
-        pcs in proptest::collection::vec((0u32..512, any::<bool>()), 0..400),
+        pcs in vec_of((0u32..512, any_bool()), 0..400),
     ) {
         let mut btb = Btb::new(256, 2);
         for &(pc, taken) in &pcs {
             btb.exercise(pc, Edge::from_taken(taken));
         }
         for &(pc, taken) in &pcs {
-            prop_assert!(btb.edge_count(pc, Edge::from_taken(taken)) <= px_mach::COUNTER_MAX);
+            assert!(btb.edge_count(pc, Edge::from_taken(taken)) <= px_mach::COUNTER_MAX);
         }
         btb.reset_counters();
         for &(pc, taken) in &pcs {
-            prop_assert_eq!(btb.edge_count(pc, Edge::from_taken(taken)), 0);
+            assert_eq!(btb.edge_count(pc, Edge::from_taken(taken)), 0);
         }
     }
 
-    #[test]
     fn coverage_merge_is_monotone_and_idempotent(
-        a in proptest::collection::vec((0u32..64, any::<bool>()), 0..64),
-        b in proptest::collection::vec((0u32..64, any::<bool>()), 0..64),
+        a in vec_of((0u32..64, any_bool()), 0..64),
+        b in vec_of((0u32..64, any_bool()), 0..64),
     ) {
         let mut ca = Coverage::new(64);
         for &(pc, t) in &a {
@@ -130,19 +166,18 @@ proptest! {
         merged.merge(&cb);
         // Everything in either input is in the merge.
         for &(pc, t) in a.iter().chain(&b) {
-            prop_assert!(merged.covered(pc, Edge::from_taken(t)));
+            assert!(merged.covered(pc, Edge::from_taken(t)));
         }
         // Idempotent.
         let mut twice = merged.clone();
         twice.merge(&cb);
         twice.merge(&ca);
-        prop_assert_eq!(&twice, &merged);
+        assert_eq!(&twice, &merged);
     }
 
-    #[test]
     fn watch_rollback_is_an_exact_inverse(
-        initial in proptest::collection::vec((0u32..4096, 1u32..64, 1u32..8), 0..10),
-        nt_ops in proptest::collection::vec((any::<bool>(), 0u32..4096, 1u32..64, 1u32..8), 0..20),
+        initial in vec_of((0u32..4096, 1u32..64, 1u32..8), 0..10),
+        nt_ops in vec_of((any_bool(), 0u32..4096, 1u32..64, 1u32..8), 0..20),
         probe in 0u32..4096,
     ) {
         let mut w = WatchTable::new();
@@ -162,13 +197,12 @@ proptest! {
         w.rollback();
         let hits_after: Vec<Option<u32>> =
             (0..8).map(|i| w.hit(probe + i * 97, 4)).collect();
-        prop_assert_eq!(hits_before, hits_after);
-        prop_assert_eq!(w.len(), initial.iter().filter(|(_, len, _)| *len > 0).count());
+        assert_eq!(hits_before, hits_after);
+        assert_eq!(w.len(), initial.iter().filter(|(_, len, _)| *len > 0).count());
     }
 
-    #[test]
     fn hierarchy_latency_is_within_physical_bounds(
-        ops in proptest::collection::vec((0u32..1u32 << 20, any::<bool>()), 1..300),
+        ops in vec_of((0u32..1u32 << 20, any_bool()), 1..300),
     ) {
         let cfg = MachConfig::default();
         let mut h = Hierarchy::new(&cfg);
@@ -176,9 +210,9 @@ proptest! {
         let max = cfg.l1.hit_cycles + cfg.l2.hit_cycles * 2 + cfg.mem_cycles;
         for &(addr, write) in &ops {
             let a = h.access(0, addr, write, COMMITTED);
-            prop_assert!(a.cycles >= min && a.cycles <= max, "latency {} out of [{min},{max}]", a.cycles);
+            assert!(a.cycles >= min && a.cycles <= max, "latency {} out of [{min},{max}]", a.cycles);
         }
         let s = h.stats;
-        prop_assert_eq!(s.l1_hits + s.l1_misses, ops.len() as u64);
+        assert_eq!(s.l1_hits + s.l1_misses, ops.len() as u64);
     }
 }

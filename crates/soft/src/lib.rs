@@ -117,7 +117,11 @@ pub fn run_soft(program: &Program, px: &PxConfig, soft: &SoftConfig, io: IoState
         + s.nt_writes as f64 * soft.restore_write_cycles
         + rollbacks * soft.rollback_base_cycles;
 
-    SoftResult { run, native_cycles: native_cycles.max(1.0), soft_cycles }
+    SoftResult {
+        run,
+        native_cycles: native_cycles.max(1.0),
+        soft_cycles,
+    }
 }
 
 /// The headline §7 comparison for one program: hardware overhead (standard
@@ -160,7 +164,15 @@ pub fn compare_hw_sw(
     io: &IoState,
 ) -> HwSwComparison {
     let baseline = px_mach::run_baseline(program, mach, io.clone(), px.max_instructions);
-    let hw_std = run_standard(program, &MachConfig { cores: 1, ..mach.clone() }, px, io.clone());
+    let hw_std = run_standard(
+        program,
+        &MachConfig {
+            cores: 1,
+            ..mach.clone()
+        },
+        px,
+        io.clone(),
+    );
     let hw_cmp = pathexpander::run_cmp(program, mach, &px.clone().cmp(), io.clone());
     let sw = run_soft(program, px, soft, io.clone());
     let base = baseline.cycles.max(1) as f64;
@@ -208,7 +220,12 @@ mod tests {
             &px,
             IoState::default(),
         );
-        let sw = run_soft(&compiled.program, &px, &SoftConfig::default(), IoState::default());
+        let sw = run_soft(
+            &compiled.program,
+            &px,
+            &SoftConfig::default(),
+            IoState::default(),
+        );
         assert_eq!(sw.run.io.output_string(), hw.io.output_string());
         assert_eq!(sw.run.stats.spawns, hw.stats.spawns);
         assert_eq!(sw.run.monitor.len(), hw.monitor.len());
@@ -254,13 +271,12 @@ mod tests {
             IoState::default(),
         );
         let s = &sw.run.stats;
-        let expected = (s.taken_instructions + s.nt_instructions) as f64
-            * soft.native_cpi
-            * soft.dilation
-            + s.dyn_branches as f64 * soft.branch_analysis_cycles
-            + s.nt_writes as f64 * (soft.write_log_cycles + soft.restore_write_cycles)
-            + s.spawns as f64 * soft.spawn_cycles
-            + s.paths.len() as f64 * soft.rollback_base_cycles;
+        let expected =
+            (s.taken_instructions + s.nt_instructions) as f64 * soft.native_cpi * soft.dilation
+                + s.dyn_branches as f64 * soft.branch_analysis_cycles
+                + s.nt_writes as f64 * (soft.write_log_cycles + soft.restore_write_cycles)
+                + s.spawns as f64 * soft.spawn_cycles
+                + s.paths.len() as f64 * soft.rollback_base_cycles;
         assert!((sw.soft_cycles - expected).abs() < 1e-6);
         assert!(sw.slowdown() > 1.0);
         assert!(sw.overhead() > 0.0);

@@ -1,0 +1,254 @@
+//! A hand-rolled JSON value model and emitter.
+//!
+//! Replaces `serde` for the bench harness's typed result rows. Output is
+//! canonical and byte-deterministic: object keys keep insertion order,
+//! floats print via Rust's shortest-roundtrip formatting (with a forced
+//! `.0` on integral values), and non-finite floats become `null`.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (covers `u64` values above `i64::MAX`).
+    UInt(u64),
+    /// A float; non-finite values serialize as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Serializes to a compact JSON string.
+    #[must_use]
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(f) => write_f64(out, *f),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        let _ = write!(out, "{f:.1}");
+    } else {
+        let _ = write!(out, "{f}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] value; the typed result rows implement this.
+pub trait ToJson {
+    /// The JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_owned())
+    }
+}
+
+macro_rules! impl_to_json_int {
+    ($($t:ty => $variant:ident as $conv:ty),+ $(,)?) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::$variant(*self as $conv)
+            }
+        }
+    )+};
+}
+
+impl_to_json_int!(
+    i8 => Int as i64,
+    i16 => Int as i64,
+    i32 => Int as i64,
+    i64 => Int as i64,
+    u8 => UInt as u64,
+    u16 => UInt as u64,
+    u32 => UInt as u64,
+    u64 => UInt as u64,
+    usize => UInt as u64,
+);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for &[T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        self.as_ref().map_or(Json::Null, ToJson::to_json)
+    }
+}
+
+macro_rules! impl_to_json_tuple {
+    ($(($($t:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($t: ToJson),+> ToJson for ($($t,)+) {
+            fn to_json(&self) -> Json {
+                Json::Arr(vec![$(self.$idx.to_json()),+])
+            }
+        }
+    )+};
+}
+
+impl_to_json_tuple!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+/// Serializes a slice of rows as newline-delimited JSON (one object per
+/// line) — the interchange format of the regenerator binaries.
+pub fn to_json_lines<T: ToJson>(rows: &[T]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&row.to_json().dump());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_nests() {
+        let v = Json::obj([
+            ("name", "a\"b\\c\nd".to_json()),
+            ("xs", vec![1u32, 2, 3].to_json()),
+            ("pair", (1u32, 0.5f64).to_json()),
+            ("none", Option::<u32>::None.to_json()),
+        ]);
+        assert_eq!(
+            v.dump(),
+            r#"{"name":"a\"b\\c\nd","xs":[1,2,3],"pair":[1,0.5],"none":null}"#
+        );
+    }
+
+    #[test]
+    fn float_formatting_is_canonical() {
+        assert_eq!(Json::Float(0.0).dump(), "0.0");
+        assert_eq!(Json::Float(2.0).dump(), "2.0");
+        assert_eq!(Json::Float(-3.5).dump(), "-3.5");
+        assert_eq!(Json::Float(0.1).dump(), "0.1");
+        assert_eq!(Json::Float(f64::NAN).dump(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).dump(), "null");
+    }
+
+    #[test]
+    fn object_keys_keep_insertion_order() {
+        let v = Json::obj([("z", Json::Int(1)), ("a", Json::Int(2))]);
+        assert_eq!(v.dump(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn json_lines_one_row_per_line() {
+        let rows = vec![(1u32, 2u32), (3, 4)];
+        assert_eq!(to_json_lines(&rows), "[1,2]\n[3,4]\n");
+    }
+
+    #[test]
+    fn control_chars_use_unicode_escapes() {
+        assert_eq!(Json::Str("\u{1}".into()).dump(), "\"\\u0001\"");
+    }
+}

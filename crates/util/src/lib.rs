@@ -1,0 +1,34 @@
+//! # px-util — the zero-dependency substrate
+//!
+//! Everything the workspace previously pulled from the crates.io registry,
+//! reimplemented in-tree so the whole reproduction builds and tests fully
+//! offline (`cargo build --release --offline && cargo test -q --offline`):
+//!
+//! * [`rng`] — deterministic PRNGs behind an [`rng::Rng`] trait
+//!   (replaces `rand`): SplitMix64 seeding, xoshiro256** for the property
+//!   harness, and the exact xorshift64* stream the workload input
+//!   generators have always used.
+//! * [`prop`] — a minimal property-testing harness (replaces `proptest`):
+//!   seeded case generation, size ramping, shrinking-lite, and the
+//!   [`px_prop!`] macro.
+//! * [`par`] — a scoped-thread parallel map on `std::thread::scope`
+//!   (replaces `crossbeam::thread::scope` in the bench sweep harness).
+//! * [`json`] — a hand-rolled JSON value model and emitter with
+//!   deterministic float formatting (replaces `serde` for typed result
+//!   rows).
+//! * [`bench`] — a self-timing warmup + median-of-N bench harness with
+//!   JSON output (replaces `criterion`).
+//!
+//! Nothing in here depends on any other workspace crate, so every crate —
+//! including `px-isa` at the bottom of the graph — can use it from tests.
+
+pub mod bench;
+pub mod json;
+pub mod par;
+pub mod prop;
+pub mod rng;
+
+pub use json::{Json, ToJson};
+pub use par::par_map;
+pub use prop::{any_bool, any_i32, any_i64, any_u32, any_u8, just, vec_exact, vec_of, Strategy};
+pub use rng::{Rng, SplitMix64, XorShift64Star, Xoshiro256};

@@ -330,7 +330,11 @@ pub fn workload() -> Workload {
     let bugs = |tool: Tool, suffix: &'static str| {
         vec![
             BugSpec {
-                id: if suffix == "c" { "bc-1-ccured" } else { "bc-1-iwatcher" },
+                id: if suffix == "c" {
+                    "bc-1-ccured"
+                } else {
+                    "bc-1-iwatcher"
+                },
                 tool,
                 marker: "/*BUG:bc-1*/",
                 escape: EscapeClass::Helped,
@@ -338,7 +342,11 @@ pub fn workload() -> Workload {
                               on bc's more_arrays bug)",
             },
             BugSpec {
-                id: if suffix == "c" { "bc-2-ccured" } else { "bc-2-iwatcher" },
+                id: if suffix == "c" {
+                    "bc-2-ccured"
+                } else {
+                    "bc-2-iwatcher"
+                },
                 tool,
                 marker: "/*BUG:bc-2*/",
                 escape: EscapeClass::HotEntry,

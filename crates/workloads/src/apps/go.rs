@@ -254,14 +254,22 @@ pub fn workload() -> Workload {
     let mut bugs = Vec::new();
     for (tool, sfx) in [(Tool::Ccured, "ccured"), (Tool::Iwatcher, "iwatcher")] {
         bugs.push(BugSpec {
-            id: if sfx == "ccured" { "go-1-ccured" } else { "go-1-iwatcher" },
+            id: if sfx == "ccured" {
+                "go-1-ccured"
+            } else {
+                "go-1-iwatcher"
+            },
             tool,
             marker: "/*BUG:go-1*/",
             escape: EscapeClass::Helped,
             description: "capture handler clears capbuf[0..=16] — one past the end",
         });
         bugs.push(BugSpec {
-            id: if sfx == "ccured" { "go-2-ccured" } else { "go-2-iwatcher" },
+            id: if sfx == "ccured" {
+                "go-2-ccured"
+            } else {
+                "go-2-iwatcher"
+            },
             tool,
             marker: "/*BUG:go-2*/",
             escape: EscapeClass::NeedsSpecialInput,

@@ -179,7 +179,11 @@ pub fn buggy() -> Vec<Workload> {
 /// The three SPEC-style kernels used for overhead and latency measurements.
 #[must_use]
 pub fn spec_kernels() -> Vec<Workload> {
-    vec![spec::gzip::workload(), spec::vpr::workload(), spec::parser::workload()]
+    vec![
+        spec::gzip::workload(),
+        spec::vpr::workload(),
+        spec::parser::workload(),
+    ]
 }
 
 /// Every workload.
@@ -232,7 +236,11 @@ mod tests {
                 let compiled = w
                     .compile_for(tool)
                     .unwrap_or_else(|e| panic!("{} ({}): {e}", w.name, tool.name()));
-                assert!(compiled.program.code.len() > 50, "{} is non-trivial", w.name);
+                assert!(
+                    compiled.program.code.len() > 50,
+                    "{} is non-trivial",
+                    w.name
+                );
             }
         }
     }

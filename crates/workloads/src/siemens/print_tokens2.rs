@@ -363,7 +363,9 @@ pub(crate) fn general_input(seed: u64) -> Vec<u8> {
     let mut out = Vec::new();
     let mut depth = 0u32;
     let mut stmt = 0u32;
-    let words: &[&[u8]] = &[b"alpha", b"beta", b"cnt", b"fo", b"ifx", b"dox", b"val", b"tmp"];
+    let words: &[&[u8]] = &[
+        b"alpha", b"beta", b"cnt", b"fo", b"ifx", b"dox", b"val", b"tmp",
+    ];
     let kws: &[&[u8]] = &[b"if", b"do", b"for"];
     let tokens = g.range(50, 80);
     for _ in 0..tokens {

@@ -161,7 +161,9 @@ fn man_bug_needs_consistency_fixing() {
         let unfixed = run_standard(
             &compiled.program,
             &MachConfig::single_core(),
-            &w.px_config().with_fixes(false).with_max_instructions(BUDGET),
+            &w.px_config()
+                .with_fixes(false)
+                .with_max_instructions(BUDGET),
             io(&w, SEED),
         );
         let dets = report(&compiled, &unfixed.monitor, tool);
@@ -214,7 +216,9 @@ fn bc_hot_entry_bug_appears_with_higher_threshold() {
     let high = run_standard(
         &compiled.program,
         &MachConfig::single_core(),
-        &w.px_config().with_counter_threshold(15).with_max_instructions(BUDGET),
+        &w.px_config()
+            .with_counter_threshold(15)
+            .with_max_instructions(BUDGET),
         io(&w, SEED),
     );
     let dets = report(&compiled, &high.monitor, Tool::Ccured);
@@ -240,7 +244,9 @@ fn false_positive_sites_behave() {
             let r = run_standard(
                 &compiled.program,
                 &MachConfig::single_core(),
-                &w.px_config().with_fixes(fixes).with_max_instructions(BUDGET),
+                &w.px_config()
+                    .with_fixes(fixes)
+                    .with_max_instructions(BUDGET),
                 io(&w, SEED),
             );
             let dets = report(&compiled, &r.monitor, tool);

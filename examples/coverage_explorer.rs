@@ -8,7 +8,9 @@ use pathexpander::run_standard;
 use px_mach::{IoState, MachConfig};
 
 fn main() {
-    let app = std::env::args().nth(1).unwrap_or_else(|| "099.go".to_owned());
+    let app = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "099.go".to_owned());
     let Some(workload) = px_workloads::by_name(&app) else {
         eprintln!("unknown workload `{app}`; try one of:");
         for w in px_workloads::all() {
@@ -28,7 +30,10 @@ fn main() {
     );
 
     println!("\nMaxNTPathLength sweep (threshold = 5):");
-    println!("{:>10} {:>10} {:>10} {:>12} {:>22}", "length", "coverage", "spawns", "NT insns", "stop breakdown");
+    println!(
+        "{:>10} {:>10} {:>10} {:>12} {:>22}",
+        "length", "coverage", "spawns", "NT insns", "stop breakdown"
+    );
     for len in [10u32, 50, 100, 500, 1000, 5000] {
         let r = run_standard(
             &compiled.program,
@@ -53,7 +58,10 @@ fn main() {
         );
     }
 
-    println!("\nNTPathCounterThreshold sweep (length = {}):", workload.max_nt_path_len);
+    println!(
+        "\nNTPathCounterThreshold sweep (length = {}):",
+        workload.max_nt_path_len
+    );
     for threshold in [1u8, 2, 5, 10, 15] {
         let r = run_standard(
             &compiled.program,

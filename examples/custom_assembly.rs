@@ -49,7 +49,9 @@ fn main() {
         &program,
         &MachConfig::single_core(),
         // Threshold 1: explore each never-exercised edge exactly once.
-        &PxConfig::default().with_max_nt_path_len(50).with_counter_threshold(1),
+        &PxConfig::default()
+            .with_max_nt_path_len(50)
+            .with_counter_threshold(1),
         IoState::default(),
     );
 

@@ -18,7 +18,10 @@ fn main() {
     let workload = px_workloads::by_name("print_tokens2").expect("bundled workload");
     let compiled = workload.compile_for(Tool::Ccured).expect("compiles");
     let bug_line = workload.marker_line("/*BUG:pt2-v10*/");
-    println!("print_tokens2: {} lines of PXC, seeded Figure-1 bug on line {bug_line}", workload.loc());
+    println!(
+        "print_tokens2: {} lines of PXC, seeded Figure-1 bug on line {bug_line}",
+        workload.loc()
+    );
 
     // 2. A general input: identifiers, numbers, operators — no quotes.
     let input = workload.general_input(2026);
@@ -37,8 +40,14 @@ fn main() {
     );
     let detections = report(&compiled, &baseline.monitor, Tool::Ccured);
     println!("\nbaseline monitored run:");
-    println!("  exit: {:?}, {} instructions", baseline.exit, baseline.instructions);
-    println!("  bug detected: {}", detections.iter().any(|d| d.line == bug_line));
+    println!(
+        "  exit: {:?}, {} instructions",
+        baseline.exit, baseline.instructions
+    );
+    println!(
+        "  bug detected: {}",
+        detections.iter().any(|d| d.line == bug_line)
+    );
     println!(
         "  branch coverage: {:.1}%",
         baseline.coverage.branch_coverage(&compiled.program) * 100.0

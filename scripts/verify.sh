@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full offline verification gate — exactly what CI runs.
+#
+# The workspace is zero-dependency (every crate is an in-tree path crate),
+# so everything here must succeed with no network and no registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: OK"

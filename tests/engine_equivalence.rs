@@ -36,7 +36,11 @@ fn cmp_and_standard_find_the_same_workload_bugs() {
         );
         let ample_tp =
             classify(&report(&compiled, &ample.monitor, tool), &lines, false).true_positives();
-        assert_eq!(std_tp, ample_tp, "{}: engines agree with an ample queue", w.name);
+        assert_eq!(
+            std_tp, ample_tp,
+            "{}: engines agree with an ample queue",
+            w.name
+        );
 
         let capped = run_cmp(
             &compiled.program,

@@ -115,7 +115,10 @@ fn hidden_overflow_found_only_with_pathexpander() {
         IoState::new(b"1".to_vec(), 1),
     );
     let found = bound_failures(&px.monitor, true);
-    assert!(!found.is_empty(), "PathExpander exposes the buf[8] overflow");
+    assert!(
+        !found.is_empty(),
+        "PathExpander exposes the buf[8] overflow"
+    );
     // The reported site is the buggy line's bounds check.
     let site = compiled
         .sites
@@ -203,5 +206,8 @@ fn coverage_improves_on_compiled_programs() {
     );
     let taken = px.taken_coverage.branch_coverage(&compiled.program);
     let total = px.total_coverage.branch_coverage(&compiled.program);
-    assert!(total > taken, "NT-paths must add branch coverage ({taken} vs {total})");
+    assert!(
+        total > taken,
+        "NT-paths must add branch coverage ({taken} vs {total})"
+    );
 }

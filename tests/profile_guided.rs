@@ -59,10 +59,19 @@ fn refitting_removes_the_loose_guard_false_positive() {
     // 1. Boundary fixing: NT-paths into the cold `slot < 64` edge run with
     //    slot pinned to 63 and overrun the 16-entry table.
     let compiled = compile(src, &opts).unwrap();
-    let run = run_standard(&compiled.program, &MachConfig::single_core(), &px_cfg, input());
+    let run = run_standard(
+        &compiled.program,
+        &MachConfig::single_core(),
+        &px_cfg,
+        input(),
+    );
     let dets = report(&compiled, &run.monitor, Tool::Ccured);
     let before = classify(&dets, &[bug], true);
-    assert_eq!(before.true_positives(), 1, "the seeded bug is found with boundary fixing");
+    assert_eq!(
+        before.true_positives(),
+        1,
+        "the seeded bug is found with boundary fixing"
+    );
     assert!(
         before.false_positives() >= 1,
         "boundary fixing leaves the loose-guard false positive: {dets:?}"
@@ -79,10 +88,19 @@ fn refitting_removes_the_loose_guard_false_positive() {
     let patched = refit_fixes(&mut refitted, &profile);
     assert!(patched > 0, "some fix values moved into observed ranges");
 
-    let run = run_standard(&refitted.program, &MachConfig::single_core(), &px_cfg, input());
+    let run = run_standard(
+        &refitted.program,
+        &MachConfig::single_core(),
+        &px_cfg,
+        input(),
+    );
     let dets = report(&refitted, &run.monitor, Tool::Ccured);
     let after = classify(&dets, &[bug], true);
-    assert_eq!(after.true_positives(), 1, "the seeded bug survives refitting");
+    assert_eq!(
+        after.true_positives(),
+        1,
+        "the seeded bug survives refitting"
+    );
     assert!(
         after.false_positives() < before.false_positives(),
         "refitting prunes the loose-guard false positive ({} -> {})",

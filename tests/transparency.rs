@@ -20,12 +20,8 @@ fn every_engine_and_option_is_transparent_on_every_workload() {
             let compiled = w.compile_for(tool).expect("compiles");
             for seed in [3u64, 99] {
                 let io = || IoState::new(w.general_input(seed), seed);
-                let base = run_baseline(
-                    &compiled.program,
-                    &MachConfig::single_core(),
-                    io(),
-                    BUDGET,
-                );
+                let base =
+                    run_baseline(&compiled.program, &MachConfig::single_core(), io(), BUDGET);
                 let expected = signature(base.exit, &base.io.output_string());
 
                 let configs: Vec<(&str, PxConfig)> = vec![
