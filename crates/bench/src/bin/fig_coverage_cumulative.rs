@@ -1,15 +1,41 @@
 //! Regenerates the cumulative-coverage experiment over 50 random inputs per
 //! application (experiment E7).
 
-use px_bench::experiments::coverage::{coverage_cumulative, cumulative_improvement};
+use px_bench::experiments::coverage::{coverage_cumulative_with_budget, cumulative_improvement};
 use px_bench::fmt::{pct, render_table};
 use px_util::json::to_json_lines;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let inputs = args.iter().find_map(|a| a.parse().ok()).unwrap_or(50);
-    let rows = coverage_cumulative(inputs);
+    let mut budget = px_bench::experiments::BUDGET;
+    let mut inputs = 50usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => i += 1,
+            "--budget" => {
+                let value = args.get(i + 1).and_then(|a| a.parse::<u64>().ok());
+                let Some(value) = value else {
+                    eprintln!("error: --budget expects an instruction count");
+                    std::process::exit(2);
+                };
+                budget = value.max(1);
+                i += 2;
+            }
+            other => {
+                if let Ok(n) = other.parse() {
+                    inputs = n;
+                } else {
+                    eprintln!("error: unknown argument {other:?}");
+                    eprintln!("usage: fig_coverage_cumulative [INPUTS] [--budget N] [--json]");
+                    std::process::exit(2);
+                }
+                i += 1;
+            }
+        }
+    }
+    let rows = coverage_cumulative_with_budget(inputs, budget);
     if json {
         // One row object per line; byte-deterministic for a fixed seed
         // (pinned by the determinism regression test).

@@ -89,6 +89,18 @@ pub fn coverage_averages(rows: &[CoverageRow]) -> (f64, f64) {
 /// processed in parallel.
 #[must_use]
 pub fn coverage_cumulative(inputs: usize) -> Vec<CumulativeRow> {
+    coverage_cumulative_with_budget(inputs, super::BUDGET)
+}
+
+/// [`coverage_cumulative`] with an explicit per-run instruction budget.
+///
+/// A budget small enough to stop a run mid-NT-path still yields
+/// byte-identical rows across runs: the engine squashes the live path
+/// deterministically before reporting [`px_mach::RunExit::BudgetExhausted`],
+/// so truncation never depends on scheduling (pinned by the determinism
+/// regression test).
+#[must_use]
+pub fn coverage_cumulative_with_budget(inputs: usize, budget: u64) -> Vec<CumulativeRow> {
     par_map(&buggy(), |w| {
         let tool = primary_tool(w);
         let compiled = compile(w, tool);
@@ -96,7 +108,9 @@ pub fn coverage_cumulative(inputs: usize) -> Vec<CumulativeRow> {
         let mut cum_px = Coverage::for_program(&compiled.program);
         let mut curve = Vec::new();
         for k in 0..inputs {
-            let r = run_px(w, &compiled, SEED + k as u64, |c| c);
+            let r = run_px(w, &compiled, SEED + k as u64, |c| {
+                c.with_max_instructions(budget)
+            });
             cum_base.merge(&r.taken_coverage);
             cum_px.merge(&r.total_coverage);
             if (k + 1) % 10 == 0 || k + 1 == inputs || k == 0 {

@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod coverage;
+pub mod fault;
 pub mod fig3;
 pub mod overhead;
 pub mod sensitivity;
@@ -9,6 +10,7 @@ pub mod tables;
 
 pub use ablations::{ablation_nt_from_nt, ablation_sandbox};
 pub use coverage::coverage;
+pub use fault::{run_campaign, run_case, CampaignSummary, FaultCase};
 pub use fig3::fig3;
 pub use overhead::overhead;
 pub use sensitivity::sensitivity;

@@ -10,6 +10,7 @@ pub mod experiments;
 pub mod fmt;
 
 pub use experiments::{
-    ablation_nt_from_nt, ablation_sandbox, coverage, fig3, overhead, sensitivity, table3, table4,
-    table5,
+    ablation_nt_from_nt, ablation_sandbox, coverage,
+    fault::{run_campaign, run_case},
+    fig3, overhead, sensitivity, table3, table4, table5,
 };

@@ -4,7 +4,7 @@
 //! per-application work is farmed out to scoped threads whose scheduling
 //! varies run to run.
 
-use px_bench::experiments::coverage::coverage_cumulative;
+use px_bench::experiments::coverage::{coverage_cumulative, coverage_cumulative_with_budget};
 use px_util::json::to_json_lines;
 
 #[test]
@@ -31,4 +31,47 @@ fn cumulative_coverage_rows_are_byte_identical_across_runs() {
         .map(|w| w.name.to_owned())
         .collect();
     assert_eq!(apps, expected, "rows keep the canonical workload order");
+}
+
+/// A tight instruction budget truncates runs mid-flight — often while an
+/// NT-path is live, forcing the engine's squash-before-budget-exhausted
+/// path — yet the rows must stay byte-identical across runs.
+#[test]
+fn budget_truncated_rows_are_byte_identical_across_runs() {
+    const TIGHT: u64 = 4_000;
+
+    // First prove the tight budget really truncates: at least one workload
+    // hits BudgetExhausted, and at least one live NT-path is cut short at
+    // the budget boundary (rather than completing naturally).
+    let mut exhausted = 0usize;
+    let mut cut_short = 0usize;
+    for w in &px_workloads::buggy() {
+        let tool = w.tools[0];
+        let compiled = w.compile_for(tool).expect("workload compiles");
+        let px = w.px_config().with_max_instructions(TIGHT);
+        let mach = match px.mode {
+            pathexpander::Mode::Standard => px_mach::MachConfig::single_core(),
+            pathexpander::Mode::Cmp => px_mach::MachConfig::default(),
+        };
+        let io = px_mach::IoState::new(w.general_input(12345), 12345);
+        let r = pathexpander::run(&compiled.program, &mach, &px, io);
+        if matches!(r.exit, px_mach::RunExit::BudgetExhausted) {
+            exhausted += 1;
+            cut_short += r.stats.stops_of("cut-short");
+        }
+    }
+    assert!(exhausted > 0, "a {TIGHT}-instruction budget must truncate");
+    assert!(
+        cut_short > 0,
+        "at least one NT-path must be live at the budget boundary"
+    );
+
+    // Truncation mid-NT-path must not introduce any run-to-run divergence.
+    let first = to_json_lines(&coverage_cumulative_with_budget(3, TIGHT));
+    let second = to_json_lines(&coverage_cumulative_with_budget(3, TIGHT));
+    assert!(!first.is_empty());
+    assert_eq!(
+        first, second,
+        "budget-truncated runs must reproduce byte-identical JSON rows"
+    );
 }

@@ -1,0 +1,107 @@
+//! Property tests on the fault-injection campaign: for any seed and mix,
+//! every engine survives injection without a panic, the sandbox contains
+//! every PathExpander case, and campaigns replay byte-identically.
+//!
+//! Runs on the in-tree `px_util` property harness (`px_prop!`).
+
+use px_bench::experiments::fault::{run_campaign, run_case, ENGINES};
+use px_isa::asm::assemble;
+use px_mach::{FaultKind, FaultMix, FaultPlan, IoState, MachConfig, RunExit, FAULT_KINDS};
+use px_util::prop::{vec_of, Strategy};
+use px_util::{px_prop, ToJson};
+
+fn arb_kind() -> impl Strategy<Value = usize> + Clone + 'static {
+    0usize..FAULT_KINDS.len()
+}
+
+px_prop! {
+    cases = 12;
+    fn any_seed_any_mix_is_contained(
+        seed in 0u64..1_000_000,
+        kind in arb_kind(),
+    ) {
+        // A focused mix stresses one fault kind at a time; every case of a
+        // small campaign must stay contained and panic-free.
+        let mix = FaultMix::only(FAULT_KINDS[kind]);
+        let summary = run_campaign(seed, 8, &mix);
+        assert!(
+            summary.all_contained(),
+            "seed {seed} kind {:?}: {:?}",
+            FAULT_KINDS[kind],
+            summary.violating
+        );
+    }
+}
+
+px_prop! {
+    cases = 8;
+    fn campaigns_replay_byte_identically(seed in 0u64..u64::MAX) {
+        let mix = FaultMix::uniform();
+        let a = run_campaign(seed, 6, &mix).to_json().dump();
+        let b = run_campaign(seed, 6, &mix).to_json().dump();
+        assert_eq!(a, b, "campaign for seed {seed} is not replayable");
+    }
+}
+
+px_prop! {
+    cases = 16;
+    fn every_case_is_individually_replayable(
+        seed in 0u64..u64::MAX,
+        id in 0u64..64,
+    ) {
+        let mix = FaultMix::uniform();
+        let a = run_case(seed, id, &mix);
+        let b = run_case(seed, id, &mix);
+        assert_eq!(a.fault_seed, b.fault_seed);
+        assert_eq!(a.exit, b.exit);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.engine, ENGINES[(id % 4) as usize]);
+    }
+}
+
+px_prop! {
+    cases = 24;
+    fn garbage_programs_never_panic_any_engine(
+        bytes in vec_of(0u32..256, 8..200),
+        seed in 0u64..u64::MAX,
+    ) {
+        // Decode random byte soup into whatever instructions fall out
+        // (wild branch targets, loads at unmapped addresses, stray
+        // predicated ops) and run it through the baseline interpreter under
+        // fault injection: the only acceptable outcomes are a clean exit,
+        // an architectural crash, a budget stop, or a typed engine fault —
+        // never a panic.
+        let raw: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let mut code = Vec::new();
+        for chunk in raw.chunks_exact(px_isa::ENCODED_LEN) {
+            let arr: [u8; px_isa::ENCODED_LEN] = chunk.try_into().unwrap();
+            if let Ok(insn) = px_isa::decode(&arr) {
+                code.push(insn);
+            }
+        }
+        let mut program = assemble(".code\nmain: nop\nexit\n").unwrap();
+        program.code.splice(0..0, code);
+        let mach = MachConfig::single_core();
+        let mut plan = FaultPlan::uniform(seed, 2);
+        let io = IoState::new(Vec::new(), seed);
+        let r = px_mach::run_baseline_with(&program, &mach, io, 5_000, Some(&mut plan));
+        match r.exit {
+            RunExit::Exited(_)
+            | RunExit::Crashed(_)
+            | RunExit::BudgetExhausted
+            | RunExit::EngineFault(_) => {}
+        }
+    }
+}
+
+px_prop! {
+    cases = 6;
+    fn crash_only_mix_still_commits_clean_state(seed in 0u64..u64::MAX) {
+        // Forced crashes inside NT-paths are the harshest containment test:
+        // the committed run must still match the fault-free baseline.
+        let mix = FaultMix::only(FaultKind::Crash);
+        let summary = run_campaign(seed, 8, &mix);
+        assert!(summary.all_contained(), "{:?}", summary.violating);
+    }
+}

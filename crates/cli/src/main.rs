@@ -134,22 +134,39 @@ fn execute(
     with_px: bool,
 ) -> Result<ExitCode, String> {
     let tool = opts.tool.unwrap_or(Tool::Assertions);
+    let mut plan = opts.fault_plan();
     if !with_px {
-        let r = px_mach::run_baseline(
+        let r = px_mach::run_baseline_with(
             &compiled.program,
             &MachConfig::single_core(),
             io,
             opts.px.max_instructions,
+            plan.as_mut().map(|p| p as &mut dyn px_mach::FaultHook),
         );
         report::print_baseline(compiled, &r, tool, opts);
+        if let Some(plan) = &plan {
+            println!("faults:       {} injected", plan.stats.total());
+        }
         return Ok(exit_code(matches!(r.exit, px_mach::RunExit::Exited(0))));
     }
     let mach = match opts.px.mode {
         Mode::Standard => MachConfig::single_core(),
         Mode::Cmp => MachConfig::default(),
     };
-    let r = pathexpander::run(&compiled.program, &mach, &opts.px, io);
+    let r = pathexpander::run_with(
+        &compiled.program,
+        &mach,
+        &opts.px,
+        io,
+        plan.as_mut().map(|p| p as &mut dyn px_mach::FaultHook),
+    );
     report::print_px(compiled, &r, tool, opts);
+    if plan.is_some() {
+        println!(
+            "faults:       {} injected into NT-paths (committed state unaffected)",
+            r.stats.faults_injected
+        );
+    }
     Ok(exit_code(matches!(r.exit, px_mach::RunExit::Exited(0))))
 }
 

@@ -2,7 +2,7 @@
 
 use pathexpander::PxConfig;
 use px_detect::Tool;
-use px_mach::IoState;
+use px_mach::{FaultMix, FaultPlan, IoState};
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -32,6 +32,11 @@ OPTIONS:
     --input-text <string>                program stdin from the argument
     --seed <n>                           input/rand seed (default 1)
     --budget <n>                         instruction budget (default 100M)
+    --fault-seed <n>                     inject NT-path faults from this seed
+    --fault-mix <spec>                   fault kinds to inject, e.g.
+                                         bitflip,crash=3 (implies injection)
+    --fault-rate <n>                     inject roughly 1-in-n NT steps
+                                         (default 4)
     --disasm                             (build) print the disassembly
     --annotate                           (run) print coverage-annotated
                                          disassembly: [T./N] per branch edge
@@ -62,6 +67,12 @@ pub struct Options {
     pub verbose: bool,
     pub refit: bool,
     pub annotate: bool,
+    /// Seed for NT-path fault injection (enables injection when set).
+    pub fault_seed: Option<u64>,
+    /// Fault kinds to inject (enables injection when set).
+    pub fault_mix: Option<FaultMix>,
+    /// Inject roughly one fault every `fault_rate` NT steps.
+    pub fault_rate: u32,
     /// Known bug lines (set by `bench` from the workload manifest).
     pub bug_lines: Vec<u32>,
 }
@@ -103,6 +114,9 @@ impl Options {
             verbose: false,
             refit: false,
             annotate: false,
+            fault_seed: None,
+            fault_mix: None,
+            fault_rate: 4,
             bug_lines: Vec::new(),
         };
 
@@ -148,10 +162,30 @@ impl Options {
                 }
                 "--input" => opts.input_file = Some(value("--input")?),
                 "--input-text" => opts.input_text = Some(value("--input-text")?),
-                "--seed" => opts.seed = u64::from(parse_num(&value("--seed")?)?),
+                "--seed" => opts.seed = parse_u64("--seed", &value("--seed")?)?,
                 "--budget" => {
-                    let n: u32 = parse_num(&value("--budget")?)?;
-                    opts.px = opts.px.clone().with_max_instructions(u64::from(n));
+                    let n = parse_u64("--budget", &value("--budget")?)?;
+                    if n == 0 {
+                        return Err("`--budget` must be at least 1 instruction".to_owned());
+                    }
+                    opts.px = opts.px.clone().with_max_instructions(n);
+                }
+                "--fault-seed" => {
+                    opts.fault_seed = Some(parse_u64("--fault-seed", &value("--fault-seed")?)?);
+                }
+                "--fault-mix" => {
+                    let spec = value("--fault-mix")?;
+                    opts.fault_mix =
+                        Some(FaultMix::parse(&spec).map_err(|e| format!("`--fault-mix`: {e}"))?);
+                }
+                "--fault-rate" => {
+                    let n: u32 = parse_num(&value("--fault-rate")?)?;
+                    if n == 0 {
+                        return Err(
+                            "`--fault-rate` must be at least 1 (one fault per NT step)".to_owned()
+                        );
+                    }
+                    opts.fault_rate = n;
                 }
                 "--disasm" => opts.disasm = true,
                 "--verbose" => opts.verbose = true,
@@ -161,6 +195,20 @@ impl Options {
             }
         }
         Ok(opts)
+    }
+
+    /// Builds the run's fault-injection plan, if any fault flag was given.
+    ///
+    /// `--fault-mix` alone injects with the run seed; `--fault-seed` alone
+    /// injects a uniform mix.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        if self.fault_seed.is_none() && self.fault_mix.is_none() {
+            return None;
+        }
+        let seed = self.fault_seed.unwrap_or(self.seed);
+        let mix = self.fault_mix.clone().unwrap_or_else(FaultMix::uniform);
+        Some(FaultPlan::new(seed, mix, self.fault_rate))
     }
 
     /// Builds the program's input state.
@@ -184,6 +232,12 @@ fn parse_num(s: &str) -> Result<u32, String> {
     s.replace('_', "")
         .parse()
         .map_err(|_| format!("`{s}` is not a number"))
+}
+
+fn parse_u64(flag: &str, s: &str) -> Result<u64, String> {
+    s.replace('_', "")
+        .parse()
+        .map_err(|_| format!("`{flag}` expects an unsigned integer, got `{s}`"))
 }
 
 #[cfg(test)]
@@ -250,6 +304,40 @@ mod tests {
         assert!(parse(&["run", "x", "--threshold"]).is_err());
         assert!(parse(&["run", "x", "--seed", "abc"]).is_err());
         assert!(parse(&["run", "x", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn seeds_accept_full_u64_range() {
+        let o = parse(&["run", "x", "--seed", "18446744073709551615"]).unwrap();
+        assert_eq!(o.seed, u64::MAX);
+        let e = parse(&["run", "x", "--seed", "-1"]).unwrap_err();
+        assert!(e.contains("--seed") && e.contains("-1"), "{e}");
+    }
+
+    #[test]
+    fn fault_flags_build_a_plan() {
+        assert!(parse(&["run", "x"]).unwrap().fault_plan().is_none());
+        let o = parse(&["run", "x", "--fault-seed", "9"]).unwrap();
+        assert_eq!(o.fault_seed, Some(9));
+        assert!(o.fault_plan().is_some(), "--fault-seed alone injects");
+        let o = parse(&["run", "x", "--fault-mix", "crash=2,bitflip"]).unwrap();
+        assert!(o.fault_plan().is_some(), "--fault-mix alone injects");
+        assert_eq!(o.fault_rate, 4);
+        let o = parse(&["run", "x", "--fault-seed", "1", "--fault-rate", "2"]).unwrap();
+        assert_eq!(o.fault_rate, 2);
+    }
+
+    #[test]
+    fn bad_fault_flags_give_helpful_errors() {
+        let e = parse(&["run", "x", "--fault-mix", "gremlins"]).unwrap_err();
+        assert!(e.contains("--fault-mix") && e.contains("gremlins"), "{e}");
+        let e = parse(&["run", "x", "--fault-mix", "crash=zero"]).unwrap_err();
+        assert!(e.contains("--fault-mix"), "{e}");
+        let e = parse(&["run", "x", "--fault-rate", "0"]).unwrap_err();
+        assert!(e.contains("--fault-rate"), "{e}");
+        let e = parse(&["run", "x", "--fault-seed", "soon"]).unwrap_err();
+        assert!(e.contains("--fault-seed") && e.contains("soon"), "{e}");
+        assert!(parse(&["run", "x", "--budget", "0"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! End-to-end tests of `pxc`'s fault-injection and validation flags,
+//! driving the real binary (no network, no external crates).
+
+use std::process::Command;
+
+fn pxc(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_pxc"))
+        .args(args)
+        .output()
+        .expect("pxc runs")
+}
+
+fn stderr_of(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn bad_fault_mix_is_a_usage_error_with_the_offending_spec() {
+    let out = pxc(&["run", "nowhere.pxs", "--fault-mix", "gremlins"]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("--fault-mix") && err.contains("gremlins"),
+        "stderr names the flag and the bad value: {err}"
+    );
+}
+
+#[test]
+fn bad_seed_is_a_usage_error_naming_the_flag() {
+    let out = pxc(&["run", "nowhere.pxs", "--seed", "tuesday"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("--seed") && err.contains("tuesday"),
+        "stderr names the flag and the bad value: {err}"
+    );
+}
+
+#[test]
+fn zero_fault_rate_is_rejected() {
+    let out = pxc(&["run", "nowhere.pxs", "--fault-rate", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("--fault-rate"));
+}
+
+#[test]
+fn injected_run_still_exits_cleanly() {
+    // A program with an NT-heavy branch: injection lands in the NT-path,
+    // the committed run is unaffected, and pxc reports the fault count.
+    let src = r"
+        .code
+        main:
+            li r1, 1
+            li r4, 30
+        loop:
+            bne r1, zero, ok
+            addi r8, r8, 1
+        ok:
+            subi r4, r4, 1
+            bgt r4, zero, loop
+            li r2, 0
+            exit
+    ";
+    let dir = std::env::temp_dir().join("pxc-fault-flags-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("nt.pxs");
+    std::fs::write(&path, src).unwrap();
+
+    let out = pxc(&[
+        "run",
+        path.to_str().unwrap(),
+        "--fault-seed",
+        "7",
+        "--fault-mix",
+        "crash=2,bitflip",
+        "--fault-rate",
+        "2",
+        "--threshold",
+        "1",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "faulted NT-paths must not affect the committed exit\nstdout: {stdout}\nstderr: {}",
+        stderr_of(&out)
+    );
+    assert!(
+        stdout.contains("injected into NT-paths"),
+        "fault summary line present: {stdout}"
+    );
+}

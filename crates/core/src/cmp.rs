@@ -24,12 +24,13 @@
 
 use px_isa::{Program, SyscallCode, Width};
 use px_mach::{
-    Btb, Checkpoint, CoreState, Coverage, Edge, Hierarchy, IoState, MachConfig, MemView, Memory,
-    MonitorArea, MonitorRecord, PathKind, RecordKind, RunExit, Sandbox, SandboxView, StepEnv,
-    StepEvent, WatchTable, COMMITTED,
+    Btb, Checkpoint, CoreState, Coverage, Edge, FaultHook, Hierarchy, IoState, MachConfig, MemView,
+    Memory, MonitorArea, MonitorRecord, PathKind, RecordKind, RunExit, Sandbox, SandboxView,
+    SimError, StepEnv, StepEvent, WatchTable, COMMITTED, MAX_MEM_BYTES,
 };
 
 use crate::config::PxConfig;
+use crate::inject::{apply_deferred, CountingHook};
 use crate::stats::{NtPathRecord, NtStop, PxRunResult, PxStats};
 
 /// Version tag for the primary core's speculative taken-path segment lines.
@@ -77,20 +78,57 @@ impl MemView for PrimaryView<'_> {
 
 /// Runs `program` under the CMP-optimized PathExpander.
 ///
-/// # Panics
-///
-/// Panics if `mach.cores < 2` — the CMP option needs at least one idle core.
+/// A machine with fewer than 2 cores (the CMP option needs at least one idle
+/// core), a bad geometry, or a malformed program surfaces as
+/// [`RunExit::EngineFault`].
 #[must_use]
 pub fn run_cmp(program: &Program, mach: &MachConfig, px: &PxConfig, io: IoState) -> PxRunResult {
-    assert!(
-        mach.cores >= 2,
-        "the CMP optimization needs at least 2 cores"
-    );
+    run_cmp_with(program, mach, px, io, None)
+}
 
+/// [`run_cmp`] with an optional fault injector; the hook is consulted only
+/// for NT-path steps, so every fault lands in some path's sandbox and the
+/// primary core's committed state stays bit-identical to a plain baseline.
+#[must_use]
+pub fn run_cmp_with(
+    program: &Program,
+    mach: &MachConfig,
+    px: &PxConfig,
+    io: IoState,
+    fault: Option<&mut dyn FaultHook>,
+) -> PxRunResult {
+    let fail = |e: SimError, io: IoState| PxRunResult {
+        exit: RunExit::EngineFault(e),
+        cycles: 0,
+        taken_coverage: Coverage::for_program(program),
+        total_coverage: Coverage::for_program(program),
+        monitor: MonitorArea::new(),
+        io,
+        memory: Memory::new(0),
+        core: CoreState::default(),
+        stats: PxStats::default(),
+    };
+    if mach.cores < 2 {
+        return fail(SimError::NeedsTwoCores, io);
+    }
+    if let Err(e) = mach.validate() {
+        return fail(e, io);
+    }
+    if program.mem_size > MAX_MEM_BYTES {
+        return fail(
+            SimError::ProgramTooLarge {
+                mem_size: program.mem_size,
+            },
+            io,
+        );
+    }
     let mut memory = Memory::new(mach.mem_size.max(program.mem_size));
     for item in &program.data {
-        memory.load_blob(item.addr, &item.bytes);
+        if let Err(e) = memory.try_load_blob(item.addr, &item.bytes) {
+            return fail(e, io);
+        }
     }
+    let mut fault = fault.map(|inner| CountingHook { inner, fired: 0 });
     let mut primary = CoreState::at_entry(program.entry, memory.size());
     let mut caches = Hierarchy::new(mach);
     let mut btb = Btb::new(mach.btb_entries, mach.btb_assoc);
@@ -154,6 +192,9 @@ pub fn run_cmp(program: &Program, mach: &MachConfig, px: &PxConfig, io: IoState)
                 suppress_syscalls: false,
                 now_cycles: ready[0],
                 costs: &mach.costs,
+                // The primary core is the containment reference: never
+                // inject into it.
+                fault: None,
             };
             let s = {
                 let live: Vec<&mut Sandbox> = paths.iter_mut().map(|p| &mut p.sandbox).collect();
@@ -291,7 +332,11 @@ pub fn run_cmp(program: &Program, mach: &MachConfig, px: &PxConfig, io: IoState)
                 }),
                 StepEvent::Exit { code } => primary_done = Some(RunExit::Exited(code)),
                 StepEvent::Crash { kind, .. } => primary_done = Some(RunExit::Crashed(kind)),
-                StepEvent::UnsafeEvent { .. } => unreachable!("primary never suppresses"),
+                StepEvent::UnsafeEvent { .. } => {
+                    primary_done = Some(RunExit::EngineFault(SimError::Invariant(
+                        "primary never suppresses system calls",
+                    )));
+                }
                 StepEvent::Syscall { .. } | StepEvent::None => {}
             }
 
@@ -302,13 +347,16 @@ pub fn run_cmp(program: &Program, mach: &MachConfig, px: &PxConfig, io: IoState)
             }
         } else {
             // ---- NT-path step on core `who` ----
-            let idx = paths
-                .iter()
-                .position(|p| p.core == Some(who))
-                .expect("busy core must host a path");
+            let Some(idx) = paths.iter().position(|p| p.core == Some(who)) else {
+                primary_done = Some(RunExit::EngineFault(SimError::Invariant(
+                    "busy core must host a path",
+                )));
+                continue 'event_loop;
+            };
             let (stop, cost) = step_nt_path(
                 program,
                 &mut paths[idx],
+                who,
                 &memory,
                 &mut caches,
                 &mut monitor,
@@ -318,6 +366,7 @@ pub fn run_cmp(program: &Program, mach: &MachConfig, px: &PxConfig, io: IoState)
                 px,
                 mach,
                 ready[who],
+                fault.as_mut().map(|h| h as &mut dyn FaultHook),
             );
             ready[who] += u64::from(cost);
             stats.nt_instructions += 1;
@@ -330,7 +379,12 @@ pub fn run_cmp(program: &Program, mach: &MachConfig, px: &PxConfig, io: IoState)
         }
     }
 
-    let exit = primary_done.expect("loop exits only when done");
+    let exit = primary_done.unwrap_or(RunExit::EngineFault(SimError::Invariant(
+        "loop exits only when done",
+    )));
+    if let Some(h) = &fault {
+        stats.faults_injected = h.fired;
+    }
     let mut total_coverage = taken_cov.clone();
     total_coverage.merge(&nt_cov);
     PxRunResult {
@@ -340,6 +394,8 @@ pub fn run_cmp(program: &Program, mach: &MachConfig, px: &PxConfig, io: IoState)
         total_coverage,
         monitor,
         io,
+        memory,
+        core: primary,
         stats,
     }
 }
@@ -388,6 +444,7 @@ fn finish_path(path: &mut NtPath, stop: NtStop, caches: &mut Hierarchy, stats: &
 fn step_nt_path(
     program: &Program,
     path: &mut NtPath,
+    core: usize,
     memory: &Memory,
     caches: &mut Hierarchy,
     monitor: &mut MonitorArea,
@@ -397,8 +454,8 @@ fn step_nt_path(
     px: &PxConfig,
     mach: &MachConfig,
     now: u64,
+    fault: Option<&mut dyn FaultHook>,
 ) -> (Option<NtStop>, u32) {
-    let core = path.core.expect("only running paths step");
     // NT-paths get a throwaway watch view (mutations must not leak); under
     // the OS-sandbox extension their system calls run against the path's
     // I/O snapshot instead of stopping the path.
@@ -409,12 +466,27 @@ fn step_nt_path(
         suppress_syscalls: !px.os_sandbox_unsafe,
         now_cycles: now,
         costs: &mach.costs,
+        fault,
     };
     let s = {
         let mut view = SandboxView::new(memory, &mut path.sandbox);
         px_mach::step(program, &mut path.state, &mut view, &mut env)
     };
     let mut cost = s.base_cost;
+    if let Some(action) = s.deferred {
+        apply_deferred(
+            action,
+            caches,
+            core,
+            path.id,
+            monitor,
+            now,
+            PathKind::NtPath {
+                spawn_pc: path.spawn_pc,
+            },
+            path.state.pc,
+        );
+    }
     let mut overflow = false;
     if let Some(access) = s.access {
         if access.write {
@@ -505,6 +577,8 @@ fn step_nt_path(
     let stop = stop.or({
         if overflow {
             Some(NtStop::SandboxOverflow)
+        } else if u64::from(path.executed) >= px.nt_watchdog {
+            Some(NtStop::Watchdog)
         } else if path.executed >= px.max_nt_path_len {
             Some(NtStop::MaxLength)
         } else {
@@ -800,6 +874,63 @@ mod tests {
         );
         assert!(os.io.output().is_empty(), "sandboxed putc must not leak");
         assert!(os.stats.nt_syscalls_sandboxed >= 1);
+    }
+
+    #[test]
+    fn one_core_machine_is_an_engine_fault_not_a_panic() {
+        let program = assemble(HIDDEN_BUG).unwrap();
+        let r = run_cmp(
+            &program,
+            &MachConfig::single_core(),
+            &PxConfig::default().cmp(),
+            IoState::default(),
+        );
+        assert_eq!(r.exit, RunExit::EngineFault(SimError::NeedsTwoCores));
+    }
+
+    #[test]
+    fn cmp_watchdog_cuts_runaway_paths() {
+        let src = r"
+            .code
+            main:
+                li r1, 1
+                bne r1, zero, ok
+            spin:
+                jmp spin
+            ok:
+                li r4, 500
+            loop:
+                subi r4, r4, 1
+                bgt r4, zero, loop
+                li r2, 0
+                exit
+            ";
+        let px = PxConfig::default()
+            .cmp()
+            .with_max_nt_path_len(1_000_000)
+            .with_nt_watchdog(40);
+        let r = run(src, &px);
+        assert_eq!(r.exit, RunExit::Exited(0));
+        assert!(r.stats.stops_of("watchdog") >= 1);
+    }
+
+    #[test]
+    fn cmp_injected_faults_never_panic_or_leak() {
+        use px_mach::{FaultMix, FaultPlan};
+        let program = assemble(HIDDEN_BUG).unwrap();
+        let clean = run(HIDDEN_BUG, &PxConfig::default().cmp());
+        for seed in 0..8u64 {
+            let mut plan = FaultPlan::new(seed, FaultMix::uniform(), 2);
+            let r = run_cmp_with(
+                &program,
+                &MachConfig::default(),
+                &PxConfig::default().cmp(),
+                IoState::default(),
+                Some(&mut plan),
+            );
+            assert_eq!(r.exit, clean.exit, "seed {seed}");
+            assert_eq!(r.io.output(), clean.io.output(), "seed {seed}");
+        }
     }
 
     #[test]

@@ -53,6 +53,12 @@ pub struct PxConfig {
     /// Safety valve: stop the whole run after this many retired instructions
     /// (taken + NT).
     pub max_instructions: u64,
+    /// Watchdog: squash any single NT-path spawn cascade after this many
+    /// retired instructions regardless of `max_nt_path_len`. A
+    /// belt-and-braces bound — with fault injection, redirect faults can
+    /// turn a short path into a runaway loop; the watchdog guarantees the
+    /// taken path always regains the core.
+    pub nt_watchdog: u64,
 }
 
 impl Default for PxConfig {
@@ -68,6 +74,7 @@ impl Default for PxConfig {
             os_sandbox_unsafe: false,
             random_factor: None,
             max_instructions: 500_000_000,
+            nt_watchdog: 1_000_000,
         }
     }
 }
@@ -151,6 +158,13 @@ impl PxConfig {
     #[must_use]
     pub fn with_max_instructions(mut self, n: u64) -> PxConfig {
         self.max_instructions = n;
+        self
+    }
+
+    /// Sets the per-cascade NT watchdog (clamped to at least 1).
+    #[must_use]
+    pub fn with_nt_watchdog(mut self, n: u64) -> PxConfig {
+        self.nt_watchdog = n.max(1);
         self
     }
 }

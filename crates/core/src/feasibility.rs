@@ -8,10 +8,10 @@
 //! executed without applying any variable-fixing techniques."
 
 use px_isa::Program;
-use px_mach::{IoState, MachConfig};
+use px_mach::{FaultHook, IoState, MachConfig};
 
 use crate::config::PxConfig;
-use crate::standard::run_standard;
+use crate::standard::{run_standard, run_standard_with};
 use crate::stats::{NtStop, PxStats};
 
 /// Result of the feasibility measurement for one application.
@@ -94,6 +94,28 @@ pub fn measure_latency(
         .with_counter_reset_interval(u64::MAX)
         .with_max_instructions(max_instructions);
     let result = run_standard(program, mach, &px, io);
+    profile_from_stats(&result.stats, threshold)
+}
+
+/// [`measure_latency`] with a fault injector: how the Figure 3 latency
+/// shapes shift when NT-paths are bombarded with injected faults (they must
+/// shift toward *earlier* stops, never corrupt the profile).
+#[must_use]
+pub fn measure_latency_with(
+    program: &Program,
+    mach: &MachConfig,
+    io: IoState,
+    threshold: u32,
+    max_instructions: u64,
+    fault: Option<&mut dyn FaultHook>,
+) -> LatencyProfile {
+    let px = PxConfig::default()
+        .with_counter_threshold(1)
+        .with_max_nt_path_len(threshold)
+        .with_fixes(false)
+        .with_counter_reset_interval(u64::MAX)
+        .with_max_instructions(max_instructions);
+    let result = run_standard_with(program, mach, &px, io, fault);
     profile_from_stats(&result.stats, threshold)
 }
 

@@ -56,25 +56,42 @@
 
 pub mod cmp;
 pub mod config;
+pub mod contain;
 pub mod feasibility;
+mod inject;
 pub mod standard;
 pub mod stats;
 
-pub use cmp::run_cmp;
+pub use cmp::{run_cmp, run_cmp_with};
 pub use config::{Mode, PxConfig};
-pub use feasibility::{measure_latency, profile_from_stats, LatencyProfile};
-pub use standard::run_standard;
+pub use contain::{check_containment, differential_run, ContainmentReport, Violation};
+pub use feasibility::{measure_latency, measure_latency_with, profile_from_stats, LatencyProfile};
+pub use inject::FAULT_WATCH_TAG;
+pub use standard::{run_standard, run_standard_with};
 pub use stats::{NtPathRecord, NtStop, PxRunResult, PxStats};
 
 use px_isa::Program;
-use px_mach::{IoState, MachConfig};
+use px_mach::{FaultHook, IoState, MachConfig};
 
 /// Runs `program` under PathExpander, dispatching on `px.mode`.
 #[must_use]
 pub fn run(program: &Program, mach: &MachConfig, px: &PxConfig, io: IoState) -> PxRunResult {
+    run_with(program, mach, px, io, None)
+}
+
+/// [`run`] with an optional fault injector (see [`run_standard_with`] /
+/// [`run_cmp_with`]).
+#[must_use]
+pub fn run_with(
+    program: &Program,
+    mach: &MachConfig,
+    px: &PxConfig,
+    io: IoState,
+    fault: Option<&mut dyn FaultHook>,
+) -> PxRunResult {
     match px.mode {
-        Mode::Standard => run_standard(program, mach, px, io),
-        Mode::Cmp => run_cmp(program, mach, px, io),
+        Mode::Standard => run_standard_with(program, mach, px, io, fault),
+        Mode::Cmp => run_cmp_with(program, mach, px, io, fault),
     }
 }
 

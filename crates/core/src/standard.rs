@@ -20,12 +20,13 @@
 
 use px_isa::{Program, SyscallCode};
 use px_mach::{
-    Btb, Checkpoint, CoreState, Coverage, Edge, Hierarchy, IoState, MachConfig, Memory,
-    MonitorArea, MonitorRecord, PathKind, RecordKind, RunExit, Sandbox, SandboxView, StepEnv,
-    StepEvent, WatchTable, COMMITTED,
+    Btb, Checkpoint, CoreState, Coverage, Edge, FaultHook, Hierarchy, IoState, MachConfig, Memory,
+    MonitorArea, MonitorRecord, PathKind, RecordKind, RunExit, Sandbox, SandboxView, SimError,
+    StepEnv, StepEvent, WatchTable, COMMITTED, MAX_MEM_BYTES,
 };
 
 use crate::config::PxConfig;
+use crate::inject::{apply_deferred, CountingHook};
 use crate::stats::{NtPathRecord, NtStop, PxRunResult, PxStats};
 
 /// Volatile tag used for NT-path lines in the standard configuration — the
@@ -52,10 +53,54 @@ pub fn run_standard(
     px: &PxConfig,
     io: IoState,
 ) -> PxRunResult {
+    run_standard_with(program, mach, px, io, None)
+}
+
+/// [`run_standard`] with an optional fault injector.
+///
+/// The hook is consulted only while an NT-path is stepping, so every
+/// injected fault lands inside the sandbox: the committed memory, register
+/// file and I/O must still match a plain baseline run (the containment
+/// property [`crate::contain::check_containment`] verifies). Bad
+/// configurations and malformed programs surface as
+/// [`RunExit::EngineFault`] instead of panicking.
+#[must_use]
+pub fn run_standard_with(
+    program: &Program,
+    mach: &MachConfig,
+    px: &PxConfig,
+    io: IoState,
+    fault: Option<&mut dyn FaultHook>,
+) -> PxRunResult {
+    let fail = |e: SimError, io: IoState| PxRunResult {
+        exit: RunExit::EngineFault(e),
+        cycles: 0,
+        taken_coverage: Coverage::for_program(program),
+        total_coverage: Coverage::for_program(program),
+        monitor: MonitorArea::new(),
+        io,
+        memory: Memory::new(0),
+        core: CoreState::default(),
+        stats: PxStats::default(),
+    };
+    if let Err(e) = mach.validate() {
+        return fail(e, io);
+    }
+    if program.mem_size > MAX_MEM_BYTES {
+        return fail(
+            SimError::ProgramTooLarge {
+                mem_size: program.mem_size,
+            },
+            io,
+        );
+    }
     let mut memory = Memory::new(mach.mem_size.max(program.mem_size));
     for item in &program.data {
-        memory.load_blob(item.addr, &item.bytes);
+        if let Err(e) = memory.try_load_blob(item.addr, &item.bytes) {
+            return fail(e, io);
+        }
     }
+    let mut fault = fault.map(|inner| CountingHook { inner, fired: 0 });
     let mut core = CoreState::at_entry(program.entry, memory.size());
     let mut caches = Hierarchy::new(mach);
     let mut btb = Btb::new(mach.btb_entries, mach.btb_assoc);
@@ -76,6 +121,22 @@ pub fn run_standard(
 
     let exit = 'run: loop {
         if instructions >= px.max_instructions {
+            // A budget hit mid-NT-path must not leave speculative state
+            // behind: squash so the committed state is the same one a
+            // shorter, NT-free run would have reached.
+            if let Some(ctx) = nt.take() {
+                squash(
+                    ctx,
+                    NtStop::RunCutShort,
+                    &mut core,
+                    &mut caches,
+                    &mut watches,
+                    &mut sandbox,
+                    &mut stats,
+                    &mut cycles,
+                    mach,
+                );
+            }
             break RunExit::BudgetExhausted;
         }
         instructions += 1;
@@ -101,6 +162,13 @@ pub fn run_standard(
                 suppress_syscalls: in_nt && !px.os_sandbox_unsafe,
                 now_cycles: cycles,
                 costs: &mach.costs,
+                // Faults are injected only into NT-paths: the taken path is
+                // the reference the containment checker diffs against.
+                fault: if in_nt {
+                    fault.as_mut().map(|h| h as &mut dyn FaultHook)
+                } else {
+                    None
+                },
             };
             if in_nt {
                 let mut view = SandboxView::new(&memory, &mut sandbox);
@@ -111,6 +179,18 @@ pub fn run_standard(
         };
 
         cycles += u64::from(s.base_cost);
+        if let Some(action) = s.deferred {
+            apply_deferred(
+                action,
+                &mut caches,
+                0,
+                NT_VTAG,
+                &mut monitor,
+                cycles,
+                path_kind(&nt),
+                core.pc,
+            );
+        }
         let mut overflow = false;
         if let Some(access) = s.access {
             if in_nt && access.write {
@@ -235,7 +315,11 @@ pub fn run_standard(
                 path: path_kind(&nt),
             }),
             StepEvent::UnsafeEvent { code } => {
-                let ctx = nt.take().expect("unsafe events only occur in NT-paths");
+                let Some(ctx) = nt.take() else {
+                    break RunExit::EngineFault(SimError::Invariant(
+                        "unsafe events only occur in NT-paths",
+                    ));
+                };
                 let stop = if code == SyscallCode::Exit {
                     NtStop::ProgramEnd
                 } else {
@@ -298,17 +382,24 @@ pub fn run_standard(
             StepEvent::None => {}
         }
 
-        // NT-path bookkeeping: length limit and sandbox overflow.
-        if let Some(ctx) = nt.as_mut() {
+        // NT-path bookkeeping: length limit, sandbox overflow and the
+        // watchdog (which outranks MaxLength when configured tighter —
+        // redirect faults can stretch a path's wall time, and the watchdog
+        // guarantees the taken path always regains the core).
+        let stop = nt.as_mut().and_then(|ctx| {
             ctx.executed += 1;
-            let hit_limit = ctx.executed >= px.max_nt_path_len;
-            if overflow || hit_limit {
-                let stop = if overflow {
-                    NtStop::SandboxOverflow
-                } else {
-                    NtStop::MaxLength
-                };
-                let ctx = nt.take().expect("checked above");
+            if overflow {
+                Some(NtStop::SandboxOverflow)
+            } else if u64::from(ctx.executed) >= px.nt_watchdog {
+                Some(NtStop::Watchdog)
+            } else if ctx.executed >= px.max_nt_path_len {
+                Some(NtStop::MaxLength)
+            } else {
+                None
+            }
+        });
+        if let Some(stop) = stop {
+            if let Some(ctx) = nt.take() {
                 squash(
                     ctx,
                     stop,
@@ -324,6 +415,9 @@ pub fn run_standard(
         }
     };
 
+    if let Some(h) = &fault {
+        stats.faults_injected = h.fired;
+    }
     let mut total_coverage = taken_cov.clone();
     total_coverage.merge(&nt_cov);
     PxRunResult {
@@ -333,6 +427,8 @@ pub fn run_standard(
         total_coverage,
         monitor,
         io,
+        memory,
+        core,
         stats,
     }
 }
@@ -690,6 +786,115 @@ mod tests {
                 .with_random_factor(Some(16)),
         );
         assert_eq!(again.stats.random_spawns, random.stats.random_spawns);
+    }
+
+    #[test]
+    fn watchdog_outranks_max_length() {
+        // Non-taken edge leads into an infinite loop; the watchdog is set
+        // tighter than MaxNTPathLength and must cut the cascade first.
+        let src = r"
+            .code
+            main:
+                li r1, 1
+                bne r1, zero, ok
+            spin:
+                jmp spin
+            ok:
+                li r2, 0
+                exit
+            ";
+        let px = PxConfig::default()
+            .with_max_nt_path_len(10_000)
+            .with_nt_watchdog(25);
+        let r = run(src, &px);
+        assert_eq!(r.exit, RunExit::Exited(0));
+        assert_eq!(r.stats.stops_of("watchdog"), 1);
+        assert_eq!(r.stats.paths[0].executed, 25);
+    }
+
+    #[test]
+    fn budget_hit_mid_nt_path_squashes_cleanly() {
+        // The budget lands while an NT-path is live: the path must be cut
+        // short and the committed io/registers must reflect only taken work.
+        let src = r"
+            .code
+            main:
+                li r1, 1
+                bne r1, zero, ok
+            spin:
+                jmp spin
+            ok:
+                li r2, 0
+                exit
+            ";
+        let px = PxConfig::default()
+            .with_max_nt_path_len(100_000)
+            .with_nt_watchdog(1_000_000)
+            .with_max_instructions(20);
+        let r = run(src, &px);
+        assert_eq!(r.exit, RunExit::BudgetExhausted);
+        assert_eq!(r.stats.stops_of("cut-short"), 1);
+        assert!(r.io.output().is_empty());
+    }
+
+    #[test]
+    fn bad_config_and_malformed_program_are_engine_faults() {
+        let program = assemble(HIDDEN_BUG).unwrap();
+        let mut mach = MachConfig::single_core();
+        mach.l1.assoc = 0;
+        let r = run_standard(&program, &mach, &PxConfig::default(), IoState::default());
+        assert_eq!(r.exit.class(), "engine-fault");
+
+        let mut garbage = assemble(HIDDEN_BUG).unwrap();
+        garbage.data.push(px_isa::DataItem {
+            addr: u32::MAX - 1,
+            bytes: vec![0xAA; 8],
+        });
+        let r = run_standard(
+            &garbage,
+            &MachConfig::single_core(),
+            &PxConfig::default(),
+            IoState::default(),
+        );
+        assert!(matches!(
+            r.exit,
+            RunExit::EngineFault(SimError::BlobOutOfBounds { .. })
+        ));
+
+        let mut huge = assemble(HIDDEN_BUG).unwrap();
+        huge.mem_size = u32::MAX;
+        let r = run_standard(
+            &huge,
+            &MachConfig::single_core(),
+            &PxConfig::default(),
+            IoState::default(),
+        );
+        assert!(matches!(
+            r.exit,
+            RunExit::EngineFault(SimError::ProgramTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn injected_faults_are_counted_and_contained() {
+        use px_mach::{FaultMix, FaultPlan};
+        let clean = run(HIDDEN_BUG, &PxConfig::default());
+        for seed in [1u64, 7, 42] {
+            let program = assemble(HIDDEN_BUG).unwrap();
+            let mut plan = FaultPlan::new(seed, FaultMix::uniform(), 2);
+            let r = run_standard_with(
+                &program,
+                &MachConfig::single_core(),
+                &PxConfig::default(),
+                IoState::default(),
+                Some(&mut plan),
+            );
+            assert_eq!(r.exit, clean.exit, "taken path unaffected (seed {seed})");
+            assert_eq!(r.io.output(), clean.io.output());
+            if r.stats.nt_instructions > 0 {
+                assert_eq!(r.stats.faults_injected, plan.stats.total());
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Run statistics and results shared by the standard and CMP engines.
 
 use px_isa::SyscallCode;
-use px_mach::{Coverage, CrashKind, IoState, MonitorArea, RunExit};
+use px_mach::{CoreState, Coverage, CrashKind, IoState, Memory, MonitorArea, RunExit};
 
 /// Why an NT-path terminated (paper §4.2(3), plus the implicit sandbox
 /// capacity limit of buffering in L1).
@@ -20,8 +20,12 @@ pub enum NtStop {
     /// CMP option only: squashed early because its sibling taken-path
     /// segment was forced to commit (dirty-line displacement, paper §4.3).
     ForcedCommit,
-    /// CMP option only: still running when the program finished.
+    /// Still running when the program (or its budget) finished.
     RunCutShort,
+    /// Squashed by the per-cascade watchdog (`nt_watchdog`): the path's
+    /// spawn cascade exceeded its wall-instruction budget. A belt-and-braces
+    /// bound on runaway NT work (fault injection makes this reachable).
+    Watchdog,
 }
 
 impl NtStop {
@@ -36,6 +40,7 @@ impl NtStop {
             NtStop::SandboxOverflow => "sandbox-overflow",
             NtStop::ForcedCommit => "forced-commit",
             NtStop::RunCutShort => "cut-short",
+            NtStop::Watchdog => "watchdog",
         }
     }
 }
@@ -82,6 +87,8 @@ pub struct PxStats {
     /// System calls executed inside NT-paths under the §3.2 OS-sandbox
     /// extension (they would otherwise have been unsafe-event stops).
     pub nt_syscalls_sandboxed: u64,
+    /// Faults delivered by an injector during this run (zero without one).
+    pub faults_injected: u64,
     /// Every completed NT-path, in completion order.
     pub paths: Vec<NtPathRecord>,
 }
@@ -128,6 +135,11 @@ pub struct PxRunResult {
     pub monitor: MonitorArea,
     /// Final I/O of the taken path.
     pub io: IoState,
+    /// Final committed data memory of the taken path — what the containment
+    /// checker diffs against a plain baseline run.
+    pub memory: Memory,
+    /// Final committed register file of the taken path.
+    pub core: CoreState,
     /// Aggregate statistics.
     pub stats: PxStats,
 }

@@ -74,6 +74,7 @@ pub fn collect_branch_profile(
             suppress_syscalls: false,
             now_cycles: 0,
             costs: &mach.costs,
+            fault: None,
         };
         let s = px_mach::step(program, &mut core, &mut memory, &mut env);
         match s.event {

@@ -2,6 +2,8 @@
 //! counters (paper §4.1: "extending the BTB with 2 four-bit exercise
 //! counters, one for each edge").
 
+use crate::fault::SimError;
+
 /// One of a branch's two edges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Edge {
@@ -69,20 +71,35 @@ impl Btb {
     ///
     /// # Panics
     ///
-    /// Panics unless `entries / assoc` is a nonzero power of two.
+    /// Panics unless `entries / assoc` is a nonzero power of two (use
+    /// [`Btb::try_new`] for untrusted configurations).
     #[must_use]
     pub fn new(entries: u32, assoc: u32) -> Btb {
+        Btb::try_new(entries, assoc).expect("BTB sets must be a power of two")
+    }
+
+    /// Creates a BTB, rejecting inconsistent geometry without panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadBtbGeometry`] unless `entries / assoc` is a
+    /// nonzero power of two.
+    pub fn try_new(entries: u32, assoc: u32) -> Result<Btb, SimError> {
+        if assoc == 0 {
+            return Err(SimError::BadBtbGeometry("associativity must be at least 1"));
+        }
         let sets = entries / assoc;
-        assert!(
-            sets.is_power_of_two() && sets > 0,
-            "BTB sets must be a power of two"
-        );
-        Btb {
+        if sets == 0 || !sets.is_power_of_two() {
+            return Err(SimError::BadBtbGeometry(
+                "sets must be a nonzero power of two",
+            ));
+        }
+        Ok(Btb {
             sets: vec![vec![BtbEntry::default(); assoc as usize]; sets as usize],
             set_bits: sets.trailing_zeros(),
             clock: 0,
             since_reset: 0,
-        }
+        })
     }
 
     fn index(&self, pc: u32) -> (usize, u32) {
@@ -94,9 +111,9 @@ impl Btb {
     #[must_use]
     pub fn edge_count(&self, pc: u32, edge: Edge) -> u8 {
         let (set, tag) = self.index(pc);
-        self.sets[set]
-            .iter()
-            .find(|e| e.valid && e.tag == tag)
+        self.sets
+            .get(set)
+            .and_then(|s| s.iter().find(|e| e.valid && e.tag == tag))
             .map_or(0, |e| e.counters[edge.idx()])
     }
 
@@ -105,24 +122,29 @@ impl Btb {
     pub fn exercise(&mut self, pc: u32, edge: Edge) {
         self.clock += 1;
         self.since_reset += 1;
+        let clock = self.clock;
         let (set, tag) = self.index(pc);
-        let set = &mut self.sets[set];
+        let Some(set) = self.sets.get_mut(set) else {
+            return;
+        };
         if let Some(e) = set.iter_mut().find(|e| e.valid && e.tag == tag) {
-            e.lru = self.clock;
+            e.lru = clock;
             let c = &mut e.counters[edge.idx()];
             *c = (*c + 1).min(COUNTER_MAX);
             return;
         }
-        let victim = set
+        let Some(victim) = set
             .iter()
             .enumerate()
             .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
             .map(|(i, _)| i)
-            .expect("assoc >= 1");
+        else {
+            return;
+        };
         let mut entry = BtbEntry {
             tag,
             valid: true,
-            lru: self.clock,
+            lru: clock,
             counters: [0, 0],
         };
         entry.counters[edge.idx()] = 1;
@@ -194,6 +216,19 @@ mod tests {
         btb.reset_counters();
         assert_eq!(btb.edge_count(7, Edge::Taken), 0);
         assert_eq!(btb.exercises_since_reset(), 0);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_geometry() {
+        assert!(matches!(
+            Btb::try_new(24, 2),
+            Err(SimError::BadBtbGeometry(_))
+        ));
+        assert!(matches!(
+            Btb::try_new(8, 0),
+            Err(SimError::BadBtbGeometry(_))
+        ));
+        assert!(Btb::try_new(16, 2).is_ok());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! option with one mechanism.
 
 use crate::config::{CacheConfig, MachConfig};
+use crate::fault::SimError;
 
 /// Volatile tag value for committed (non-speculative) data.
 pub const COMMITTED: u8 = 0;
@@ -54,11 +55,11 @@ impl Cache {
     /// Creates an empty cache with the given geometry.
     #[must_use]
     pub fn new(cfg: CacheConfig) -> Cache {
-        let sets = cfg.sets();
+        let sets = cfg.sets().max(1);
         Cache {
             cfg,
             sets: vec![vec![Line::default(); cfg.assoc as usize]; sets as usize],
-            line_shift: cfg.line_bytes.trailing_zeros(),
+            line_shift: cfg.line_bytes.max(1).trailing_zeros(),
             set_mask: sets - 1,
             clock: 0,
         }
@@ -85,6 +86,14 @@ impl Cache {
                 line.vtag = vtag;
             }
             return Lookup::Hit;
+        }
+
+        // A zero-way set (degenerate geometry that bypassed validation) can
+        // hold nothing: every access is an uncached miss, never a panic.
+        if set.is_empty() {
+            return Lookup::Miss {
+                dirty_writeback: false,
+            };
         }
 
         // Miss: pick a victim. Prefer invalid, then LRU non-volatile, then
@@ -115,7 +124,8 @@ impl Cache {
                     }
                 });
             }
-            best.expect("assoc >= 1").0
+            // The set is non-empty (guarded above), so a victim exists.
+            best.map_or(0, |(way, _, _)| way)
         };
 
         let evicted = set[victim];
@@ -184,6 +194,51 @@ impl Cache {
     pub fn config(&self) -> CacheConfig {
         self.cfg
     }
+
+    /// Fault injection: retags one valid line (chosen by `entropy`) with
+    /// `vtag`. Returns whether a line was retagged (a fully invalid cache
+    /// has nothing to corrupt).
+    pub fn flip_vtag(&mut self, entropy: u64, vtag: u8) -> bool {
+        let valid: u64 = self.sets.iter().flatten().filter(|l| l.valid).count() as u64;
+        if valid == 0 {
+            return false;
+        }
+        let mut target = entropy % valid;
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                if line.valid {
+                    if target == 0 {
+                        line.vtag = vtag;
+                        line.dirty = line.dirty || vtag != COMMITTED;
+                        return true;
+                    }
+                    target -= 1;
+                }
+            }
+        }
+        false
+    }
+
+    /// Fault injection: marks every line of one set (chosen by `entropy`)
+    /// as a valid, dirty, volatile line owned by `vtag` — the next miss in
+    /// that set is forced to displace a volatile line, exhausting the
+    /// owning path's sandbox capacity. Returns the number of lines marked.
+    pub fn poison_set_volatile(&mut self, entropy: u64, vtag: u8) -> u32 {
+        if self.sets.is_empty() || vtag == COMMITTED {
+            return 0;
+        }
+        let set_idx = (entropy % self.sets.len() as u64) as usize;
+        let clock = self.clock;
+        let mut n = 0;
+        for line in self.sets[set_idx].iter_mut() {
+            line.valid = true;
+            line.dirty = true;
+            line.vtag = vtag;
+            line.lru = clock;
+            n += 1;
+        }
+        n
+    }
 }
 
 /// Result of a full-hierarchy access.
@@ -220,6 +275,11 @@ pub struct HierarchyStats {
 
 impl Hierarchy {
     /// Builds the hierarchy described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent cache geometry (use [`Hierarchy::try_new`]
+    /// for untrusted configurations).
     #[must_use]
     pub fn new(cfg: &MachConfig) -> Hierarchy {
         Hierarchy {
@@ -230,19 +290,35 @@ impl Hierarchy {
         }
     }
 
+    /// Builds the hierarchy after validating the configuration, so bad
+    /// geometry surfaces as a [`SimError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first geometry rule `cfg` violates.
+    pub fn try_new(cfg: &MachConfig) -> Result<Hierarchy, SimError> {
+        cfg.validate()?;
+        Ok(Hierarchy::new(cfg))
+    }
+
     /// Number of per-core L1 caches.
     #[must_use]
     pub fn cores(&self) -> usize {
         self.l1.len()
     }
 
-    /// Performs a data access from `core`, tagging written lines with `vtag`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `core` is out of range.
+    /// Performs a data access from `core`, tagging written lines with
+    /// `vtag`. An out-of-range core is charged main-memory latency and
+    /// touches no cache state (defensive: engines validate core counts up
+    /// front, so this is unreachable from validated configurations).
     pub fn access(&mut self, core: usize, addr: u32, write: bool, vtag: u8) -> Access {
-        let l1 = &mut self.l1[core];
+        let Some(l1) = self.l1.get_mut(core) else {
+            return Access {
+                cycles: self.mem_cycles,
+                volatile_evicted: None,
+                l1_miss: true,
+            };
+        };
         let l1_hit_cycles = l1.config().hit_cycles;
         match l1.access(addr, write, vtag) {
             Lookup::Hit => {
@@ -291,20 +367,37 @@ impl Hierarchy {
     }
 
     /// Gang-invalidates all of `core`'s L1 lines tagged `vtag`; returns the
-    /// number of lines dropped.
+    /// number of lines dropped. Out-of-range cores drop nothing.
     pub fn squash_path(&mut self, core: usize, vtag: u8) -> u32 {
-        self.l1[core].gang_invalidate(vtag)
+        self.l1.get_mut(core).map_or(0, |c| c.gang_invalidate(vtag))
     }
 
-    /// Commits all of `core`'s L1 lines tagged `vtag`.
+    /// Commits all of `core`'s L1 lines tagged `vtag`. Out-of-range cores
+    /// commit nothing.
     pub fn commit_path(&mut self, core: usize, vtag: u8) -> u32 {
-        self.l1[core].commit_vtag(vtag)
+        self.l1.get_mut(core).map_or(0, |c| c.commit_vtag(vtag))
     }
 
-    /// Volatile line count in one core's L1.
+    /// Volatile line count in one core's L1 (0 for out-of-range cores).
     #[must_use]
     pub fn volatile_lines(&self, core: usize) -> u32 {
-        self.l1[core].volatile_lines()
+        self.l1.get(core).map_or(0, Cache::volatile_lines)
+    }
+
+    /// Fault injection: retags one valid line of `core`'s L1 with `vtag`
+    /// (see [`Cache::flip_vtag`]).
+    pub fn inject_vtag_flip(&mut self, core: usize, entropy: u64, vtag: u8) -> bool {
+        self.l1
+            .get_mut(core)
+            .is_some_and(|c| c.flip_vtag(entropy, vtag))
+    }
+
+    /// Fault injection: marks a whole L1 set of `core` volatile with `vtag`
+    /// (see [`Cache::poison_set_volatile`]).
+    pub fn inject_volatile_fill(&mut self, core: usize, entropy: u64, vtag: u8) -> u32 {
+        self.l1
+            .get_mut(core)
+            .map_or(0, |c| c.poison_set_volatile(entropy, vtag))
     }
 }
 
@@ -441,5 +534,59 @@ mod tests {
         assert_eq!(h.squash_path(0, 9), 1);
         assert_eq!(h.volatile_lines(0), 0);
         assert_eq!(h.volatile_lines(1), 1);
+    }
+
+    #[test]
+    fn out_of_range_core_never_panics() {
+        let cfg = MachConfig::single_core();
+        let mut h = Hierarchy::new(&cfg);
+        let a = h.access(7, 0x3000, true, 1);
+        assert_eq!(a.cycles, cfg.mem_cycles);
+        assert_eq!(h.squash_path(7, 1), 0);
+        assert_eq!(h.commit_path(7, 1), 0);
+        assert_eq!(h.volatile_lines(7), 0);
+        assert!(!h.inject_vtag_flip(7, 0, 1));
+        assert_eq!(h.inject_volatile_fill(7, 0, 1), 0);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_geometry() {
+        let mut cfg = MachConfig::default();
+        cfg.l1.line_bytes = 24;
+        assert!(matches!(
+            Hierarchy::try_new(&cfg),
+            Err(SimError::BadCacheGeometry(_))
+        ));
+        let mut cfg = MachConfig::default();
+        cfg.cores = 0;
+        assert_eq!(Hierarchy::try_new(&cfg).unwrap_err(), SimError::NoCores);
+        assert!(Hierarchy::try_new(&MachConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn poison_set_forces_volatile_eviction() {
+        let mut c = small_cache();
+        assert_eq!(c.poison_set_volatile(0, 5), 2, "2-way set fully marked");
+        // Set 0 is now entirely volatile with vtag 5: a miss there must
+        // displace one of the poisoned lines.
+        assert!(matches!(
+            c.access(0x1000, false, COMMITTED),
+            Lookup::MissEvictedVolatile(5) | Lookup::Hit
+        ));
+        assert_eq!(
+            c.poison_set_volatile(0, COMMITTED),
+            0,
+            "committed is not a path"
+        );
+    }
+
+    #[test]
+    fn flip_vtag_retags_exactly_one_line() {
+        let mut c = small_cache();
+        assert!(!c.flip_vtag(3, 9), "empty cache has nothing to corrupt");
+        c.access(0x1000, false, COMMITTED);
+        c.access(0x1040, false, COMMITTED);
+        assert!(c.flip_vtag(1, 9));
+        assert_eq!(c.volatile_lines(), 1);
     }
 }

@@ -1,6 +1,8 @@
 //! Machine configuration — the paper's Table 2, plus the instruction cost
 //! model the discrete-event engine charges.
 
+use crate::fault::{SimError, MAX_MEM_BYTES};
+
 /// Geometry and latency of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -39,6 +41,37 @@ impl CacheConfig {
     #[must_use]
     pub fn lines(&self) -> u32 {
         self.size_bytes / self.line_bytes
+    }
+
+    /// Checks the geometry without panicking, returning the set count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadCacheGeometry`] naming the violated rule.
+    pub fn validate(&self) -> Result<u32, SimError> {
+        if !self.line_bytes.is_power_of_two() {
+            return Err(SimError::BadCacheGeometry(
+                "line size must be a power of two",
+            ));
+        }
+        if self.assoc == 0 {
+            return Err(SimError::BadCacheGeometry(
+                "associativity must be at least 1",
+            ));
+        }
+        let lines = self.size_bytes / self.line_bytes;
+        if lines == 0 || !lines.is_multiple_of(self.assoc) {
+            return Err(SimError::BadCacheGeometry(
+                "capacity must be a multiple of assoc * line_bytes",
+            ));
+        }
+        let sets = lines / self.assoc;
+        if !sets.is_power_of_two() {
+            return Err(SimError::BadCacheGeometry(
+                "set count must be a power of two",
+            ));
+        }
+        Ok(sets)
     }
 }
 
@@ -149,6 +182,36 @@ impl MachConfig {
         }
     }
 
+    /// Checks the whole machine description without panicking. Engines
+    /// call this once at run entry so that a bad configuration surfaces as
+    /// `RunExit::EngineFault` instead of aborting a sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated rule as a [`SimError`].
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.cores == 0 {
+            return Err(SimError::NoCores);
+        }
+        self.l1.validate()?;
+        self.l2.validate()?;
+        if self.btb_assoc == 0 {
+            return Err(SimError::BadBtbGeometry("associativity must be at least 1"));
+        }
+        let btb_sets = self.btb_entries / self.btb_assoc;
+        if btb_sets == 0 || !btb_sets.is_power_of_two() {
+            return Err(SimError::BadBtbGeometry(
+                "sets must be a nonzero power of two",
+            ));
+        }
+        if self.mem_size > MAX_MEM_BYTES {
+            return Err(SimError::ProgramTooLarge {
+                mem_size: self.mem_size,
+            });
+        }
+        Ok(())
+    }
+
     /// Renders the configuration as the paper's Table 2 rows.
     #[must_use]
     pub fn table2(&self) -> String {
@@ -197,6 +260,49 @@ mod tests {
         assert!(t.contains("2.4GHz"));
         assert!(t.contains("16KB, 4-way"));
         assert!(t.contains("200 cycles"));
+    }
+
+    #[test]
+    fn validate_accepts_table2_and_names_violations() {
+        use crate::fault::SimError;
+        assert!(MachConfig::default().validate().is_ok());
+        assert!(MachConfig::single_core().validate().is_ok());
+        let mut c = MachConfig::default();
+        c.cores = 0;
+        assert_eq!(c.validate().unwrap_err(), SimError::NoCores);
+        let mut c = MachConfig::default();
+        c.btb_assoc = 0;
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            SimError::BadBtbGeometry(_)
+        ));
+        let mut c = MachConfig::default();
+        c.btb_entries = 24;
+        c.btb_assoc = 2; // 12 sets: not a power of two
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            SimError::BadBtbGeometry(_)
+        ));
+        let mut c = MachConfig::default();
+        c.mem_size = u32::MAX;
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            SimError::ProgramTooLarge { .. }
+        ));
+        let bad_cache = CacheConfig {
+            size_bytes: 96,
+            assoc: 2,
+            line_bytes: 32,
+            hit_cycles: 1,
+        };
+        assert!(bad_cache.validate().is_err(), "3 lines, 2 ways");
+        let zero_way = CacheConfig {
+            size_bytes: 128,
+            assoc: 0,
+            line_bytes: 32,
+            hit_cycles: 1,
+        };
+        assert!(zero_way.validate().is_err());
     }
 
     #[test]

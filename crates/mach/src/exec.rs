@@ -6,10 +6,11 @@
 //! lets every engine (baseline, standard, CMP, feasibility, software
 //! implementation) share one set of semantics.
 
-use px_isa::{CheckKind, Instruction, Program, Reg, SyscallCode};
+use px_isa::{CheckKind, Instruction, Program, Reg, SyscallCode, Width, DATA_BASE};
 
 use crate::config::CostModel;
 use crate::core::CoreState;
+use crate::fault::{FaultAction, FaultHook};
 use crate::io::IoState;
 use crate::memory::{CrashKind, MemView};
 use crate::watch::WatchTable;
@@ -80,11 +81,13 @@ pub struct Step {
     pub base_cost: u32,
     /// The data access to run through the caches, if any.
     pub access: Option<DataAccess>,
+    /// An injected fault the *caller* must apply (cache-level faults the
+    /// interpreter cannot reach — see [`FaultAction::is_deferred`]).
+    pub deferred: Option<FaultAction>,
 }
 
 /// Mutable environment a step executes in.
-#[derive(Debug)]
-pub struct StepEnv<'a> {
+pub struct StepEnv<'a, 'f> {
     /// Program I/O and entropy.
     pub io: &'a mut IoState,
     /// Active watch ranges.
@@ -96,6 +99,24 @@ pub struct StepEnv<'a> {
     pub now_cycles: u64,
     /// Instruction cost model.
     pub costs: &'a CostModel,
+    /// Optional fault injector, consulted once per step. `None` (the
+    /// production configuration) costs one branch per step. A separate
+    /// lifetime: `&mut dyn` is invariant, and tying the hook to `'a` would
+    /// force every other borrow in the environment to match it exactly.
+    pub fault: Option<&'f mut (dyn FaultHook + 'f)>,
+}
+
+impl core::fmt::Debug for StepEnv<'_, '_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("StepEnv")
+            .field("io", &self.io)
+            .field("watches", &self.watches)
+            .field("suppress_syscalls", &self.suppress_syscalls)
+            .field("now_cycles", &self.now_cycles)
+            .field("costs", &self.costs)
+            .field("fault", &self.fault.is_some())
+            .finish()
+    }
 }
 
 /// Executes one instruction of `core` against `mem`.
@@ -107,7 +128,7 @@ pub fn step(
     program: &Program,
     core: &mut CoreState,
     mem: &mut dyn MemView,
-    env: &mut StepEnv<'_>,
+    env: &mut StepEnv<'_, '_>,
 ) -> Step {
     let pc = core.pc;
     let Some(insn) = program.fetch(pc) else {
@@ -118,8 +139,44 @@ pub fn step(
             },
             base_cost: env.costs.control,
             access: None,
+            deferred: None,
         };
     };
+
+    // Fault injection: core-level faults apply right here (against whatever
+    // MemView this step runs on — an NT-path's faults land in its sandbox);
+    // cache-level faults are handed back to the engine via `deferred`.
+    let mut deferred: Option<FaultAction> = None;
+    let mut redirect: Option<u32> = None;
+    if let Some(hook) = env.fault.as_mut() {
+        if let Some(action) = hook.before_step(pc) {
+            match action {
+                FaultAction::ForceCrash { kind } => {
+                    return Step {
+                        event: StepEvent::Crash { kind, pc },
+                        base_cost: env.costs.control,
+                        access: None,
+                        deferred: None,
+                    };
+                }
+                FaultAction::FlipMemBit { entropy, bit } => {
+                    flip_mem_bit(program, mem, entropy, bit);
+                }
+                FaultAction::RedirectBack { max_back } => redirect = Some(max_back),
+                // When system calls are suppressed the step's IoState is the
+                // caller's *real* I/O that the path can never observe —
+                // failing it would leak the fault past a squash. Only paths
+                // that can actually read input (taken path, or an NT-path
+                // with an OS-sandbox scratch snapshot) take the error.
+                FaultAction::FailInput => {
+                    if !env.suppress_syscalls {
+                        env.io.fail_input();
+                    }
+                }
+                other => deferred = Some(other),
+            }
+        }
+    }
 
     // Control transfers clear the NT-entry predicate (design decision D1):
     // the variable-fixing window is the NT-path's entry basic block.
@@ -136,6 +193,7 @@ pub fn step(
                 event: StepEvent::Crash { kind: $kind, pc },
                 base_cost,
                 access: None,
+                deferred,
             }
         };
     }
@@ -260,6 +318,7 @@ pub fn step(
                     event: StepEvent::UnsafeEvent { code },
                     base_cost: costs.control,
                     access: None,
+                    deferred,
                 };
             }
             base_cost = costs.syscall;
@@ -271,6 +330,7 @@ pub fn step(
                         },
                         base_cost,
                         access: None,
+                        deferred,
                     };
                 }
                 SyscallCode::PutChar => env.io.put_char(core.regs.get(Reg::A0) as u8),
@@ -355,10 +415,30 @@ pub fn step(
     }
     core.pred = next_pred;
 
+    // A runaway fault drags the pc backwards *after* the instruction
+    // executed normally: every index at or below the current (valid) pc is
+    // itself valid, so the redirect always forms a loop rather than a crash.
+    if let Some(max_back) = redirect {
+        core.pc = pc.saturating_sub(max_back);
+    }
+
     Step {
         event,
         base_cost,
         access,
+        deferred,
+    }
+}
+
+/// Applies a bit-flip fault to the data segment visible through `mem`. The
+/// entropy is reduced to an address inside `[DATA_BASE, mem_size)`;
+/// addresses the program cannot itself reach are silently skipped, so a
+/// flip is never an engine error.
+fn flip_mem_bit(program: &Program, mem: &mut dyn MemView, entropy: u64, bit: u8) {
+    let span = u64::from(program.mem_size.max(DATA_BASE + 1) - DATA_BASE);
+    let addr = DATA_BASE + (entropy % span) as u32;
+    if let Ok(v) = mem.load(addr, Width::Byte) {
+        let _ = mem.store(addr, v ^ (1 << (bit & 7)), Width::Byte);
     }
 }
 
@@ -395,6 +475,7 @@ mod tests {
                 suppress_syscalls: false,
                 now_cycles: 0,
                 costs: &costs,
+                fault: None,
             };
             let step = step(&program, &mut core, &mut mem, &mut env);
             match step.event {
@@ -527,6 +608,7 @@ mod tests {
                 suppress_syscalls: true,
                 now_cycles: 0,
                 costs: &costs,
+                fault: None,
             };
             let s = step(&program, &mut core, &mut mem, &mut env);
             if s.event.is_terminal() {
@@ -556,6 +638,7 @@ mod tests {
             suppress_syscalls: true,
             now_cycles: 0,
             costs: &costs,
+            fault: None,
         };
         let s1 = step(&program, &mut core, &mut mem, &mut env);
         assert!(matches!(s1.event, StepEvent::None));
@@ -565,6 +648,7 @@ mod tests {
             suppress_syscalls: true,
             now_cycles: 0,
             costs: &costs,
+            fault: None,
         };
         let s2 = step(&program, &mut core, &mut mem, &mut env);
         assert!(matches!(
@@ -595,6 +679,7 @@ mod tests {
             suppress_syscalls: false,
             now_cycles: 0,
             costs: &costs,
+            fault: None,
         };
         let s = step(&program, &mut core, &mut mem, &mut env);
         assert!(matches!(
@@ -635,6 +720,7 @@ mod tests {
                 suppress_syscalls: false,
                 now_cycles: 0,
                 costs: &costs,
+                fault: None,
             };
             let s = step(&program, &mut core, &mut mem, &mut env);
             if let StepEvent::WatchHit {
@@ -667,6 +753,7 @@ mod tests {
             suppress_syscalls: false,
             now_cycles: 0,
             costs: &costs,
+            fault: None,
         };
         let s = step(&program, &mut core, &mut mem, &mut env);
         assert_eq!(

@@ -9,6 +9,7 @@ pub struct IoState {
     pos: usize,
     output: Vec<u8>,
     rng_state: u64,
+    input_failed: bool,
 }
 
 impl Default for IoState {
@@ -26,11 +27,27 @@ impl IoState {
             pos: 0,
             output: Vec::new(),
             rng_state: seed.max(1),
+            input_failed: false,
         }
     }
 
-    /// Reads one input byte; `-1` at end of input.
+    /// Injects an input error: from now on every read reports end-of-input,
+    /// modeling a failed/closed input stream (fault injection).
+    pub fn fail_input(&mut self) {
+        self.input_failed = true;
+    }
+
+    /// Whether an input error has been injected.
+    #[must_use]
+    pub fn input_failed(&self) -> bool {
+        self.input_failed
+    }
+
+    /// Reads one input byte; `-1` at end of input or after an input error.
     pub fn get_char(&mut self) -> i32 {
+        if self.input_failed {
+            return -1;
+        }
         match self.input.get(self.pos) {
             Some(&b) => {
                 self.pos += 1;
@@ -41,8 +58,11 @@ impl IoState {
     }
 
     /// Reads a whitespace-delimited signed decimal integer; `-1` at end of
-    /// input or when no digits are found.
+    /// input, after an input error, or when no digits are found.
     pub fn read_int(&mut self) -> i32 {
+        if self.input_failed {
+            return -1;
+        }
         while self
             .input
             .get(self.pos)
@@ -138,6 +158,16 @@ mod tests {
         io.put_char(b'=');
         io.print_int(-5);
         assert_eq!(io.output_string(), "n=-5");
+    }
+
+    #[test]
+    fn injected_input_error_reads_as_eof() {
+        let mut io = IoState::new(b"a 42".to_vec(), 1);
+        assert_eq!(io.get_char(), i32::from(b'a'));
+        io.fail_input();
+        assert!(io.input_failed());
+        assert_eq!(io.get_char(), -1);
+        assert_eq!(io.read_int(), -1);
     }
 
     #[test]

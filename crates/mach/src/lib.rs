@@ -38,6 +38,7 @@ pub mod config;
 pub mod core;
 pub mod coverage;
 pub mod exec;
+pub mod fault;
 pub mod io;
 pub mod memory;
 pub mod monitor;
@@ -50,8 +51,12 @@ pub use config::{CacheConfig, CostModel, MachConfig};
 pub use core::{Checkpoint, CoreState, Regs};
 pub use coverage::Coverage;
 pub use exec::{step, DataAccess, Step, StepEnv, StepEvent};
+pub use fault::{
+    FaultAction, FaultHook, FaultKind, FaultMix, FaultPlan, FaultStats, SimError, FAULT_KINDS,
+    MAX_MEM_BYTES,
+};
 pub use io::IoState;
 pub use memory::{CrashKind, MemView, Memory, Sandbox, SandboxView};
 pub use monitor::{MonitorArea, MonitorRecord, PathKind, RecordKind};
-pub use runner::{run_baseline, RunExit, RunResult};
+pub use runner::{run_baseline, run_baseline_with, RunExit, RunResult};
 pub use watch::{WatchRange, WatchTable};

@@ -5,6 +5,8 @@ use std::collections::HashMap;
 
 use px_isa::{Width, NULL_GUARD_END};
 
+use crate::fault::SimError;
+
 /// Why an access (or instruction) crashed. Inside an NT-path a crash squashes
 /// the path silently ("the exception that caused the crash is not delivered
 /// to the OS", paper §4.2); on the taken path it faults the program.
@@ -98,14 +100,37 @@ impl Memory {
         self.bytes[addr as usize] = value;
     }
 
+    /// Copies a blob into memory (program loading), rejecting blobs that do
+    /// not fit — the malformed-program path the engines take.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BlobOutOfBounds`] when the blob ends past the end
+    /// of memory.
+    pub fn try_load_blob(&mut self, addr: u32, blob: &[u8]) -> Result<(), SimError> {
+        let start = addr as usize;
+        let end = start.checked_add(blob.len());
+        match end {
+            Some(end) if end <= self.bytes.len() => {
+                self.bytes[start..end].copy_from_slice(blob);
+                Ok(())
+            }
+            _ => Err(SimError::BlobOutOfBounds {
+                addr,
+                len: blob.len() as u32,
+            }),
+        }
+    }
+
     /// Copies a blob into memory (program loading).
     ///
     /// # Panics
     ///
-    /// Panics if the blob does not fit.
+    /// Panics if the blob does not fit (use [`Memory::try_load_blob`] for
+    /// untrusted programs).
     pub fn load_blob(&mut self, addr: u32, blob: &[u8]) {
-        let start = addr as usize;
-        self.bytes[start..start + blob.len()].copy_from_slice(blob);
+        self.try_load_blob(addr, blob)
+            .expect("blob must fit in memory");
     }
 
     /// Reads `len` bytes (for inspecting program output buffers in tests).
@@ -309,6 +334,21 @@ mod tests {
         // But the NT-path's own store wins over the snapshot.
         v.store(DATA_BASE + 4, 33, Width::Word).unwrap();
         assert_eq!(v.load(DATA_BASE + 4, Width::Word).unwrap(), 33);
+    }
+
+    #[test]
+    fn try_load_blob_rejects_overflow() {
+        let mut m = Memory::new(DATA_BASE + 4);
+        assert!(m.try_load_blob(DATA_BASE, &[1, 2, 3, 4]).is_ok());
+        assert_eq!(
+            m.try_load_blob(DATA_BASE + 2, &[0; 4]).unwrap_err(),
+            SimError::BlobOutOfBounds {
+                addr: DATA_BASE + 2,
+                len: 4
+            }
+        );
+        assert!(m.try_load_blob(u32::MAX, &[0; 8]).is_err());
+        assert_eq!(m.load(DATA_BASE, Width::Word).unwrap(), 0x04030201);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::config::MachConfig;
 use crate::core::CoreState;
 use crate::coverage::Coverage;
 use crate::exec::{step, StepEnv, StepEvent};
+use crate::fault::{FaultHook, SimError, MAX_MEM_BYTES};
 use crate::io::IoState;
 use crate::memory::{CrashKind, Memory};
 use crate::monitor::{MonitorArea, MonitorRecord, PathKind, RecordKind};
@@ -26,6 +27,9 @@ pub enum RunExit {
     Crashed(CrashKind),
     /// The instruction budget was exhausted.
     BudgetExhausted,
+    /// The *simulator* (not the simulated program) rejected the run: bad
+    /// configuration, malformed program, or a broken engine invariant.
+    EngineFault(SimError),
 }
 
 impl RunExit {
@@ -33,6 +37,17 @@ impl RunExit {
     #[must_use]
     pub fn is_success(&self) -> bool {
         matches!(self, RunExit::Exited(0))
+    }
+
+    /// A short class name for histograms and JSON summaries.
+    #[must_use]
+    pub fn class(&self) -> &'static str {
+        match self {
+            RunExit::Exited(_) => "exited",
+            RunExit::Crashed(_) => "crashed",
+            RunExit::BudgetExhausted => "budget",
+            RunExit::EngineFault(_) => "engine-fault",
+        }
     }
 }
 
@@ -53,6 +68,9 @@ pub struct RunResult {
     pub io: IoState,
     /// Final memory (for test inspection).
     pub memory: Memory,
+    /// Final core state (registers and pc) — the committed register file
+    /// the containment checker compares against PathExpander runs.
+    pub core: CoreState,
 }
 
 /// Runs `program` to completion (or `max_instructions`) without PathExpander.
@@ -66,9 +84,48 @@ pub fn run_baseline(
     io: IoState,
     max_instructions: u64,
 ) -> RunResult {
+    run_baseline_with(program, cfg, io, max_instructions, None)
+}
+
+/// [`run_baseline`] with an optional fault injector. Baseline has no
+/// sandbox, so injected core-level faults are *architectural* — they
+/// corrupt the run exactly as a real fault would; deferred (cache-level)
+/// faults are PathExpander-specific and are ignored here. Configuration
+/// and program problems surface as [`RunExit::EngineFault`].
+#[must_use]
+pub fn run_baseline_with(
+    program: &Program,
+    cfg: &MachConfig,
+    io: IoState,
+    max_instructions: u64,
+    mut fault: Option<&mut dyn FaultHook>,
+) -> RunResult {
+    let fail = |exit: SimError, io: IoState| RunResult {
+        exit: RunExit::EngineFault(exit),
+        instructions: 0,
+        cycles: 0,
+        coverage: Coverage::for_program(program),
+        monitor: MonitorArea::new(),
+        io,
+        memory: Memory::new(0),
+        core: CoreState::default(),
+    };
+    if let Err(e) = cfg.validate() {
+        return fail(e, io);
+    }
+    if program.mem_size > MAX_MEM_BYTES {
+        return fail(
+            SimError::ProgramTooLarge {
+                mem_size: program.mem_size,
+            },
+            io,
+        );
+    }
     let mut memory = Memory::new(cfg.mem_size.max(program.mem_size));
     for item in &program.data {
-        memory.load_blob(item.addr, &item.bytes);
+        if let Err(e) = memory.try_load_blob(item.addr, &item.bytes) {
+            return fail(e, io);
+        }
     }
     let mut core = CoreState::at_entry(program.entry, memory.size());
     let mut caches = Hierarchy::new(cfg);
@@ -90,6 +147,7 @@ pub fn run_baseline(
             suppress_syscalls: false,
             now_cycles: cycles,
             costs: &cfg.costs,
+            fault: fault.as_mut().map(|h| &mut **h as &mut dyn FaultHook),
         };
         let s = step(program, &mut core, &mut memory, &mut env);
         instructions += 1;
@@ -131,7 +189,9 @@ pub fn run_baseline(
             StepEvent::Crash { kind, .. } => break RunExit::Crashed(kind),
             StepEvent::Syscall { .. } | StepEvent::None => {}
             StepEvent::UnsafeEvent { .. } => {
-                unreachable!("baseline never suppresses system calls")
+                break RunExit::EngineFault(SimError::Invariant(
+                    "baseline never suppresses system calls",
+                ));
             }
         }
     };
@@ -144,6 +204,7 @@ pub fn run_baseline(
         monitor,
         io,
         memory,
+        core,
     }
 }
 
@@ -227,6 +288,88 @@ mod tests {
         assert_eq!(r.monitor.len(), 1);
         assert_eq!(r.monitor.records()[0].site, 4);
         assert_eq!(r.monitor.records()[0].path, PathKind::Taken);
+    }
+
+    #[test]
+    fn bad_config_is_an_engine_fault_not_a_panic() {
+        let program = assemble(".code\nmain:\n  exit\n").unwrap();
+        let mut cfg = MachConfig::single_core();
+        cfg.cores = 0;
+        let r = run_baseline(&program, &cfg, IoState::default(), 100);
+        assert_eq!(
+            r.exit,
+            RunExit::EngineFault(crate::fault::SimError::NoCores)
+        );
+        assert_eq!(r.exit.class(), "engine-fault");
+    }
+
+    #[test]
+    fn malformed_program_is_an_engine_fault() {
+        // Data item far beyond the data memory: a malformed (or garbage)
+        // program must be rejected, not panic the loader.
+        let mut program = assemble(".code\nmain:\n  exit\n").unwrap();
+        program.data.push(px_isa::DataItem {
+            addr: u32::MAX - 2,
+            bytes: vec![1, 2, 3, 4],
+        });
+        let r = run_baseline(
+            &program,
+            &MachConfig::single_core(),
+            IoState::default(),
+            100,
+        );
+        assert!(matches!(
+            r.exit,
+            RunExit::EngineFault(crate::fault::SimError::BlobOutOfBounds { .. })
+        ));
+
+        let mut program = assemble(".code\nmain:\n  exit\n").unwrap();
+        program.mem_size = u32::MAX;
+        let r = run_baseline(
+            &program,
+            &MachConfig::single_core(),
+            IoState::default(),
+            100,
+        );
+        assert!(matches!(
+            r.exit,
+            RunExit::EngineFault(crate::fault::SimError::ProgramTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn injected_faults_never_panic_the_baseline() {
+        use crate::fault::FaultPlan;
+        let program = assemble(
+            r"
+            .code
+            main:
+                li r1, 50
+            loop:
+                subi r1, r1, 1
+                sw r1, 0x40(zero)
+                bgt r1, zero, loop
+                exit
+            ",
+        )
+        .unwrap();
+        // Note 0x40(zero) is in the guard page: the program crashes on its
+        // own; with aggressive injection it may crash differently or exit.
+        for seed in 0..20 {
+            let mut plan = FaultPlan::uniform(seed, 2);
+            let r = run_baseline_with(
+                &program,
+                &MachConfig::single_core(),
+                IoState::default(),
+                10_000,
+                Some(&mut plan),
+            );
+            assert!(
+                !matches!(r.exit, RunExit::EngineFault(_)),
+                "architectural faults only: {:?}",
+                r.exit
+            );
+        }
     }
 
     #[test]

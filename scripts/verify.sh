@@ -15,4 +15,7 @@ cargo test -q --offline
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> fault-smoke: 64-case fault-injection campaign"
+cargo run --release --offline -q -p px-bench --bin fault_campaign -- --seed 1 --cases 64
+
 echo "verify: OK"
