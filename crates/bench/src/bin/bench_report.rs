@@ -1,0 +1,150 @@
+//! Measures simulated instructions/second per engine (experiment E13) and
+//! emits `BENCH_throughput.json` — the repo's perf trajectory.
+//!
+//! ```text
+//! bench_report [--quick] [--json] [--out PATH] [--verify PATH]
+//! ```
+//!
+//! `--quick` lowers the timed repetitions (1 instead of 3); the
+//! architectural digests are identical in both modes. `--verify PATH`
+//! checks that an existing report (the committed `BENCH_throughput.json`)
+//! carries the current schema tag and the same architectural digest as a
+//! fresh run — the CI gate. Wall-clock numbers are never compared.
+
+use px_bench::experiments::perf::{throughput_report, SCHEMA};
+use px_bench::fmt::render_table;
+use px_util::ToJson;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_report [--quick] [--json] [--out PATH] [--verify PATH]\n\
+         \n\
+         --quick        one timed repetition per row instead of three\n\
+         --json         print the report as JSON to stdout\n\
+         --out PATH     write the JSON report to PATH\n\
+                        (default BENCH_throughput.json unless --verify)\n\
+         --verify PATH  gate: require PATH to carry the current schema and\n\
+                        this run's architectural digest (never wall-clock)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut json = false;
+    let mut out: Option<String> = None;
+    let mut verify: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--out" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("error: --out requires a value");
+                    usage();
+                };
+                out = Some(path.clone());
+                i += 2;
+            }
+            "--verify" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("error: --verify requires a value");
+                    usage();
+                };
+                verify = Some(path.clone());
+                i += 2;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let report = throughput_report(quick);
+    let dumped = report.to_json().dump();
+
+    if json {
+        println!("{dumped}");
+    } else {
+        let rows: Vec<Vec<String>> = report
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.engine.clone(),
+                    r.workload.clone(),
+                    r.instructions.to_string(),
+                    r.sim_cycles.to_string(),
+                    r.nt_paths.to_string(),
+                    format!("{:.3}", r.wall_ns as f64 / 1e6),
+                    format!("{:.3}", r.mips),
+                    r.digest.clone(),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                &[
+                    "engine",
+                    "workload",
+                    "sim-instr",
+                    "sim-cycles",
+                    "nt-paths",
+                    "wall-ms",
+                    "mips",
+                    "digest",
+                ],
+                &rows,
+            )
+        );
+        println!("arch digest: {}", report.arch_digest);
+    }
+
+    // Default output path only when not gating an existing file.
+    let out = out.or_else(|| verify.is_none().then(|| "BENCH_throughput.json".to_owned()));
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, format!("{dumped}\n")) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = &verify {
+        let committed = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("verify FAILED: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let schema_tag = format!(r#""schema":"{SCHEMA}""#);
+        if !committed.contains(&schema_tag) {
+            eprintln!("verify FAILED: {path} does not carry schema {SCHEMA:?}");
+            std::process::exit(1);
+        }
+        let digest_tag = format!(r#""arch_digest":"{}""#, report.arch_digest);
+        if !committed.contains(&digest_tag) {
+            eprintln!(
+                "verify FAILED: {path} architectural digest differs from this run \
+                 (expected {}) — the simulation's architectural results changed; \
+                 regenerate with `bench_report --out {path}` if the change is intended",
+                report.arch_digest
+            );
+            std::process::exit(1);
+        }
+        println!("verify OK: schema and architectural digest match {path}");
+    }
+}

@@ -5,6 +5,7 @@ pub mod coverage;
 pub mod fault;
 pub mod fig3;
 pub mod overhead;
+pub mod perf;
 pub mod sensitivity;
 pub mod tables;
 
@@ -13,6 +14,7 @@ pub use coverage::coverage;
 pub use fault::{run_campaign, run_case, CampaignSummary, FaultCase};
 pub use fig3::fig3;
 pub use overhead::overhead;
+pub use perf::{throughput_report, ThroughputReport, ThroughputRow};
 pub use sensitivity::sensitivity;
 pub use tables::{table3, table4, table5};
 

@@ -432,7 +432,8 @@ fn finish_path(path: &mut NtPath, stop: NtStop, caches: &mut Hierarchy, stats: &
     if let Some(c) = path.core {
         caches.squash_path(c, path.id);
     }
-    path.sandbox.clear();
+    // No sandbox.clear() here: the NtPath is removed from the live set right
+    // after finish_path returns, so its sandbox is dropped, never reused.
     stats.paths.push(NtPathRecord {
         spawn_pc: path.spawn_pc,
         executed: path.executed,

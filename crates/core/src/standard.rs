@@ -111,7 +111,6 @@ pub fn run_standard_with(
     let mut stats = PxStats::default();
     let mut io = io;
     let mut sandbox = Sandbox::new();
-    let mut nt: Option<NtContext> = None;
 
     let mut cycles: u64 = 0;
     let mut instructions: u64 = 0;
@@ -119,133 +118,82 @@ pub fn run_standard_with(
     // Deterministic source for the §7.1(2) random spawn factor.
     let mut spawn_rng: u64 = 0x9E37_79B9_7F4A_7C15 ^ (program.code.len() as u64 + 1);
 
+    // The run alternates between two modal inner loops — taken-path and
+    // NT-path — instead of re-deciding the mode on every instruction. Each
+    // inner loop hoists everything its mode never needs (the taken loop has
+    // no sandbox, overflow or watchdog checks; the NT loop builds its
+    // sandbox view once per path and skips the counter-reset check), which
+    // is worth a double-digit percentage of the simulation's wall time.
+    //
+    // How an NT segment ended: either a normal stop (squash, resume taken
+    // path) or the instruction budget ran out mid-path (squash as cut
+    // short, then end the whole run).
+    enum SegEnd {
+        Stop(NtStop),
+        Budget,
+    }
+
     let exit = 'run: loop {
-        if instructions >= px.max_instructions {
-            // A budget hit mid-NT-path must not leave speculative state
-            // behind: squash so the committed state is the same one a
-            // shorter, NT-free run would have reached.
-            if let Some(ctx) = nt.take() {
-                squash(
-                    ctx,
-                    NtStop::RunCutShort,
-                    &mut core,
+        // ---- Taken-path mode (no NT-path live). ----
+        let spawned = 'taken: loop {
+            if instructions >= px.max_instructions {
+                break 'run RunExit::BudgetExhausted;
+            }
+            instructions += 1;
+
+            // Periodic exercise-counter reset (per CounterResetInterval
+            // taken-path instructions, §4.2(1)).
+            if taken_since_reset >= px.counter_reset_interval {
+                btb.reset_counters();
+                stats.counter_resets += 1;
+                taken_since_reset = 0;
+            }
+
+            let s = {
+                let mut env = StepEnv {
+                    io: &mut io,
+                    watches: &mut watches,
+                    suppress_syscalls: false,
+                    now_cycles: cycles,
+                    costs: &mach.costs,
+                    // Faults are injected only into NT-paths: the taken path
+                    // is the reference the containment checker diffs against.
+                    fault: None,
+                };
+                px_mach::step(program, &mut core, &mut memory, &mut env)
+            };
+
+            cycles += u64::from(s.base_cost);
+            if let Some(action) = s.deferred {
+                apply_deferred(
+                    action,
                     &mut caches,
-                    &mut watches,
-                    &mut sandbox,
-                    &mut stats,
-                    &mut cycles,
-                    mach,
+                    0,
+                    NT_VTAG,
+                    &mut monitor,
+                    cycles,
+                    PathKind::Taken,
+                    core.pc,
                 );
             }
-            break RunExit::BudgetExhausted;
-        }
-        instructions += 1;
-
-        // Periodic exercise-counter reset (per CounterResetInterval
-        // taken-path instructions, §4.2(1)).
-        if nt.is_none() && taken_since_reset >= px.counter_reset_interval {
-            btb.reset_counters();
-            stats.counter_resets += 1;
-            taken_since_reset = 0;
-        }
-
-        let in_nt = nt.is_some();
-        let os_sandboxed = in_nt && px.os_sandbox_unsafe;
-        let s = {
-            let io_ref: &mut IoState = match nt.as_mut().and_then(|c| c.scratch_io.as_mut()) {
-                Some(scratch) => scratch,
-                None => &mut io,
-            };
-            let mut env = StepEnv {
-                io: io_ref,
-                watches: &mut watches,
-                suppress_syscalls: in_nt && !px.os_sandbox_unsafe,
-                now_cycles: cycles,
-                costs: &mach.costs,
-                // Faults are injected only into NT-paths: the taken path is
-                // the reference the containment checker diffs against.
-                fault: if in_nt {
-                    fault.as_mut().map(|h| h as &mut dyn FaultHook)
-                } else {
-                    None
-                },
-            };
-            if in_nt {
-                let mut view = SandboxView::new(&memory, &mut sandbox);
-                px_mach::step(program, &mut core, &mut view, &mut env)
-            } else {
-                px_mach::step(program, &mut core, &mut memory, &mut env)
+            if let Some(access) = s.access {
+                let a = caches.access(0, access.addr, access.write, COMMITTED);
+                cycles += u64::from(a.cycles);
             }
-        };
 
-        cycles += u64::from(s.base_cost);
-        if let Some(action) = s.deferred {
-            apply_deferred(
-                action,
-                &mut caches,
-                0,
-                NT_VTAG,
-                &mut monitor,
-                cycles,
-                path_kind(&nt),
-                core.pc,
-            );
-        }
-        let mut overflow = false;
-        if let Some(access) = s.access {
-            if in_nt && access.write {
-                stats.nt_writes += 1;
-            }
-            let vtag = if in_nt && access.write {
-                NT_VTAG
-            } else {
-                COMMITTED
-            };
-            let a = caches.access(0, access.addr, access.write, vtag);
-            cycles += u64::from(a.cycles);
-            if in_nt && a.volatile_evicted == Some(NT_VTAG) {
-                overflow = true;
-            }
-        }
-
-        if in_nt {
-            stats.nt_instructions += 1;
-        } else {
             stats.taken_instructions += 1;
             taken_since_reset += 1;
-        }
 
-        // Event handling.
-        match s.event {
-            StepEvent::Branch {
-                pc,
-                taken,
-                taken_target,
-                not_taken_target,
-                ..
-            } => {
-                stats.dyn_branches += 1;
-                let edge = Edge::from_taken(taken);
-                if let Some(ctx) = nt.as_mut() {
-                    nt_cov.record(pc, edge);
-                    // Ablation D2: force the non-taken edge from inside an
-                    // NT-path when it has never been exercised.
-                    if px.explore_nt_from_nt {
-                        let other = edge.other();
-                        if btb.edge_count(pc, other) < px.counter_threshold
-                            && !program.in_checker_region(pc)
-                        {
-                            btb.exercise(pc, other);
-                            nt_cov.record(pc, other);
-                            core.pc = if taken {
-                                not_taken_target
-                            } else {
-                                taken_target
-                            };
-                            let _ = ctx;
-                        }
-                    }
-                } else {
+            match s.event {
+                StepEvent::Branch {
+                    pc,
+                    taken,
+                    taken_target,
+                    not_taken_target,
+                    ..
+                } => {
+                    stats.dyn_branches += 1;
+                    let edge = Edge::from_taken(taken);
                     btb.exercise(pc, edge);
                     taken_cov.record(pc, edge);
                     // NT-path spawn decision.
@@ -266,7 +214,8 @@ pub fn run_standard_with(
                         if random_admit {
                             stats.random_spawns += 1;
                         }
-                        // Spawn: counter bump at NT entry, checkpoint, redirect.
+                        // Spawn: counter bump at NT entry, checkpoint,
+                        // redirect.
                         btb.exercise(pc, nt_edge);
                         nt_cov.record(pc, nt_edge);
                         stats.spawns += 1;
@@ -281,137 +230,221 @@ pub fn run_standard_with(
                         watches.begin_log();
                         debug_assert_eq!(sandbox.written_bytes(), 0);
                         let scratch_io = px.os_sandbox_unsafe.then(|| io.clone());
-                        nt = Some(NtContext {
+                        break 'taken NtContext {
                             spawn_pc: pc,
                             executed: 0,
                             checkpoint,
                             scratch_io,
-                        });
-                        continue 'run;
+                        };
                     }
                 }
-            }
-            StepEvent::CheckFailed { kind, site, pc } => monitor.push(MonitorRecord {
-                kind: RecordKind::Check(kind),
-                site,
-                pc,
-                cycle: cycles,
-                path: path_kind(&nt),
-            }),
-            StepEvent::WatchHit {
-                tag,
-                addr,
-                is_write,
-                pc,
-            } => monitor.push(MonitorRecord {
-                kind: RecordKind::Watch {
+                StepEvent::CheckFailed { kind, site, pc } => monitor.push(MonitorRecord {
+                    kind: RecordKind::Check(kind),
+                    site,
+                    pc,
+                    cycle: cycles,
+                    path: PathKind::Taken,
+                }),
+                StepEvent::WatchHit {
                     tag,
                     addr,
                     is_write,
-                },
-                site: tag,
-                pc,
-                cycle: cycles,
-                path: path_kind(&nt),
-            }),
-            StepEvent::UnsafeEvent { code } => {
-                let Some(ctx) = nt.take() else {
-                    break RunExit::EngineFault(SimError::Invariant(
+                    pc,
+                } => monitor.push(MonitorRecord {
+                    kind: RecordKind::Watch {
+                        tag,
+                        addr,
+                        is_write,
+                    },
+                    site: tag,
+                    pc,
+                    cycle: cycles,
+                    path: PathKind::Taken,
+                }),
+                StepEvent::UnsafeEvent { .. } => {
+                    break 'run RunExit::EngineFault(SimError::Invariant(
                         "unsafe events only occur in NT-paths",
                     ));
-                };
-                let stop = if code == SyscallCode::Exit {
-                    NtStop::ProgramEnd
-                } else {
-                    NtStop::Unsafe(code)
-                };
-                squash(
-                    ctx,
-                    stop,
-                    &mut core,
-                    &mut caches,
-                    &mut watches,
-                    &mut sandbox,
-                    &mut stats,
-                    &mut cycles,
-                    mach,
-                );
-                continue 'run;
-            }
-            StepEvent::Crash { kind, .. } => {
-                if let Some(ctx) = nt.take() {
-                    squash(
-                        ctx,
-                        NtStop::Crash(kind),
-                        &mut core,
-                        &mut caches,
-                        &mut watches,
-                        &mut sandbox,
-                        &mut stats,
-                        &mut cycles,
-                        mach,
-                    );
-                    continue 'run;
                 }
-                break RunExit::Crashed(kind);
+                StepEvent::Crash { kind, .. } => break 'run RunExit::Crashed(kind),
+                StepEvent::Exit { code } => break 'run RunExit::Exited(code),
+                StepEvent::Syscall { .. } | StepEvent::None => {}
             }
-            StepEvent::Exit { code } => {
-                if let Some(ctx) = nt.take() {
-                    // Only reachable under the OS-sandbox extension: the
-                    // NT-path reached the end of the program.
-                    squash(
-                        ctx,
-                        NtStop::ProgramEnd,
-                        &mut core,
-                        &mut caches,
-                        &mut watches,
-                        &mut sandbox,
-                        &mut stats,
-                        &mut cycles,
-                        mach,
-                    );
-                    continue 'run;
-                }
-                break RunExit::Exited(code);
-            }
-            StepEvent::Syscall { .. } => {
-                if os_sandboxed {
-                    stats.nt_syscalls_sandboxed += 1;
-                }
-            }
-            StepEvent::None => {}
-        }
+        };
+        let mut ctx = spawned;
 
-        // NT-path bookkeeping: length limit, sandbox overflow and the
-        // watchdog (which outranks MaxLength when configured tighter —
-        // redirect faults can stretch a path's wall time, and the watchdog
-        // guarantees the taken path always regains the core).
-        let stop = nt.as_mut().and_then(|ctx| {
-            ctx.executed += 1;
-            if overflow {
-                Some(NtStop::SandboxOverflow)
-            } else if u64::from(ctx.executed) >= px.nt_watchdog {
-                Some(NtStop::Watchdog)
-            } else if ctx.executed >= px.max_nt_path_len {
-                Some(NtStop::MaxLength)
-            } else {
-                None
+        // ---- NT-path mode: one segment per spawned path. ----
+        let path = PathKind::NtPath {
+            spawn_pc: ctx.spawn_pc,
+        };
+        // Resolve the path's I/O once per segment, not once per
+        // instruction: the OS-sandbox scratch snapshot (when enabled) or
+        // the real I/O (which an NT-path can then only reach through
+        // suppressed system calls).
+        let mut scratch_io = ctx.scratch_io.take();
+        let end = 'nt: {
+            let mut view = SandboxView::new(&memory, &mut sandbox);
+            let io_ref: &mut IoState = match scratch_io.as_mut() {
+                Some(scratch) => scratch,
+                None => &mut io,
+            };
+            loop {
+                if instructions >= px.max_instructions {
+                    // A budget hit mid-NT-path must not leave speculative
+                    // state behind: squash so the committed state is the
+                    // same one a shorter, NT-free run would have reached.
+                    break 'nt SegEnd::Budget;
+                }
+                instructions += 1;
+
+                let s = {
+                    let mut env = StepEnv {
+                        io: &mut *io_ref,
+                        watches: &mut watches,
+                        suppress_syscalls: !px.os_sandbox_unsafe,
+                        now_cycles: cycles,
+                        costs: &mach.costs,
+                        fault: fault.as_mut().map(|h| h as &mut dyn FaultHook),
+                    };
+                    px_mach::step(program, &mut core, &mut view, &mut env)
+                };
+
+                cycles += u64::from(s.base_cost);
+                if let Some(action) = s.deferred {
+                    apply_deferred(
+                        action,
+                        &mut caches,
+                        0,
+                        NT_VTAG,
+                        &mut monitor,
+                        cycles,
+                        path,
+                        core.pc,
+                    );
+                }
+                let mut overflow = false;
+                if let Some(access) = s.access {
+                    let vtag = if access.write {
+                        stats.nt_writes += 1;
+                        NT_VTAG
+                    } else {
+                        COMMITTED
+                    };
+                    let a = caches.access(0, access.addr, access.write, vtag);
+                    cycles += u64::from(a.cycles);
+                    if a.volatile_evicted == Some(NT_VTAG) {
+                        overflow = true;
+                    }
+                }
+
+                stats.nt_instructions += 1;
+
+                match s.event {
+                    StepEvent::Branch {
+                        pc,
+                        taken,
+                        taken_target,
+                        not_taken_target,
+                        ..
+                    } => {
+                        stats.dyn_branches += 1;
+                        let edge = Edge::from_taken(taken);
+                        nt_cov.record(pc, edge);
+                        // Ablation D2: force the non-taken edge from inside
+                        // an NT-path when it has never been exercised.
+                        if px.explore_nt_from_nt {
+                            let other = edge.other();
+                            if btb.edge_count(pc, other) < px.counter_threshold
+                                && !program.in_checker_region(pc)
+                            {
+                                btb.exercise(pc, other);
+                                nt_cov.record(pc, other);
+                                core.pc = if taken {
+                                    not_taken_target
+                                } else {
+                                    taken_target
+                                };
+                            }
+                        }
+                    }
+                    StepEvent::CheckFailed { kind, site, pc } => monitor.push(MonitorRecord {
+                        kind: RecordKind::Check(kind),
+                        site,
+                        pc,
+                        cycle: cycles,
+                        path,
+                    }),
+                    StepEvent::WatchHit {
+                        tag,
+                        addr,
+                        is_write,
+                        pc,
+                    } => monitor.push(MonitorRecord {
+                        kind: RecordKind::Watch {
+                            tag,
+                            addr,
+                            is_write,
+                        },
+                        site: tag,
+                        pc,
+                        cycle: cycles,
+                        path,
+                    }),
+                    StepEvent::UnsafeEvent { code } => {
+                        break 'nt SegEnd::Stop(if code == SyscallCode::Exit {
+                            NtStop::ProgramEnd
+                        } else {
+                            NtStop::Unsafe(code)
+                        });
+                    }
+                    StepEvent::Crash { kind, .. } => {
+                        break 'nt SegEnd::Stop(NtStop::Crash(kind));
+                    }
+                    StepEvent::Exit { .. } => {
+                        // Only reachable under the OS-sandbox extension: the
+                        // NT-path reached the end of the program.
+                        break 'nt SegEnd::Stop(NtStop::ProgramEnd);
+                    }
+                    StepEvent::Syscall { .. } => {
+                        if px.os_sandbox_unsafe {
+                            stats.nt_syscalls_sandboxed += 1;
+                        }
+                    }
+                    StepEvent::None => {}
+                }
+
+                // NT-path bookkeeping: length limit, sandbox overflow and
+                // the watchdog (which outranks MaxLength when configured
+                // tighter — redirect faults can stretch a path's wall time,
+                // and the watchdog guarantees the taken path always regains
+                // the core).
+                ctx.executed += 1;
+                if overflow {
+                    break 'nt SegEnd::Stop(NtStop::SandboxOverflow);
+                } else if u64::from(ctx.executed) >= px.nt_watchdog {
+                    break 'nt SegEnd::Stop(NtStop::Watchdog);
+                } else if ctx.executed >= px.max_nt_path_len {
+                    break 'nt SegEnd::Stop(NtStop::MaxLength);
+                }
             }
-        });
-        if let Some(stop) = stop {
-            if let Some(ctx) = nt.take() {
-                squash(
-                    ctx,
-                    stop,
-                    &mut core,
-                    &mut caches,
-                    &mut watches,
-                    &mut sandbox,
-                    &mut stats,
-                    &mut cycles,
-                    mach,
-                );
-            }
+        };
+        let stop = match end {
+            SegEnd::Stop(stop) => stop,
+            SegEnd::Budget => NtStop::RunCutShort,
+        };
+        squash(
+            ctx,
+            stop,
+            &mut core,
+            &mut caches,
+            &mut watches,
+            &mut sandbox,
+            &mut stats,
+            &mut cycles,
+            mach,
+        );
+        if matches!(end, SegEnd::Budget) {
+            break 'run RunExit::BudgetExhausted;
         }
     };
 
@@ -430,15 +463,6 @@ pub fn run_standard_with(
         memory,
         core,
         stats,
-    }
-}
-
-fn path_kind(nt: &Option<NtContext>) -> PathKind {
-    match nt {
-        Some(ctx) => PathKind::NtPath {
-            spawn_pc: ctx.spawn_pc,
-        },
-        None => PathKind::Taken,
     }
 }
 

@@ -108,6 +108,7 @@ impl Program {
 
     /// Whether an instruction index falls inside a tagged checker region.
     #[must_use]
+    #[inline]
     pub fn in_checker_region(&self, pc: u32) -> bool {
         self.checker_regions
             .iter()
@@ -116,12 +117,14 @@ impl Program {
 
     /// Whether `pc` is a valid instruction index.
     #[must_use]
+    #[inline]
     pub fn valid_pc(&self, pc: u32) -> bool {
         (pc as usize) < self.code.len()
     }
 
     /// The instruction at `pc`, if valid.
     #[must_use]
+    #[inline]
     pub fn fetch(&self, pc: u32) -> Option<Instruction> {
         self.code.get(pc as usize).copied()
     }

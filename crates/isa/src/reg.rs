@@ -53,9 +53,14 @@ impl Reg {
     }
 
     /// The register's index in `0..32`.
+    ///
+    /// The mask restates the constructor invariant (`self.0 < 32`) in a
+    /// form the optimizer can see, so register-file indexing in interpreter
+    /// hot loops compiles without a bounds check.
     #[must_use]
+    #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        (self.0 & 31) as usize
     }
 
     /// The register's index as the raw `u8` used by the binary encoding.

@@ -47,6 +47,9 @@ struct BtbEntry {
     valid: bool,
     lru: u64,
     counters: [u8; 2],
+    /// Reset epoch the counters belong to; counters from an older epoch
+    /// read as zero (see [`Btb::reset_counters`]).
+    epoch: u64,
 }
 
 /// Saturation limit of the 4-bit exercise counters.
@@ -57,11 +60,21 @@ pub const COUNTER_MAX: u8 = 15;
 /// A BTB miss reads as count zero (paper §4.2(1)), and allocating a new entry
 /// may displace another branch's counters — an intentional source of
 /// imprecision the paper inherits from using the BTB as storage.
+///
+/// Entries live in one flat stride-indexed vector (`set × assoc + way`).
+/// The periodic `CounterResetInterval` reset is O(1): it bumps a reset
+/// epoch instead of walking every entry, and counters stamped with an older
+/// epoch read as zero. With the paper's interval of tens of instructions a
+/// physical walk of all 2048 entries would dominate taken-path simulation
+/// cost.
 #[derive(Debug, Clone)]
 pub struct Btb {
-    sets: Vec<Vec<BtbEntry>>,
+    entries: Vec<BtbEntry>,
+    assoc: usize,
     set_bits: u32,
     clock: u64,
+    /// Current counter-reset epoch.
+    epoch: u64,
     /// Dynamic branches observed since the last counter reset.
     since_reset: u64,
 }
@@ -95,40 +108,59 @@ impl Btb {
             ));
         }
         Ok(Btb {
-            sets: vec![vec![BtbEntry::default(); assoc as usize]; sets as usize],
+            entries: vec![BtbEntry::default(); (sets * assoc) as usize],
+            assoc: assoc as usize,
             set_bits: sets.trailing_zeros(),
             clock: 0,
+            epoch: 0,
             since_reset: 0,
         })
     }
 
+    #[inline]
     fn index(&self, pc: u32) -> (usize, u32) {
         let mask = (1u32 << self.set_bits) - 1;
         ((pc & mask) as usize, pc >> self.set_bits)
     }
 
-    /// The exercise count of `edge` at branch `pc`; a miss reads as zero.
+    /// The exercise count of `edge` at branch `pc`; a miss reads as zero,
+    /// and so does an entry whose counters predate the current reset epoch.
     #[must_use]
+    #[inline]
     pub fn edge_count(&self, pc: u32, edge: Edge) -> u8 {
         let (set, tag) = self.index(pc);
-        self.sets
-            .get(set)
-            .and_then(|s| s.iter().find(|e| e.valid && e.tag == tag))
-            .map_or(0, |e| e.counters[edge.idx()])
+        let base = set * self.assoc;
+        self.entries[base..base + self.assoc]
+            .iter()
+            .find(|e| e.valid && e.tag == tag)
+            .map_or(0, |e| {
+                if e.epoch == self.epoch {
+                    e.counters[edge.idx()]
+                } else {
+                    0
+                }
+            })
     }
 
     /// Records one execution of `edge` at branch `pc`, allocating (and
     /// possibly evicting) a BTB entry. Counters saturate at [`COUNTER_MAX`].
+    #[inline]
     pub fn exercise(&mut self, pc: u32, edge: Edge) {
         self.clock += 1;
         self.since_reset += 1;
         let clock = self.clock;
+        let epoch = self.epoch;
         let (set, tag) = self.index(pc);
-        let Some(set) = self.sets.get_mut(set) else {
-            return;
-        };
+        let base = set * self.assoc;
+        let set = &mut self.entries[base..base + self.assoc];
         if let Some(e) = set.iter_mut().find(|e| e.valid && e.tag == tag) {
             e.lru = clock;
+            if e.epoch != epoch {
+                // First touch since the last reset: the stale counters
+                // read as zero, so materialize that before incrementing.
+                e.counters = [0, 0];
+                e.epoch = epoch;
+            }
             let c = &mut e.counters[edge.idx()];
             *c = (*c + 1).min(COUNTER_MAX);
             return;
@@ -146,6 +178,7 @@ impl Btb {
             valid: true,
             lru: clock,
             counters: [0, 0],
+            epoch,
         };
         entry.counters[edge.idx()] = 1;
         set[victim] = entry;
@@ -159,12 +192,12 @@ impl Btb {
 
     /// Clears all exercise counters (the paper's periodic
     /// `CounterResetInterval` reset supporting long-running programs).
+    ///
+    /// O(1): bumps the reset epoch; stale-epoch counters read as zero.
+    /// Entry tags and LRU state survive, exactly as the physical walk this
+    /// replaced preserved them.
     pub fn reset_counters(&mut self) {
-        for set in &mut self.sets {
-            for e in set.iter_mut() {
-                e.counters = [0, 0];
-            }
-        }
+        self.epoch += 1;
         self.since_reset = 0;
     }
 }

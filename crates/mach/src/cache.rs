@@ -42,13 +42,34 @@ pub enum Lookup {
 }
 
 /// A set-associative, write-back, tag-only cache.
+///
+/// Lines live in one flat, stride-indexed vector (`set × assoc + way`)
+/// instead of a vector-of-vectors: one contiguous allocation, no
+/// double-indirection on the per-access lookup, and the set shift is
+/// precomputed once in [`Cache::new`].
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    lines: Vec<Line>,
+    assoc: usize,
     line_shift: u32,
     set_mask: u32,
+    set_shift: u32,
     clock: u64,
+    /// Indices of lines that turned volatile since the last gang
+    /// invalidation — the squash's worklist. May hold stale entries (lines
+    /// that were since retagged or evicted); gang invalidation re-checks
+    /// each. Every currently volatile line is in here at least once, so a
+    /// squash visits O(touched) lines instead of the whole cache.
+    volatile_idx: Vec<u32>,
+    /// MRU hint: the block id (`addr >> line_shift`) the last hit or fill
+    /// resolved, `u64::MAX` when unset. Consecutive accesses to the same
+    /// line — the dominant pattern of a strided sweep — skip the set scan.
+    /// Tags are unique among a set's valid lines, so the hint line is
+    /// exactly the line the scan would find; any operation that invalidates
+    /// lines outside [`Cache::access`] clears the hint.
+    mru_block: u64,
+    mru_idx: u32,
 }
 
 impl Cache {
@@ -56,35 +77,69 @@ impl Cache {
     #[must_use]
     pub fn new(cfg: CacheConfig) -> Cache {
         let sets = cfg.sets().max(1);
+        let assoc = cfg.assoc as usize;
         Cache {
             cfg,
-            sets: vec![vec![Line::default(); cfg.assoc as usize]; sets as usize],
+            lines: vec![Line::default(); sets as usize * assoc],
+            assoc,
             line_shift: cfg.line_bytes.max(1).trailing_zeros(),
             set_mask: sets - 1,
+            set_shift: sets.trailing_zeros(),
             clock: 0,
+            volatile_idx: Vec::new(),
+            mru_block: u64::MAX,
+            mru_idx: 0,
         }
     }
 
+    #[inline]
     fn index(&self, addr: u32) -> (usize, u32) {
         let line_addr = addr >> self.line_shift;
         (
             (line_addr & self.set_mask) as usize,
-            line_addr >> self.sets.len().trailing_zeros(),
+            line_addr >> self.set_shift,
         )
     }
 
     /// Accesses `addr`; on a write, the line's vtag becomes `vtag`.
+    #[inline]
     pub fn access(&mut self, addr: u32, write: bool, vtag: u8) -> Lookup {
         self.clock += 1;
-        let (set_idx, tag) = self.index(addr);
-        let set = &mut self.sets[set_idx];
-
-        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+        let block = u64::from(addr >> self.line_shift);
+        if block == self.mru_block {
+            // Same line as the previous hit/fill: skip the set scan. The
+            // bookkeeping below is byte-for-byte the scan's hit path.
+            let idx = self.mru_idx as usize;
+            let line = &mut self.lines[idx];
+            debug_assert!(line.valid);
             line.lru = self.clock;
             if write {
                 line.dirty = true;
+                let was_committed = line.vtag == COMMITTED;
                 line.vtag = vtag;
+                if vtag != COMMITTED && was_committed {
+                    self.volatile_idx.push(idx as u32);
+                }
             }
+            return Lookup::Hit;
+        }
+        let (set_idx, tag) = self.index(addr);
+        let base = set_idx * self.assoc;
+        let set = &mut self.lines[base..base + self.assoc];
+
+        if let Some(way) = set.iter().position(|l| l.valid && l.tag == tag) {
+            let line = &mut set[way];
+            line.lru = self.clock;
+            if write {
+                line.dirty = true;
+                let was_committed = line.vtag == COMMITTED;
+                line.vtag = vtag;
+                if vtag != COMMITTED && was_committed {
+                    self.volatile_idx.push((base + way) as u32);
+                }
+            }
+            self.mru_block = block;
+            self.mru_idx = (base + way) as u32;
             return Lookup::Hit;
         }
 
@@ -136,6 +191,11 @@ impl Cache {
             vtag: if write { vtag } else { COMMITTED },
             lru: self.clock,
         };
+        if write && vtag != COMMITTED {
+            self.volatile_idx.push((base + victim) as u32);
+        }
+        self.mru_block = block;
+        self.mru_idx = (base + victim) as u32;
         if evicted.valid && evicted.vtag != COMMITTED {
             Lookup::MissEvictedVolatile(evicted.vtag)
         } else {
@@ -147,19 +207,29 @@ impl Cache {
 
     /// Invalidates every line tagged `vtag` and returns how many there were
     /// (PathExpander's gang invalidation on squash).
+    ///
+    /// Walks the volatile worklist rather than the whole cache: a squash
+    /// costs O(lines the path actually touched). Entries for other vtags
+    /// (CMP's concurrent paths) are kept; stale entries are dropped.
     pub fn gang_invalidate(&mut self, vtag: u8) -> u32 {
         debug_assert_ne!(vtag, COMMITTED, "cannot gang-invalidate committed data");
+        self.mru_block = u64::MAX;
         let mut n = 0;
-        for set in &mut self.sets {
-            for line in set.iter_mut() {
-                if line.valid && line.vtag == vtag {
-                    line.valid = false;
-                    line.dirty = false;
-                    line.vtag = COMMITTED;
-                    n += 1;
-                }
+        let mut kept = 0;
+        for i in 0..self.volatile_idx.len() {
+            let idx = self.volatile_idx[i] as usize;
+            let line = &mut self.lines[idx];
+            if line.valid && line.vtag == vtag {
+                line.valid = false;
+                line.dirty = false;
+                line.vtag = COMMITTED;
+                n += 1;
+            } else if line.valid && line.vtag != COMMITTED {
+                self.volatile_idx[kept] = idx as u32;
+                kept += 1;
             }
         }
+        self.volatile_idx.truncate(kept);
         n
     }
 
@@ -168,12 +238,10 @@ impl Cache {
     pub fn commit_vtag(&mut self, vtag: u8) -> u32 {
         debug_assert_ne!(vtag, COMMITTED);
         let mut n = 0;
-        for set in &mut self.sets {
-            for line in set.iter_mut() {
-                if line.valid && line.vtag == vtag {
-                    line.vtag = COMMITTED;
-                    n += 1;
-                }
+        for line in &mut self.lines {
+            if line.valid && line.vtag == vtag {
+                line.vtag = COMMITTED;
+                n += 1;
             }
         }
         n
@@ -182,9 +250,8 @@ impl Cache {
     /// Number of currently volatile lines (any non-zero vtag).
     #[must_use]
     pub fn volatile_lines(&self) -> u32 {
-        self.sets
+        self.lines
             .iter()
-            .flatten()
             .filter(|l| l.valid && l.vtag != COMMITTED)
             .count() as u32
     }
@@ -199,21 +266,23 @@ impl Cache {
     /// `vtag`. Returns whether a line was retagged (a fully invalid cache
     /// has nothing to corrupt).
     pub fn flip_vtag(&mut self, entropy: u64, vtag: u8) -> bool {
-        let valid: u64 = self.sets.iter().flatten().filter(|l| l.valid).count() as u64;
+        self.mru_block = u64::MAX;
+        let valid: u64 = self.lines.iter().filter(|l| l.valid).count() as u64;
         if valid == 0 {
             return false;
         }
         let mut target = entropy % valid;
-        for set in &mut self.sets {
-            for line in set.iter_mut() {
-                if line.valid {
-                    if target == 0 {
-                        line.vtag = vtag;
-                        line.dirty = line.dirty || vtag != COMMITTED;
-                        return true;
+        for (idx, line) in self.lines.iter_mut().enumerate() {
+            if line.valid {
+                if target == 0 {
+                    line.vtag = vtag;
+                    line.dirty = line.dirty || vtag != COMMITTED;
+                    if vtag != COMMITTED {
+                        self.volatile_idx.push(idx as u32);
                     }
-                    target -= 1;
+                    return true;
                 }
+                target -= 1;
             }
         }
         false
@@ -224,17 +293,20 @@ impl Cache {
     /// that set is forced to displace a volatile line, exhausting the
     /// owning path's sandbox capacity. Returns the number of lines marked.
     pub fn poison_set_volatile(&mut self, entropy: u64, vtag: u8) -> u32 {
-        if self.sets.is_empty() || vtag == COMMITTED {
+        if self.assoc == 0 || vtag == COMMITTED {
             return 0;
         }
-        let set_idx = (entropy % self.sets.len() as u64) as usize;
+        self.mru_block = u64::MAX;
+        let set_idx = (entropy % (u64::from(self.set_mask) + 1)) as usize;
         let clock = self.clock;
+        let base = set_idx * self.assoc;
         let mut n = 0;
-        for line in self.sets[set_idx].iter_mut() {
+        for (way, line) in self.lines[base..base + self.assoc].iter_mut().enumerate() {
             line.valid = true;
             line.dirty = true;
             line.vtag = vtag;
             line.lru = clock;
+            self.volatile_idx.push((base + way) as u32);
             n += 1;
         }
         n
@@ -311,6 +383,7 @@ impl Hierarchy {
     /// `vtag`. An out-of-range core is charged main-memory latency and
     /// touches no cache state (defensive: engines validate core counts up
     /// front, so this is unreachable from validated configurations).
+    #[inline]
     pub fn access(&mut self, core: usize, addr: u32, write: bool, vtag: u8) -> Access {
         let Some(l1) = self.l1.get_mut(core) else {
             return Access {

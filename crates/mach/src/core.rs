@@ -15,11 +15,13 @@ impl Default for Regs {
 impl Regs {
     /// Reads a register (register 0 always reads 0).
     #[must_use]
+    #[inline]
     pub fn get(&self, r: Reg) -> i32 {
         self.0[r.index()]
     }
 
     /// Writes a register; writes to register 0 are discarded.
+    #[inline]
     pub fn set(&mut self, r: Reg, value: i32) {
         if !r.is_zero() {
             self.0[r.index()] = value;

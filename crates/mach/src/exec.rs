@@ -124,10 +124,15 @@ impl core::fmt::Debug for StepEnv<'_, '_> {
 /// On [`StepEvent::Crash`] and [`StepEvent::UnsafeEvent`] the core state is
 /// left unchanged (the caller squashes or faults); on every other event the
 /// core has advanced.
-pub fn step(
+///
+/// Generic over the memory view so each engine's hot loop monomorphizes —
+/// loads and stores inline instead of going through a vtable. `?Sized`
+/// keeps `&mut dyn MemView` callers working unchanged.
+#[inline]
+pub fn step<M: MemView + ?Sized>(
     program: &Program,
     core: &mut CoreState,
-    mem: &mut dyn MemView,
+    mem: &mut M,
     env: &mut StepEnv<'_, '_>,
 ) -> Step {
     let pc = core.pc;
@@ -434,7 +439,7 @@ pub fn step(
 /// entropy is reduced to an address inside `[DATA_BASE, mem_size)`;
 /// addresses the program cannot itself reach are silently skipped, so a
 /// flip is never an engine error.
-fn flip_mem_bit(program: &Program, mem: &mut dyn MemView, entropy: u64, bit: u8) {
+fn flip_mem_bit<M: MemView + ?Sized>(program: &Program, mem: &mut M, entropy: u64, bit: u8) {
     let span = u64::from(program.mem_size.max(DATA_BASE + 1) - DATA_BASE);
     let addr = DATA_BASE + (entropy % span) as u32;
     if let Ok(v) = mem.load(addr, Width::Byte) {

@@ -1,7 +1,12 @@
 //! Functional data memory: a flat byte array with a null guard page, plus the
 //! sandbox views PathExpander uses to contain NT-path side effects.
-
-use std::collections::HashMap;
+//!
+//! The sandbox is the simulation's hottest data structure: every NT-path
+//! load and store resolves through it, and every squash empties it. It is
+//! implemented as lazily-allocated fixed-size shadow pages carrying
+//! generation stamps (see [`Sandbox`]): a squash is an O(1) generation
+//! bump, and a byte lookup is one page-index load plus two bit tests —
+//! no hashing anywhere on the hot path.
 
 use px_isa::{Width, NULL_GUARD_END};
 
@@ -144,29 +149,73 @@ impl Memory {
     }
 }
 
-fn load_le(view: &mut impl FnMut(u32) -> u8, addr: u32, width: Width) -> i32 {
-    match width {
-        Width::Byte => i32::from(view(addr)),
-        Width::Word => {
-            let b = [view(addr), view(addr + 1), view(addr + 2), view(addr + 3)];
-            i32::from_le_bytes(b)
+impl MemView for Memory {
+    #[inline]
+    fn load(&mut self, addr: u32, width: Width) -> Result<i32, CrashKind> {
+        self.check(addr, width.bytes())?;
+        let i = addr as usize;
+        Ok(match width {
+            Width::Byte => i32::from(self.bytes[i]),
+            // The backing store is a flat byte array, so even misaligned
+            // words are one contiguous 4-byte copy.
+            Width::Word => {
+                i32::from_le_bytes(self.bytes[i..i + 4].try_into().expect("checked above"))
+            }
+        })
+    }
+
+    #[inline]
+    fn store(&mut self, addr: u32, value: i32, width: Width) -> Result<(), CrashKind> {
+        self.check(addr, width.bytes())?;
+        let i = addr as usize;
+        match width {
+            Width::Byte => self.bytes[i] = value as u8,
+            Width::Word => self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes()),
         }
+        Ok(())
     }
 }
 
-impl MemView for Memory {
-    fn load(&mut self, addr: u32, width: Width) -> Result<i32, CrashKind> {
-        self.check(addr, width.bytes())?;
-        Ok(load_le(&mut |a| self.bytes[a as usize], addr, width))
+/// Shadow-page geometry: 4 KiB pages, presence tracked by one bit per byte.
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
+const MASK_WORDS: usize = PAGE_SIZE / 64;
+
+/// One lazily-allocated shadow page of a [`Sandbox`].
+///
+/// `stamp` names the sandbox generation the page's masks belong to: a page
+/// whose stamp is stale (≠ the sandbox's current generation) is logically
+/// empty and its masks are lazily zeroed on the next write — so a squash
+/// never touches page memory at all.
+#[derive(Debug, Clone)]
+struct ShadowPage {
+    stamp: u64,
+    /// Bit `i` set ⇔ byte `i` was written by the NT-path this generation.
+    write_mask: [u64; MASK_WORDS],
+    /// Bit `i` set ⇔ byte `i` holds a preserved spawn-time snapshot value.
+    snap_mask: [u64; MASK_WORDS],
+    /// NT-path write values.
+    data: [u8; PAGE_SIZE],
+    /// Preserved committed bytes (CMP copy-on-write snapshot).
+    snap: [u8; PAGE_SIZE],
+}
+
+impl ShadowPage {
+    /// A fresh page with a stale stamp (generation 0 is never current).
+    fn new_boxed() -> Box<ShadowPage> {
+        Box::new(ShadowPage {
+            stamp: 0,
+            write_mask: [0; MASK_WORDS],
+            snap_mask: [0; MASK_WORDS],
+            data: [0; PAGE_SIZE],
+            snap: [0; PAGE_SIZE],
+        })
     }
 
-    fn store(&mut self, addr: u32, value: i32, width: Width) -> Result<(), CrashKind> {
-        self.check(addr, width.bytes())?;
-        let bytes = value.to_le_bytes();
-        for i in 0..width.bytes() {
-            self.bytes[(addr + i) as usize] = bytes[i as usize];
-        }
-        Ok(())
+    #[inline]
+    fn bit(off: usize) -> (usize, u64) {
+        (off >> 6, 1u64 << (off & 63))
     }
 }
 
@@ -174,36 +223,156 @@ impl MemView for Memory {
 /// snapshot of committed bytes that the taken path has overwritten since the
 /// path was spawned (CMP option only — the snapshot realizes the
 /// tree-structured data dependence of paper Figure 6(c)).
-#[derive(Debug, Clone, Default)]
+///
+/// Writes and snapshot entries live in generation-stamped shadow pages:
+/// [`Sandbox::clear`] (the squash) is an O(1) generation bump plus counter
+/// reset, and pages are revived lazily the next time a path touches them.
+#[derive(Debug, Clone)]
 pub struct Sandbox {
-    writes: HashMap<u32, u8>,
-    snapshot: HashMap<u32, u8>,
+    pages: Vec<Option<Box<ShadowPage>>>,
+    generation: u64,
+    written: usize,
+}
+
+impl Default for Sandbox {
+    fn default() -> Sandbox {
+        Sandbox::new()
+    }
 }
 
 impl Sandbox {
     /// Creates an empty sandbox.
     #[must_use]
     pub fn new() -> Sandbox {
-        Sandbox::default()
+        Sandbox {
+            pages: Vec::new(),
+            // Pages allocate with stamp 0, so the live generation starts at 1.
+            generation: 1,
+            written: 0,
+        }
     }
 
     /// Number of distinct bytes written by the NT-path.
     #[must_use]
     pub fn written_bytes(&self) -> usize {
-        self.writes.len()
+        self.written
+    }
+
+    /// Fetches the page covering `addr` for writing, allocating it on first
+    /// touch and lazily resetting its masks when its stamp is stale. A free
+    /// function over the fields so callers can keep updating the sandbox's
+    /// counters while the page is borrowed.
+    #[inline]
+    fn page_mut<'p>(
+        pages: &'p mut Vec<Option<Box<ShadowPage>>>,
+        generation: u64,
+        addr: u32,
+    ) -> (&'p mut ShadowPage, usize) {
+        let idx = (addr >> PAGE_SHIFT) as usize;
+        if idx >= pages.len() {
+            pages.resize_with(idx + 1, || None);
+        }
+        let page = pages[idx].get_or_insert_with(ShadowPage::new_boxed);
+        if page.stamp != generation {
+            page.write_mask = [0; MASK_WORDS];
+            page.snap_mask = [0; MASK_WORDS];
+            page.stamp = generation;
+        }
+        (page, (addr & PAGE_MASK) as usize)
+    }
+
+    /// The page covering `addr` for reading, if it exists and is current.
+    #[inline]
+    fn page(&self, addr: u32) -> Option<&ShadowPage> {
+        let page = self.pages.get((addr >> PAGE_SHIFT) as usize)?.as_deref()?;
+        (page.stamp == self.generation).then_some(page)
+    }
+
+    /// Records an NT-path write of one byte.
+    #[inline]
+    pub(crate) fn write_byte(&mut self, addr: u32, value: u8) {
+        let (page, off) = Sandbox::page_mut(&mut self.pages, self.generation, addr);
+        let (w, bit) = ShadowPage::bit(off);
+        if page.write_mask[w] & bit == 0 {
+            page.write_mask[w] |= bit;
+            self.written += 1;
+        }
+        page.data[off] = value;
+    }
+
+    /// Records an NT-path write of `bytes.len()` consecutive bytes.
+    #[inline]
+    fn write_span(&mut self, addr: u32, bytes: &[u8]) {
+        let off = (addr & PAGE_MASK) as usize;
+        if off + bytes.len() <= PAGE_SIZE {
+            let (page, off) = Sandbox::page_mut(&mut self.pages, self.generation, addr);
+            let (w, _) = ShadowPage::bit(off);
+            let sh = off & 63;
+            if sh + bytes.len() <= 64 {
+                // All presence bits land in one mask word: set them in one
+                // OR and count the fresh ones with a popcount.
+                let bits = ((1u64 << bytes.len()) - 1) << sh;
+                self.written += (!page.write_mask[w] & bits).count_ones() as usize;
+                page.write_mask[w] |= bits;
+                page.data[off..off + bytes.len()].copy_from_slice(bytes);
+            } else {
+                let mut fresh = 0;
+                for (i, &b) in bytes.iter().enumerate() {
+                    let (w, bit) = ShadowPage::bit(off + i);
+                    if page.write_mask[w] & bit == 0 {
+                        page.write_mask[w] |= bit;
+                        fresh += 1;
+                    }
+                    page.data[off + i] = b;
+                }
+                self.written += fresh;
+            }
+        } else {
+            // The span straddles a page boundary (misaligned word at a page
+            // edge): fall back to per-byte writes.
+            for (i, &b) in bytes.iter().enumerate() {
+                self.write_byte(addr + i as u32, b);
+            }
+        }
+    }
+
+    /// The NT-path's own value for `addr`, if it wrote one this generation.
+    #[must_use]
+    pub fn written_byte(&self, addr: u32) -> Option<u8> {
+        let page = self.page(addr)?;
+        let off = (addr & PAGE_MASK) as usize;
+        let (w, bit) = ShadowPage::bit(off);
+        (page.write_mask[w] & bit != 0).then(|| page.data[off])
+    }
+
+    /// The preserved spawn-time value for `addr`, if the taken path has
+    /// overwritten it since this sandbox's path spawned.
+    #[must_use]
+    pub fn snapshot_byte(&self, addr: u32) -> Option<u8> {
+        let page = self.page(addr)?;
+        let off = (addr & PAGE_MASK) as usize;
+        let (w, bit) = ShadowPage::bit(off);
+        (page.snap_mask[w] & bit != 0).then(|| page.snap[off])
     }
 
     /// Records that the *taken path* is about to overwrite `addr` which
     /// currently holds `old`. Must be called before the committed write for
-    /// every live sandbox (copy-on-write snapshot).
+    /// every live sandbox (copy-on-write snapshot). Only the earliest value
+    /// per address sticks.
     pub fn preserve(&mut self, addr: u32, old: u8) {
-        self.snapshot.entry(addr).or_insert(old);
+        let (page, off) = Sandbox::page_mut(&mut self.pages, self.generation, addr);
+        let (w, bit) = ShadowPage::bit(off);
+        if page.snap_mask[w] & bit == 0 {
+            page.snap_mask[w] |= bit;
+            page.snap[off] = old;
+        }
     }
 
-    /// Discards all NT-path writes (the squash). The snapshot is dropped too.
+    /// Discards all NT-path writes (the squash). The snapshot is dropped
+    /// too. O(1): pages go stale by generation bump and are lazily revived.
     pub fn clear(&mut self) {
-        self.writes.clear();
-        self.snapshot.clear();
+        self.generation += 1;
+        self.written = 0;
     }
 }
 
@@ -221,28 +390,86 @@ impl<'a> SandboxView<'a> {
         SandboxView { committed, sandbox }
     }
 
+    #[inline]
     fn read_byte(&self, addr: u32) -> u8 {
-        if let Some(&b) = self.sandbox.writes.get(&addr) {
-            return b;
+        let Some(page) = self.sandbox.page(addr) else {
+            return self.committed.byte(addr);
+        };
+        let off = (addr & PAGE_MASK) as usize;
+        let (w, bit) = ShadowPage::bit(off);
+        if page.write_mask[w] & bit != 0 {
+            page.data[off]
+        } else if page.snap_mask[w] & bit != 0 {
+            page.snap[off]
+        } else {
+            self.committed.byte(addr)
         }
-        if let Some(&b) = self.sandbox.snapshot.get(&addr) {
-            return b;
-        }
-        self.committed.byte(addr)
     }
 }
 
 impl MemView for SandboxView<'_> {
+    #[inline]
     fn load(&mut self, addr: u32, width: Width) -> Result<i32, CrashKind> {
         self.committed.check(addr, width.bytes())?;
-        Ok(load_le(&mut |a| self.read_byte(a), addr, width))
+        Ok(match width {
+            Width::Byte => i32::from(self.read_byte(addr)),
+            Width::Word => {
+                let off = (addr & PAGE_MASK) as usize;
+                // Fast path: the word sits in one shadow page (or none).
+                // A span whose presence bits are all clear reads straight
+                // from committed memory in one copy.
+                if off + 4 <= PAGE_SIZE {
+                    match self.sandbox.page(addr) {
+                        None => {
+                            let i = addr as usize;
+                            return Ok(i32::from_le_bytes(
+                                self.committed.bytes[i..i + 4]
+                                    .try_into()
+                                    .expect("checked above"),
+                            ));
+                        }
+                        Some(page) if (off & 63) <= 60 => {
+                            let (w, _) = ShadowPage::bit(off);
+                            let written = page.write_mask[w] >> (off & 63) & 0xF;
+                            if written == 0xF {
+                                // Fully written by the NT-path (the common
+                                // load-after-store shape).
+                                return Ok(i32::from_le_bytes(
+                                    page.data[off..off + 4]
+                                        .try_into()
+                                        .expect("single-page span"),
+                                ));
+                            }
+                            let snapped = page.snap_mask[w] >> (off & 63) & 0xF;
+                            if written | snapped == 0 {
+                                let i = addr as usize;
+                                return Ok(i32::from_le_bytes(
+                                    self.committed.bytes[i..i + 4]
+                                        .try_into()
+                                        .expect("checked above"),
+                                ));
+                            }
+                        }
+                        Some(_) => {}
+                    }
+                }
+                let b = [
+                    self.read_byte(addr),
+                    self.read_byte(addr + 1),
+                    self.read_byte(addr + 2),
+                    self.read_byte(addr + 3),
+                ];
+                i32::from_le_bytes(b)
+            }
+        })
     }
 
+    #[inline]
     fn store(&mut self, addr: u32, value: i32, width: Width) -> Result<(), CrashKind> {
         self.committed.check(addr, width.bytes())?;
-        let bytes = value.to_le_bytes();
-        for i in 0..width.bytes() {
-            self.sandbox.writes.insert(addr + i, bytes[i as usize]);
+        match width {
+            Width::Byte => self.sandbox.write_byte(addr, value as u8),
+            Width::Word => self.sandbox.write_span(addr, &value.to_le_bytes()),
         }
         Ok(())
     }
@@ -356,10 +583,43 @@ mod tests {
         let mut sb = Sandbox::new();
         sb.preserve(10, 1);
         sb.preserve(10, 2);
-        let m = Memory::new(DATA_BASE);
+        assert_eq!(sb.snapshot_byte(10), Some(1));
+        sb.clear();
+        assert_eq!(sb.snapshot_byte(10), None, "squash drops the snapshot");
+    }
+
+    #[test]
+    fn generation_squash_revives_pages_lazily() {
+        let mut m = Memory::new(DATA_BASE + 64);
+        let mut sb = Sandbox::new();
+        {
+            let mut v = SandboxView::new(&m, &mut sb);
+            v.store(DATA_BASE, 0x0A0B_0C0D, Width::Word).unwrap();
+        }
+        assert_eq!(sb.written_bytes(), 4);
+        sb.clear();
+        assert_eq!(sb.written_bytes(), 0);
+        // The stale page must contribute nothing after the squash...
+        {
+            let mut v = SandboxView::new(&m, &mut sb);
+            assert_eq!(v.load(DATA_BASE, Width::Word).unwrap(), 0);
+            // ...and writing to it again revives only the new bytes.
+            v.store(DATA_BASE + 1, 0x55, Width::Byte).unwrap();
+            assert_eq!(v.load(DATA_BASE, Width::Word).unwrap(), 0x5500);
+        }
+        assert_eq!(sb.written_bytes(), 1);
+        assert_eq!(sb.written_byte(DATA_BASE), None, "old write stayed dead");
+        m.store(DATA_BASE, 0, Width::Word).unwrap();
+    }
+
+    #[test]
+    fn word_access_straddling_a_page_boundary_is_consistent() {
+        let edge = DATA_BASE + (PAGE_SIZE as u32) - 2; // crosses 0x1000+PAGE
+        let m = Memory::new(DATA_BASE + 2 * PAGE_SIZE as u32);
+        let mut sb = Sandbox::new();
         let mut v = SandboxView::new(&m, &mut sb);
-        // addr 10 is in the guard page; read via internals instead:
-        let _ = &mut v;
-        assert_eq!(sb.snapshot.get(&10), Some(&1));
+        v.store(edge, 0x1122_3344, Width::Word).unwrap();
+        assert_eq!(v.load(edge, Width::Word).unwrap(), 0x1122_3344);
+        assert_eq!(sb.written_bytes(), 4);
     }
 }

@@ -119,6 +119,7 @@ impl WatchTable {
     /// stable across NT-path rollbacks, which restore the set of ranges but
     /// not their order).
     #[must_use]
+    #[inline]
     pub fn hit(&self, addr: u32, len: u32) -> Option<u32> {
         let end = addr.saturating_add(len);
         self.ranges

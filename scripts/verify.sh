@@ -18,4 +18,11 @@ cargo fmt --check
 echo "==> fault-smoke: 64-case fault-injection campaign"
 cargo run --release --offline -q -p px-bench --bin fault_campaign -- --seed 1 --cases 64
 
+# Throughput gate: the committed BENCH_throughput.json must carry the
+# current schema and this machine's freshly-computed *architectural* digest.
+# Wall-clock numbers are machine-specific and are never compared.
+echo "==> bench-gate: schema + architectural digest of BENCH_throughput.json"
+cargo run --release --offline -q -p px-bench --bin bench_report -- \
+    --quick --verify BENCH_throughput.json
+
 echo "verify: OK"
