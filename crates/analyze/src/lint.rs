@@ -1,0 +1,376 @@
+//! Guest-program lint pass.
+//!
+//! Five diagnostic kinds over the CFG + constant-propagation results:
+//!
+//! * [`LintKind::UnreachableCode`] — instructions no execution can reach
+//!   (reported once per maximal run, at its first pc);
+//! * [`LintKind::CallRetMismatch`] — a `Ret` in a program with no `Call`,
+//!   or a non-`Call` instruction overwriting `ra` (breaking the return
+//!   discipline the CFG and the hardware RAS both assume);
+//! * [`LintKind::ConstAddrOutOfBounds`] — a load/store whose address is
+//!   constant and either inside the null guard (certain crash) or beyond
+//!   the program's declared memory size (crash on the default machine);
+//! * [`LintKind::DeadCheck`] — a `Check` probe whose condition register is
+//!   a constant non-zero value, so it can never fire;
+//! * [`LintKind::PredicatedOutsideNt`] — a predicated variable-fixing
+//!   instruction (§4.4) that no NT-path entry can reach with the predicate
+//!   still set. The predicate is set at NT-spawn and cleared by the first
+//!   control transfer, so such an instruction is a NOP on every path.
+//!
+//! Diagnostics are sorted by `(pc, kind)` and carry the source line, making
+//! the output — and its JSON rendering — deterministic byte-for-byte.
+
+use px_isa::{Instruction, Program, Reg, DATA_BASE};
+
+use crate::cfg::Cfg;
+use crate::constprop::{ConstProp, Value};
+
+/// What a diagnostic is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintKind {
+    UnreachableCode,
+    CallRetMismatch,
+    ConstAddrOutOfBounds,
+    DeadCheck,
+    PredicatedOutsideNt,
+}
+
+impl LintKind {
+    /// Stable machine-readable name (used by the JSON output).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LintKind::UnreachableCode => "unreachable-code",
+            LintKind::CallRetMismatch => "call-ret-mismatch",
+            LintKind::ConstAddrOutOfBounds => "const-addr-out-of-bounds",
+            LintKind::DeadCheck => "dead-check",
+            LintKind::PredicatedOutsideNt => "predicated-outside-nt",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub kind: LintKind,
+    /// First instruction the finding applies to.
+    pub pc: u32,
+    /// Source line recorded for that pc (0 when unknown).
+    pub line: u32,
+    pub message: String,
+}
+
+/// The set of pcs an NT-path can enter at: every successor edge of every
+/// branch (the spawned path is forced down whichever edge the committed
+/// run refuted, and `explore_nt_from_nt` spawns enter the same way).
+fn nt_entries(program: &Program) -> Vec<bool> {
+    let n = program.code.len();
+    let mut entry = vec![false; n];
+    for (pc, &insn) in program.code.iter().enumerate() {
+        if let Instruction::Branch { target, .. } = insn {
+            if program.valid_pc(target) {
+                entry[target as usize] = true;
+            }
+            if pc + 1 < n {
+                entry[pc + 1] = true;
+            }
+        }
+    }
+    entry
+}
+
+/// Runs the lint pass. `cp` must come from the same `program`/`cfg`.
+#[must_use]
+pub fn lint(program: &Program, cfg: &Cfg, cp: &ConstProp) -> Vec<Diagnostic> {
+    let n = program.code.len();
+    let mut out = Vec::new();
+    let mut push = |kind: LintKind, pc: u32, message: String| {
+        out.push(Diagnostic {
+            kind,
+            pc,
+            line: program.source_line(pc),
+            message,
+        });
+    };
+
+    // -- Unreachable code: one diagnostic per maximal dead run. -----------
+    let mut run_start: Option<u32> = None;
+    for pc in 0..=n as u32 {
+        let dead = (pc as usize) < n && !cp.reachable(pc);
+        match (dead, run_start) {
+            (true, None) => run_start = Some(pc),
+            (false, Some(start)) => {
+                push(
+                    LintKind::UnreachableCode,
+                    start,
+                    format!("instructions {start}..{pc} are unreachable from entry"),
+                );
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+
+    // -- Call/ret discipline. ---------------------------------------------
+    let has_call = program
+        .code
+        .iter()
+        .any(|i| matches!(i, Instruction::Call { .. }));
+    for (pc, &insn) in program.code.iter().enumerate() {
+        let pc = pc as u32;
+        if !cp.reachable(pc) {
+            continue; // already covered by unreachable-code
+        }
+        match insn {
+            Instruction::Ret if !has_call => {
+                push(
+                    LintKind::CallRetMismatch,
+                    pc,
+                    "`ret` in a program with no `call`: returns to whatever \
+                     `ra` holds (0 at entry, an invalid pc)"
+                        .to_string(),
+                );
+            }
+            _ => {
+                if crate::cfg::written_reg(&insn) == Some(Reg::RA)
+                    && !matches!(insn, Instruction::Call { .. })
+                {
+                    push(
+                        LintKind::CallRetMismatch,
+                        pc,
+                        "instruction overwrites `ra` outside a `call`, \
+                         breaking return discipline"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+
+    // -- Constant out-of-bounds addresses. --------------------------------
+    let declared = program.mem_size;
+    for (pc, &insn) in program.code.iter().enumerate() {
+        let pc = pc as u32;
+        let (base, offset, what) = match insn {
+            Instruction::Load { base, offset, .. } => (base, offset, "load"),
+            Instruction::Store { base, offset, .. } => (base, offset, "store"),
+            Instruction::PStore { base, offset, .. } => (base, offset, "predicated store"),
+            _ => continue,
+        };
+        let Some(state) = cp.state(pc) else { continue };
+        let Value::Const(b) = state.get(base) else {
+            continue;
+        };
+        let addr = (b as u32).wrapping_add(offset as u32);
+        if addr < DATA_BASE {
+            push(
+                LintKind::ConstAddrOutOfBounds,
+                pc,
+                format!(
+                    "{what} hits constant address {addr:#x} inside the null \
+                     guard [0, {DATA_BASE:#x}): certain crash"
+                ),
+            );
+        } else if addr >= declared {
+            push(
+                LintKind::ConstAddrOutOfBounds,
+                pc,
+                format!(
+                    "{what} hits constant address {addr:#x} beyond the \
+                     program's declared memory size {declared:#x}"
+                ),
+            );
+        }
+    }
+
+    // -- Dead checks. ------------------------------------------------------
+    for (pc, &insn) in program.code.iter().enumerate() {
+        let pc = pc as u32;
+        let Instruction::Check { cond, .. } = insn else {
+            continue;
+        };
+        let Some(state) = cp.state(pc) else { continue };
+        if let Value::Const(c) = state.get(cond) {
+            if c != 0 {
+                push(
+                    LintKind::DeadCheck,
+                    pc,
+                    format!(
+                        "check condition register `{cond}` is always {c} \
+                         (non-zero): the probe can never fire"
+                    ),
+                );
+            }
+        }
+    }
+
+    // -- Predicated instructions outside NT context. -----------------------
+    //
+    // The NT-entry predicate is set when a path is spawned at a branch edge
+    // and cleared by the first control transfer, so a predicated
+    // instruction only ever executes if some branch-successor pc reaches it
+    // without an intervening transfer.
+    let entries = nt_entries(program);
+    for (pc, &insn) in program.code.iter().enumerate() {
+        if !insn.is_predicated() {
+            continue;
+        }
+        let mut in_nt = false;
+        let mut e = pc;
+        loop {
+            if entries[e] {
+                in_nt = true;
+                break;
+            }
+            if e == 0 || program.code[e - 1].is_control_transfer() {
+                break;
+            }
+            e -= 1;
+        }
+        if !in_nt {
+            push(
+                LintKind::PredicatedOutsideNt,
+                pc as u32,
+                "predicated instruction is not reachable from any NT-path \
+                 entry without a predicate-clearing control transfer: it is \
+                 a NOP on every path"
+                    .to_string(),
+            );
+        }
+    }
+
+    let _ = cfg; // structural CFG retained in the signature for future lints
+    out.sort_by_key(|d| (d.pc, d.kind));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use px_isa::asm::assemble;
+
+    fn run_lint(src: &str) -> Vec<Diagnostic> {
+        let p = assemble(src).unwrap();
+        let cfg = Cfg::build(&p);
+        let cp = ConstProp::run(&p, &cfg);
+        lint(&p, &cfg, &cp)
+    }
+
+    fn kinds(diags: &[Diagnostic]) -> Vec<LintKind> {
+        diags.iter().map(|d| d.kind).collect()
+    }
+
+    #[test]
+    fn clean_program_has_no_diagnostics() {
+        let d = run_lint(
+            r"
+            .code
+            main:
+                readi
+                beq r1, zero, z
+                printi
+            z:
+                exit
+            ",
+        );
+        assert!(d.is_empty(), "unexpected diagnostics: {d:?}");
+    }
+
+    #[test]
+    fn unreachable_run_reported_once() {
+        let d = run_lint(
+            r"
+            .code
+            main:
+                jmp out       ; 0
+                nop           ; 1
+                nop           ; 2
+            out:
+                exit          ; 3
+            ",
+        );
+        assert_eq!(kinds(&d), vec![LintKind::UnreachableCode]);
+        assert_eq!(d[0].pc, 1);
+        assert!(d[0].message.contains("1..3"));
+    }
+
+    #[test]
+    fn ret_without_call_flagged() {
+        let d = run_lint(
+            r"
+            .code
+            main:
+                ret
+            ",
+        );
+        assert_eq!(kinds(&d), vec![LintKind::CallRetMismatch]);
+    }
+
+    #[test]
+    fn ra_overwrite_flagged() {
+        let d = run_lint(
+            r"
+            .code
+            main:
+                li ra, 3      ; 0: overwrites ra outside a call
+                call f        ; 1
+                exit          ; 2
+            f:
+                ret           ; 3
+            ",
+        );
+        assert!(kinds(&d).contains(&LintKind::CallRetMismatch));
+        assert_eq!(d[0].pc, 0);
+    }
+
+    #[test]
+    fn constant_null_deref_and_oob_flagged() {
+        let d = run_lint(
+            r"
+            .code
+            main:
+                lw r2, 8(zero)        ; 0: inside null guard
+                exit                  ; 1
+            ",
+        );
+        assert_eq!(
+            kinds(&d),
+            vec![LintKind::ConstAddrOutOfBounds, LintKind::UnreachableCode]
+        );
+        assert!(d[0].message.contains("null"));
+    }
+
+    #[test]
+    fn dead_check_flagged() {
+        let d = run_lint(
+            r"
+            .code
+            main:
+                li r2, 1              ; 0
+                nullchk r2, #7        ; 1: cond is constant 1, never fires
+                exit                  ; 2
+            ",
+        );
+        assert_eq!(kinds(&d), vec![LintKind::DeadCheck]);
+        assert_eq!(d[0].pc, 1);
+    }
+
+    #[test]
+    fn predicated_at_branch_target_is_fine_elsewhere_flagged() {
+        let d = run_lint(
+            r"
+            .code
+            main:
+                pli r2, 5             ; 0: before any branch — never executes
+                readi                 ; 1
+                beq r1, zero, fix     ; 2
+                exit                  ; 3
+            fix:
+                pli r2, 1             ; 4: at a branch target — legitimate
+                exit                  ; 5
+            ",
+        );
+        assert_eq!(kinds(&d), vec![LintKind::PredicatedOutsideNt]);
+        assert_eq!(d[0].pc, 0);
+    }
+}

@@ -51,10 +51,13 @@ fn main() {
                 pct(r.baseline),
                 pct(r.pathexpander),
                 format!("+{:.1}", (r.pathexpander - r.baseline) * 100.0),
+                pct(r.baseline_feasible),
+                pct(r.pathexpander_feasible),
             ]
         })
         .collect();
-    println!("Cumulative branch coverage over {inputs} random inputs\n");
+    println!("Cumulative branch coverage over {inputs} random inputs");
+    println!("(feasible columns divide by px-analyze's statically feasible edges)\n");
     println!(
         "{}",
         render_table(
@@ -63,7 +66,9 @@ fn main() {
                 "Inputs",
                 "Baseline",
                 "PathExpander",
-                "Improvement"
+                "Improvement",
+                "Base/feas",
+                "PX/feas"
             ],
             &cells
         )

@@ -1,0 +1,92 @@
+//! Regenerates the static NT-spawn filter experiment (E14): spawn
+//! reduction from px-analyze's must-reach-unsafe veto, with taken-path
+//! digests proving the committed run is untouched.
+
+use px_bench::experiments::static_filter::{
+    static_filter, static_filter_summary, DEFAULT_THRESHOLD,
+};
+use px_bench::fmt::{pct, render_table};
+use px_util::json::to_json_lines;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => i += 1,
+            "--threshold" => {
+                let value = args.get(i + 1).and_then(|a| a.parse::<u32>().ok());
+                let Some(value) = value.filter(|&k| k > 0) else {
+                    eprintln!("error: --threshold expects a positive instruction count");
+                    std::process::exit(2);
+                };
+                threshold = value;
+                i += 2;
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                eprintln!("usage: static_filter [--threshold K] [--json]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let rows = static_filter(threshold);
+    if json {
+        print!("{}", to_json_lines(&rows));
+        return;
+    }
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.clone(),
+                r.spawns_base.to_string(),
+                r.spawns_filtered.to_string(),
+                r.vetoed.to_string(),
+                format!(
+                    "{:.1}%",
+                    if r.nt_instructions_base == 0 {
+                        0.0
+                    } else {
+                        (1.0 - r.nt_instructions_filtered as f64 / r.nt_instructions_base as f64)
+                            * 100.0
+                    }
+                ),
+                pct(r.coverage_filtered),
+                if r.taken_digest_base == r.taken_digest_filtered {
+                    "identical".to_owned()
+                } else {
+                    "DIVERGED".to_owned()
+                },
+            ]
+        })
+        .collect();
+    println!("Static NT-spawn filter at threshold {threshold} (must-die-within-K veto)\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Application",
+                "Spawns",
+                "Filtered",
+                "Vetoed",
+                "NT-work saved",
+                "Feas. coverage",
+                "Taken digest"
+            ],
+            &cells
+        )
+    );
+    let (base, filtered, digests_match) = static_filter_summary(&rows);
+    println!(
+        "Total spawns: {base} -> {filtered} ({} vetoed); taken-path digests {}",
+        base - filtered,
+        if digests_match {
+            "all identical"
+        } else {
+            "DIVERGED (bug!)"
+        }
+    );
+}

@@ -2,6 +2,7 @@
 //! 40% → 65% claim) and cumulative coverage over 50 random inputs per
 //! application (+19%).
 
+use px_analyze::Analysis;
 use px_mach::Coverage;
 use px_util::{par_map, Json, ToJson};
 use px_workloads::buggy;
@@ -42,6 +43,14 @@ pub struct CumulativeRow {
     pub pathexpander: f64,
     /// `(after_k_inputs, baseline, pathexpander)` growth curve.
     pub curve: Vec<(usize, f64, f64)>,
+    /// Statically feasible branch edges (px-analyze), the honest
+    /// denominator: edges constant propagation proves unreachable are
+    /// excluded.
+    pub feasible_edges: u32,
+    /// Cumulative baseline coverage over feasible edges only.
+    pub baseline_feasible: f64,
+    /// Cumulative PathExpander coverage over feasible edges only.
+    pub pathexpander_feasible: f64,
 }
 
 impl ToJson for CumulativeRow {
@@ -52,6 +61,14 @@ impl ToJson for CumulativeRow {
             ("baseline", self.baseline.to_json()),
             ("pathexpander", self.pathexpander.to_json()),
             ("curve", self.curve.to_json()),
+            // Feasible-denominator fields are appended so every row still
+            // leads with "app" (the determinism test pins the row shape).
+            ("feasible_edges", Json::UInt(u64::from(self.feasible_edges))),
+            ("baseline_feasible", self.baseline_feasible.to_json()),
+            (
+                "pathexpander_feasible",
+                self.pathexpander_feasible.to_json(),
+            ),
         ])
     }
 }
@@ -104,6 +121,8 @@ pub fn coverage_cumulative_with_budget(inputs: usize, budget: u64) -> Vec<Cumula
     par_map(&buggy(), |w| {
         let tool = primary_tool(w);
         let compiled = compile(w, tool);
+        let analysis = Analysis::of(&compiled.program);
+        let feasible = analysis.feasible_edges();
         let mut cum_base = Coverage::for_program(&compiled.program);
         let mut cum_px = Coverage::for_program(&compiled.program);
         let mut curve = Vec::new();
@@ -111,8 +130,12 @@ pub fn coverage_cumulative_with_budget(inputs: usize, budget: u64) -> Vec<Cumula
             let r = run_px(w, &compiled, SEED + k as u64, |c| {
                 c.with_max_instructions(budget)
             });
-            cum_base.merge(&r.taken_coverage);
-            cum_px.merge(&r.total_coverage);
+            cum_base
+                .merge(&r.taken_coverage)
+                .expect("cumulative tracker sized for the same program");
+            cum_px
+                .merge(&r.total_coverage)
+                .expect("cumulative tracker sized for the same program");
             if (k + 1) % 10 == 0 || k + 1 == inputs || k == 0 {
                 curve.push((
                     k + 1,
@@ -127,6 +150,9 @@ pub fn coverage_cumulative_with_budget(inputs: usize, budget: u64) -> Vec<Cumula
             baseline: cum_base.branch_coverage(&compiled.program),
             pathexpander: cum_px.branch_coverage(&compiled.program),
             curve,
+            feasible_edges: analysis.feasible_edge_count(),
+            baseline_feasible: cum_base.branch_coverage_feasible(&compiled.program, feasible),
+            pathexpander_feasible: cum_px.branch_coverage_feasible(&compiled.program, feasible),
         }
     })
 }

@@ -304,7 +304,7 @@ pub fn run_case(seed: u64, id: u64, mix: &FaultMix) -> FaultCase {
     let period = rng.range_u64(2, 9) as u32;
     let engine = ENGINES[(id % 4) as usize];
     let (program_name, program, io) = assemble_template(rng.next_u64() as usize);
-    let mut plan = FaultPlan::new(fault_seed, mix.clone(), period);
+    let mut plan = FaultPlan::new(fault_seed, *mix, period);
 
     let (exit, faults, nt_paths, violations) = match engine {
         "baseline" => {

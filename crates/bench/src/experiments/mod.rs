@@ -7,6 +7,7 @@ pub mod fig3;
 pub mod overhead;
 pub mod perf;
 pub mod sensitivity;
+pub mod static_filter;
 pub mod tables;
 
 pub use ablations::{ablation_nt_from_nt, ablation_sandbox};
@@ -16,6 +17,7 @@ pub use fig3::fig3;
 pub use overhead::overhead;
 pub use perf::{throughput_report, ThroughputReport, ThroughputRow};
 pub use sensitivity::sensitivity;
+pub use static_filter::{static_filter, static_filter_summary, StaticFilterRow};
 pub use tables::{table3, table4, table5};
 
 use pathexpander::{PxConfig, PxRunResult};

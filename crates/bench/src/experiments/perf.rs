@@ -195,7 +195,7 @@ impl ToJson for ThroughputReport {
     }
 }
 
-fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
     let mut h = if seed == 0 {
         0xCBF2_9CE4_8422_2325
     } else {

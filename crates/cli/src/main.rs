@@ -18,6 +18,7 @@ use px_detect::Tool;
 use px_lang::{CompileOptions, CompiledProgram};
 use px_mach::{IoState, MachConfig};
 
+mod analyze;
 mod options;
 mod report;
 
@@ -87,6 +88,31 @@ fn run(opts: &Options) -> Result<ExitCode, String> {
             }
             let with_px = matches!(opts.action, Action::Run(_));
             execute(&compiled, io, opts, with_px)
+        }
+        Action::Analyze(target) => {
+            // A workload name resolves through the bundle; anything else is
+            // loaded (and compiled, for `.pxc`) like `run` would.
+            let compiled = if let Some(workload) = px_workloads::by_name(target) {
+                let tool = opts.tool.unwrap_or(workload.tools[0]);
+                workload
+                    .compile_for(tool)
+                    .map_err(|e| format!("compile error: {e}"))?
+            } else {
+                load(target, opts)?
+            };
+            let analysis = px_analyze::Analysis::of(&compiled.program);
+            if opts.json {
+                println!(
+                    "{}",
+                    analyze::render_json(target, &compiled.program, &analysis)
+                );
+            } else {
+                print!(
+                    "{}",
+                    analyze::render_human(target, &compiled.program, &analysis)
+                );
+            }
+            Ok(ExitCode::SUCCESS)
         }
         Action::Bench(name) => {
             let workload = px_workloads::by_name(name)

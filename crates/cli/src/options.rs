@@ -13,6 +13,7 @@ USAGE:
     pxc base  <file.pxc|file.pxs> [options]   compile + plain monitored run
     pxc build <file.pxc|file.pxs> [options]   compile only
     pxc bench <workload>          [options]   run a bundled workload
+    pxc analyze <file|workload>   [options]   static CFG analysis + lint
     pxc list                                  list bundled workloads
     pxc help                                  this text
 
@@ -37,6 +38,9 @@ OPTIONS:
                                          bitflip,crash=3 (implies injection)
     --fault-rate <n>                     inject roughly 1-in-n NT steps
                                          (default 4)
+    --static-filter <k>                  (run/bench) veto NT spawns that must
+                                         hit an unsafe event within k insns
+    --json                               (analyze) machine-readable output
     --disasm                             (build) print the disassembly
     --annotate                           (run) print coverage-annotated
                                          disassembly: [T./N] per branch edge
@@ -50,6 +54,7 @@ pub enum Action {
     Base(String),
     Build(String),
     Bench(String),
+    Analyze(String),
     List,
     Help,
 }
@@ -67,6 +72,8 @@ pub struct Options {
     pub verbose: bool,
     pub refit: bool,
     pub annotate: bool,
+    /// Emit machine-readable JSON (`analyze`).
+    pub json: bool,
     /// Seed for NT-path fault injection (enables injection when set).
     pub fault_seed: Option<u64>,
     /// Fault kinds to inject (enables injection when set).
@@ -88,7 +95,7 @@ impl Options {
         let action = match it.next().map(String::as_str) {
             None | Some("help" | "--help" | "-h") => Action::Help,
             Some("list") => Action::List,
-            Some(verb @ ("run" | "base" | "build" | "bench")) => {
+            Some(verb @ ("run" | "base" | "build" | "bench" | "analyze")) => {
                 let target = it
                     .next()
                     .ok_or_else(|| format!("`{verb}` needs a file or workload name"))?
@@ -97,6 +104,7 @@ impl Options {
                     "run" => Action::Run(target),
                     "base" => Action::Base(target),
                     "build" => Action::Build(target),
+                    "analyze" => Action::Analyze(target),
                     _ => Action::Bench(target),
                 }
             }
@@ -114,6 +122,7 @@ impl Options {
             verbose: false,
             refit: false,
             annotate: false,
+            json: false,
             fault_seed: None,
             fault_mix: None,
             fault_rate: 4,
@@ -187,6 +196,14 @@ impl Options {
                     }
                     opts.fault_rate = n;
                 }
+                "--static-filter" => {
+                    let k: u32 = parse_num(&value("--static-filter")?)?;
+                    if k == 0 {
+                        return Err("`--static-filter` must be at least 1".to_owned());
+                    }
+                    opts.px = opts.px.clone().with_static_nt_filter(Some(k));
+                }
+                "--json" => opts.json = true,
                 "--disasm" => opts.disasm = true,
                 "--verbose" => opts.verbose = true,
                 "--refit" => opts.refit = true,
@@ -207,7 +224,7 @@ impl Options {
             return None;
         }
         let seed = self.fault_seed.unwrap_or(self.seed);
-        let mix = self.fault_mix.clone().unwrap_or_else(FaultMix::uniform);
+        let mix = self.fault_mix.unwrap_or_else(FaultMix::uniform);
         Some(FaultPlan::new(seed, mix, self.fault_rate))
     }
 
@@ -262,6 +279,11 @@ mod tests {
             parse(&["bench", "bc"]).unwrap().action,
             Action::Bench("bc".into())
         );
+        assert_eq!(
+            parse(&["analyze", "bc"]).unwrap().action,
+            Action::Analyze("bc".into())
+        );
+        assert!(parse(&["analyze"]).is_err());
         assert!(parse(&["run"]).is_err());
         assert!(parse(&["frobnicate"]).is_err());
     }
@@ -338,6 +360,20 @@ mod tests {
         let e = parse(&["run", "x", "--fault-seed", "soon"]).unwrap_err();
         assert!(e.contains("--fault-seed") && e.contains("soon"), "{e}");
         assert!(parse(&["run", "x", "--budget", "0"]).is_err());
+    }
+
+    #[test]
+    fn static_filter_and_json_flags() {
+        let o = parse(&["run", "x", "--static-filter", "16"]).unwrap();
+        assert_eq!(o.px.static_nt_filter, Some(16));
+        assert!(parse(&["run", "x", "--static-filter", "0"]).is_err());
+        let o = parse(&["analyze", "x", "--json"]).unwrap();
+        assert!(o.json);
+        assert_eq!(
+            parse(&["run", "x"]).unwrap().px.static_nt_filter,
+            None,
+            "filter is opt-in"
+        );
     }
 
     #[test]

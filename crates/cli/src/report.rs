@@ -12,10 +12,15 @@ pub fn print_baseline(compiled: &CompiledProgram, r: &RunResult, tool: Tool, opt
     println!("exit:         {:?}", r.exit);
     println!("instructions: {}", r.instructions);
     println!("cycles:       {}", r.cycles);
+    let analysis = px_analyze::Analysis::of(&compiled.program);
     println!(
-        "coverage:     {:.1}% of {} branch edges",
+        "coverage:     {:.1}% of {} branch edges ({:.1}% of {} feasible)",
         r.coverage.branch_coverage(&compiled.program) * 100.0,
-        compiled.program.static_edge_count()
+        compiled.program.static_edge_count(),
+        r.coverage
+            .branch_coverage_feasible(&compiled.program, analysis.feasible_edges())
+            * 100.0,
+        analysis.feasible_edge_count()
     );
     print_output(r.io.output());
     print_detections(compiled, &r.monitor, tool, opts);
@@ -25,15 +30,26 @@ pub fn print_baseline(compiled: &CompiledProgram, r: &RunResult, tool: Tool, opt
 pub fn print_px(compiled: &CompiledProgram, r: &PxRunResult, tool: Tool, opts: &Options) {
     println!("exit:         {:?}", r.exit);
     println!("cycles:       {}", r.cycles);
+    let analysis = px_analyze::Analysis::of(&compiled.program);
     println!(
-        "coverage:     {:.1}% taken, {:.1}% with NT-paths",
+        "coverage:     {:.1}% taken, {:.1}% with NT-paths ({:.1}% of {} feasible edges)",
         r.taken_coverage.branch_coverage(&compiled.program) * 100.0,
-        r.total_coverage.branch_coverage(&compiled.program) * 100.0
+        r.total_coverage.branch_coverage(&compiled.program) * 100.0,
+        r.total_coverage
+            .branch_coverage_feasible(&compiled.program, analysis.feasible_edges())
+            * 100.0,
+        analysis.feasible_edge_count()
     );
     println!(
         "NT-paths:     {} spawned ({} instructions explored, {} skipped hot)",
         r.stats.spawns, r.stats.nt_instructions, r.stats.skipped_hot
     );
+    if r.stats.skipped_static > 0 {
+        println!(
+            "  static-filter vetoes: {} spawn(s) suppressed",
+            r.stats.skipped_static
+        );
+    }
     if opts.verbose {
         for class in [
             "max-length",
@@ -57,13 +73,14 @@ pub fn print_px(compiled: &CompiledProgram, r: &PxRunResult, tool: Tool, opts: &
     print_output(r.io.output());
     print_detections(compiled, &r.monitor, tool, opts);
     if opts.annotate {
-        println!("--- coverage-annotated disassembly ---");
+        println!("--- coverage-annotated disassembly (T taken, N NT-only, - infeasible) ---");
         print!(
             "{}",
-            px_mach::Coverage::annotated_listing(
+            px_mach::Coverage::annotated_listing_feasible(
                 &compiled.program,
                 &r.taken_coverage,
-                &r.total_coverage
+                &r.total_coverage,
+                Some(analysis.feasible_edges()),
             )
         );
     }

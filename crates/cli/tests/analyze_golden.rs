@@ -1,0 +1,55 @@
+//! Golden test for `pxc analyze --json`: the emitted JSON is a stable,
+//! deterministic interface (scripts parse it), so its exact bytes are
+//! pinned against a committed fixture — and re-verified to be identical
+//! across process invocations for several bundled workloads.
+
+use std::process::Command;
+
+fn pxc(args: &[&str]) -> (String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pxc"))
+        .args(args)
+        .output()
+        .expect("spawn pxc");
+    (
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn analyze_json_matches_the_committed_golden() {
+    // Integration tests run with the crate root as cwd, so this relative
+    // path resolves and is embedded verbatim in the "program" field.
+    let fixture = "tests/golden/analyze_sample.pxs";
+    let (stdout, ok) = pxc(&["analyze", fixture, "--json"]);
+    assert!(ok, "pxc analyze failed:\n{stdout}");
+    let golden = include_str!("golden/analyze_sample.json");
+    assert_eq!(
+        stdout, golden,
+        "pxc analyze --json drifted from the golden file; if the change is \
+         intentional, regenerate tests/golden/analyze_sample.json"
+    );
+    // The fixture must exercise every diagnostic surface the golden pins.
+    for needle in [
+        "\"feasible\":[false,true]",
+        "dead-check",
+        "const-addr-out-of-bounds",
+        "unreachable-code",
+    ] {
+        assert!(golden.contains(needle), "golden lost coverage of {needle}");
+    }
+}
+
+#[test]
+fn analyze_json_is_byte_identical_across_invocations() {
+    for workload in ["bc", "schedule", "print_tokens"] {
+        let (first, ok1) = pxc(&["analyze", workload, "--json"]);
+        let (second, ok2) = pxc(&["analyze", workload, "--json"]);
+        assert!(ok1 && ok2, "pxc analyze {workload} failed");
+        assert!(!first.is_empty(), "{workload}: empty analysis");
+        assert_eq!(
+            first, second,
+            "{workload}: analyze --json must be deterministic across runs"
+        );
+    }
+}

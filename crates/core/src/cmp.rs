@@ -153,6 +153,16 @@ pub fn run_cmp_with(
     let mut instructions: u64 = 0;
     let mut taken_since_reset: u64 = 0;
     let mut spawn_rng: u64 = 0x9E37_79B9_7F4A_7C15 ^ (program.code.len() as u64 + 1);
+    // Static NT-spawn veto mask (see `standard.rs`; `None` = paper mode).
+    let static_veto = px
+        .static_nt_filter
+        .map(|k| px_analyze::Analysis::of(program).veto_mask(program, k));
+    let vetoed = |mask: &Option<Vec<[bool; 2]>>, pc: u32, edge: Edge| -> bool {
+        mask.as_ref().is_some_and(|m| {
+            m.get(pc as usize)
+                .is_some_and(|e| e[usize::from(edge == Edge::NotTaken)])
+        })
+    };
 
     'event_loop: loop {
         if instructions >= px.max_instructions && primary_done.is_none() {
@@ -256,6 +266,8 @@ pub fn run_cmp_with(
                         });
                     if program.in_checker_region(pc) {
                         stats.skipped_checker += 1;
+                    } else if vetoed(&static_veto, pc, nt_edge) {
+                        stats.skipped_static += 1;
                     } else if hot && !random_admit {
                         stats.skipped_hot += 1;
                     } else if paths.len() as u32 >= px.max_outstanding {
@@ -367,6 +379,7 @@ pub fn run_cmp_with(
                 mach,
                 ready[who],
                 fault.as_mut().map(|h| h as &mut dyn FaultHook),
+                static_veto.as_deref(),
             );
             ready[who] += u64::from(cost);
             stats.nt_instructions += 1;
@@ -386,7 +399,10 @@ pub fn run_cmp_with(
         stats.faults_injected = h.fired;
     }
     let mut total_coverage = taken_cov.clone();
-    total_coverage.merge(&nt_cov);
+    let exit = match total_coverage.merge(&nt_cov) {
+        Ok(()) => exit,
+        Err(e) => RunExit::EngineFault(e),
+    };
     PxRunResult {
         exit,
         cycles: ready[0],
@@ -456,6 +472,7 @@ fn step_nt_path(
     mach: &MachConfig,
     now: u64,
     fault: Option<&mut dyn FaultHook>,
+    static_veto: Option<&[[bool; 2]]>,
 ) -> (Option<NtStop>, u32) {
     // NT-paths get a throwaway watch view (mutations must not leak); under
     // the OS-sandbox extension their system calls run against the path's
@@ -517,6 +534,10 @@ fn step_nt_path(
                 let other = edge.other();
                 if btb.edge_count(pc, other) < px.counter_threshold
                     && !program.in_checker_region(pc)
+                    && !static_veto.is_some_and(|m| {
+                        m.get(pc as usize)
+                            .is_some_and(|e| e[usize::from(other == Edge::NotTaken)])
+                    })
                 {
                     btb.exercise(pc, other);
                     nt_cov.record(pc, other);

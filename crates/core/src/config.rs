@@ -50,6 +50,14 @@ pub struct PxConfig {
     /// threshold) anyway roughly one time in `n`, deterministically seeded —
     /// this is what exposes hot-entry escapes like bc's second bug.
     pub random_factor: Option<u32>,
+    /// Extension (static-analysis assist): veto NT-path spawns whose edge
+    /// is *guaranteed* by px-analyze's NT-safety classification to hit an
+    /// unsafe event within fewer than this many instructions. `Some(k)`
+    /// consults the precomputed per-edge must-reach distances — a doomed
+    /// spawn buys no coverage the taken path cannot, so skipping it saves
+    /// the spawn/squash cycles outright. `None` (the default) preserves the
+    /// paper's purely dynamic selection bit-for-bit.
+    pub static_nt_filter: Option<u32>,
     /// Safety valve: stop the whole run after this many retired instructions
     /// (taken + NT).
     pub max_instructions: u64,
@@ -73,6 +81,7 @@ impl Default for PxConfig {
             explore_nt_from_nt: false,
             os_sandbox_unsafe: false,
             random_factor: None,
+            static_nt_filter: None,
             max_instructions: 500_000_000,
             nt_watchdog: 1_000_000,
         }
@@ -154,6 +163,15 @@ impl PxConfig {
         self
     }
 
+    /// Sets the static NT-spawn veto threshold (see
+    /// [`PxConfig::static_nt_filter`]). `Some(0)` never vetoes anything and
+    /// is normalised to `None`.
+    #[must_use]
+    pub fn with_static_nt_filter(mut self, threshold: Option<u32>) -> PxConfig {
+        self.static_nt_filter = threshold.filter(|&k| k > 0);
+        self
+    }
+
     /// Sets the total instruction budget.
     #[must_use]
     pub fn with_max_instructions(mut self, n: u64) -> PxConfig {
@@ -181,6 +199,7 @@ mod tests {
         assert_eq!(c.max_outstanding, 32);
         assert!(c.apply_fixes);
         assert!(!c.explore_nt_from_nt);
+        assert_eq!(c.static_nt_filter, None, "paper mode: no static veto");
         assert_eq!(PxConfig::siemens_defaults().max_nt_path_len, 100);
     }
 
@@ -194,6 +213,7 @@ mod tests {
             .with_fixes(false)
             .with_explore_nt_from_nt(true)
             .with_counter_reset_interval(5)
+            .with_static_nt_filter(Some(8))
             .with_max_instructions(99);
         assert_eq!(c.mode, Mode::Cmp);
         assert_eq!(c.max_nt_path_len, 10);
@@ -202,6 +222,14 @@ mod tests {
         assert!(!c.apply_fixes);
         assert!(c.explore_nt_from_nt);
         assert_eq!(c.counter_reset_interval, 5);
+        assert_eq!(c.static_nt_filter, Some(8));
+        assert_eq!(
+            PxConfig::default()
+                .with_static_nt_filter(Some(0))
+                .static_nt_filter,
+            None,
+            "zero threshold normalises to off"
+        );
         assert_eq!(c.max_instructions, 99);
     }
 }

@@ -40,6 +40,7 @@ impl FaultHook for CountingHook<'_> {
 /// path's volatile tag, so injected lines are swept up by the path's own
 /// gang-invalidation — the injection can degrade the path (early overflow,
 /// timing noise, monitor pressure) but never the committed state.
+#[allow(clippy::too_many_arguments)] // mirrors the hardware interface: one port per signal
 pub(crate) fn apply_deferred(
     action: FaultAction,
     caches: &mut Hierarchy,

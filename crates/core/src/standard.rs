@@ -117,6 +117,17 @@ pub fn run_standard_with(
     let mut taken_since_reset: u64 = 0;
     // Deterministic source for the §7.1(2) random spawn factor.
     let mut spawn_rng: u64 = 0x9E37_79B9_7F4A_7C15 ^ (program.code.len() as u64 + 1);
+    // Static NT-spawn veto mask, precomputed once per run (the analysis is
+    // pure; `None` keeps the paper's dynamic-only selection untouched).
+    let static_veto = px
+        .static_nt_filter
+        .map(|k| px_analyze::Analysis::of(program).veto_mask(program, k));
+    let vetoed = |mask: &Option<Vec<[bool; 2]>>, pc: u32, edge: Edge| -> bool {
+        mask.as_ref().is_some_and(|m| {
+            m.get(pc as usize)
+                .is_some_and(|e| e[usize::from(edge == Edge::NotTaken)])
+        })
+    };
 
     // The run alternates between two modal inner loops — taken-path and
     // NT-path — instead of re-deciding the mode on every instruction. Each
@@ -208,6 +219,8 @@ pub fn run_standard_with(
                         });
                     if program.in_checker_region(pc) {
                         stats.skipped_checker += 1;
+                    } else if vetoed(&static_veto, pc, nt_edge) {
+                        stats.skipped_static += 1;
                     } else if hot && !random_admit {
                         stats.skipped_hot += 1;
                     } else {
@@ -356,6 +369,7 @@ pub fn run_standard_with(
                             let other = edge.other();
                             if btb.edge_count(pc, other) < px.counter_threshold
                                 && !program.in_checker_region(pc)
+                                && !vetoed(&static_veto, pc, other)
                             {
                                 btb.exercise(pc, other);
                                 nt_cov.record(pc, other);
@@ -452,7 +466,10 @@ pub fn run_standard_with(
         stats.faults_injected = h.fired;
     }
     let mut total_coverage = taken_cov.clone();
-    total_coverage.merge(&nt_cov);
+    let exit = match total_coverage.merge(&nt_cov) {
+        Ok(()) => exit,
+        Err(e) => RunExit::EngineFault(e),
+    };
     PxRunResult {
         exit,
         cycles,
@@ -673,6 +690,37 @@ mod tests {
         // exercised 9 times, so it is hot). Exactly 5.
         assert_eq!(r.stats.spawns, 5);
         assert!(r.stats.skipped_hot >= 4);
+    }
+
+    #[test]
+    fn static_nt_filter_vetoes_doomed_spawns_without_perturbing_the_run() {
+        // The non-taken edge of the guard branch funnels straight into an
+        // exit syscall: every NT-path spawned there dies within 2
+        // instructions. The static filter (threshold 10) proves that and
+        // vetoes the spawn; everything the taken path does is unchanged.
+        let src = r"
+            .code
+            main:
+                li r4, 6
+            loop:
+                subi r4, r4, 1
+                bgt r4, zero, loop ; non-taken edge falls into the exit
+                li r2, 0
+                exit
+            ";
+        let base = run(src, &PxConfig::default());
+        let filtered = run(src, &PxConfig::default().with_static_nt_filter(Some(10)));
+        assert!(base.stats.spawns > 0, "baseline must spawn NT-paths");
+        assert_eq!(filtered.stats.spawns, 0, "every spawn here is doomed");
+        assert_eq!(filtered.stats.skipped_static, base.stats.spawns);
+        assert_eq!(base.stats.skipped_static, 0, "off by default");
+        // The taken path is untouched by the veto.
+        assert_eq!(filtered.exit, base.exit);
+        assert_eq!(filtered.io.output_string(), base.io.output_string());
+        assert_eq!(
+            filtered.taken_coverage, base.taken_coverage,
+            "taken-path coverage identical with and without the filter"
+        );
     }
 
     #[test]

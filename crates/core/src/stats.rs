@@ -69,6 +69,10 @@ pub struct PxStats {
     /// Spawns skipped because `MaxNumNTPaths` NT-paths were outstanding
     /// (CMP option).
     pub skipped_outstanding: u64,
+    /// Spawns vetoed by the static NT-safety filter
+    /// (`PxConfig::static_nt_filter`): the edge is guaranteed to hit an
+    /// unsafe event within the threshold.
+    pub skipped_static: u64,
     /// Instructions retired on the taken path.
     pub taken_instructions: u64,
     /// Instructions retired on NT-paths.

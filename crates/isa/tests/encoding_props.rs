@@ -167,6 +167,50 @@ px_prop! {
         assert_eq!(program.code[0], insn);
     }
 
+    fn mutated_streams_never_panic(
+        code in vec_of(arb_instruction(), 1..32),
+        pos in any_u32(),
+        bit in (0u8..8),
+    ) {
+        // Flip one bit anywhere in a valid encoded stream: decoding must
+        // either succeed (the mutation landed in a don't-care or produced
+        // another valid instruction) or report a typed DecodeError — never
+        // panic, never loop.
+        let mut bytes = encode_program(&code);
+        let pos = pos as usize % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        match decode_program(&bytes) {
+            Ok(decoded) => assert_eq!(decoded.len(), code.len()),
+            Err(
+                px_isa::DecodeError::BadOpcode(_)
+                | px_isa::DecodeError::BadRegister(_)
+                | px_isa::DecodeError::BadSelector(_),
+            ) => {}
+            Err(e) => panic!("single-bit flip cannot change the length: {e}"),
+        }
+    }
+
+    fn truncated_streams_report_bad_length(
+        code in vec_of(arb_instruction(), 1..32),
+        cut in any_u32(),
+    ) {
+        // Chop the stream at a non-instruction boundary: decode_program must
+        // reject it with BadLength (carrying the truncated length), not read
+        // past the end or decode a prefix silently.
+        let bytes = encode_program(&code);
+        let cut = cut as usize % bytes.len();
+        if cut.is_multiple_of(px_isa::ENCODED_LEN) {
+            // A whole-instruction prefix is a valid (shorter) program.
+            let prefix = decode_program(&bytes[..cut]).unwrap();
+            assert_eq!(&prefix, &code[..cut / px_isa::ENCODED_LEN]);
+        } else {
+            assert_eq!(
+                decode_program(&bytes[..cut]).unwrap_err(),
+                px_isa::DecodeError::BadLength(cut)
+            );
+        }
+    }
+
     fn assembled_streams_encode_and_decode(code in vec_of(arb_instruction(), 1..48)) {
         // Disassemble a whole stream, reassemble it, then push it through the
         // binary encoding: three representations, one program.

@@ -1,0 +1,125 @@
+//! Lints the compiler's own output: px-analyze over generated code.
+//!
+//! The PXC code generator must never emit code the static analyser calls
+//! structurally broken — no unreachable instructions, no out-of-bounds
+//! constant addresses, no dead checks, and every §4.4 predicated fix slot
+//! placed where an NT-path can actually execute it. The one advisory we
+//! *expect* is `call-ret-mismatch`: epilogues restore RA from the stack
+//! (a non-`call` write to RA), which the linter conservatively reports.
+
+use px_analyze::{Analysis, LintKind};
+use px_lang::{compile, CompileOptions};
+
+/// Sources spanning the code generator's surface: calls/recursion,
+/// loops, arrays and pointers, globals, short-circuit logic, I/O.
+const SOURCES: &[(&str, &str)] = &[
+    (
+        "recursion",
+        "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+         int main() { printint(fib(10)); return 0; }",
+    ),
+    (
+        "arrays-and-loops",
+        "int a[16];
+         int main() {
+             int i; int sum;
+             sum = 0;
+             for (i = 0; i < 16; i = i + 1) { a[i] = i * i; }
+             for (i = 0; i < 16; i = i + 1) { sum = sum + a[i]; }
+             printint(sum);
+             return 0;
+         }",
+    ),
+    (
+        "pointers",
+        "int g;
+         int set(int *p, int v) { *p = v; return *p; }
+         int main() { int x; x = 0; printint(set(&x, 7) + set(&g, 2)); return 0; }",
+    ),
+    (
+        "short-circuit-and-io",
+        "int main() {
+             int c; int n;
+             n = 0;
+             c = getchar();
+             while (c >= 48 && c <= 57) { n = n * 10 + (c - 48); c = getchar(); }
+             if (n > 100 || n == 42) { printint(1); } else { printint(0); }
+             return 0;
+         }",
+    ),
+    (
+        "assertions",
+        "int main() {
+             int x;
+             x = readint();
+             assert(x >= 0);
+             printint(x + 1);
+             return 0;
+         }",
+    ),
+];
+
+fn variants() -> Vec<(&'static str, CompileOptions)> {
+    let plain = CompileOptions {
+        insert_fixes: false,
+        ..CompileOptions::default()
+    };
+    let fixes = CompileOptions::default();
+    let ccured = CompileOptions {
+        ccured: true,
+        ..CompileOptions::default()
+    };
+    let iwatcher = CompileOptions {
+        iwatcher: true,
+        ..CompileOptions::default()
+    };
+    vec![
+        ("plain", plain),
+        ("fixes", fixes),
+        ("ccured", ccured),
+        ("iwatcher", iwatcher),
+    ]
+}
+
+#[test]
+fn generated_code_lints_clean_modulo_ra_restore() {
+    for (name, src) in SOURCES {
+        for (variant, opts) in variants() {
+            let compiled = compile(src, &opts)
+                .unwrap_or_else(|e| panic!("{name} [{variant}] failed to compile: {e}"));
+            let analysis = Analysis::of(&compiled.program);
+            for d in analysis.diagnostics() {
+                assert_eq!(
+                    d.kind,
+                    LintKind::CallRetMismatch,
+                    "{name} [{variant}]: code generator produced a real lint \
+                     finding at pc {} (line {}): {}\n{}",
+                    d.pc,
+                    d.line,
+                    d.message,
+                    compiled.program.disassemble()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn predicated_fix_slots_live_in_nt_context() {
+    // With fix insertion on, generated code contains predicated
+    // instructions; the analyser must agree they all sit in NT-entry
+    // context (design D1), i.e. the `predicated-outside-nt` lint stays
+    // silent. Make sure the premise holds: fixes actually were emitted.
+    let src = SOURCES[1].1;
+    let compiled = compile(src, &CompileOptions::default()).expect("compile");
+    let has_predicated = compiled.program.code.iter().any(|i| i.is_predicated());
+    assert!(has_predicated, "fix insertion should emit predicated slots");
+    let analysis = Analysis::of(&compiled.program);
+    assert!(
+        !analysis
+            .diagnostics()
+            .iter()
+            .any(|d| d.kind == px_analyze::LintKind::PredicatedOutsideNt),
+        "every predicated fix slot must be reachable by an NT-path"
+    );
+}

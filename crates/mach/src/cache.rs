@@ -630,8 +630,10 @@ mod tests {
             Hierarchy::try_new(&cfg),
             Err(SimError::BadCacheGeometry(_))
         ));
-        let mut cfg = MachConfig::default();
-        cfg.cores = 0;
+        let cfg = MachConfig {
+            cores: 0,
+            ..MachConfig::default()
+        };
         assert_eq!(Hierarchy::try_new(&cfg).unwrap_err(), SimError::NoCores);
         assert!(Hierarchy::try_new(&MachConfig::default()).is_ok());
     }

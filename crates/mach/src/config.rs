@@ -267,24 +267,32 @@ mod tests {
         use crate::fault::SimError;
         assert!(MachConfig::default().validate().is_ok());
         assert!(MachConfig::single_core().validate().is_ok());
-        let mut c = MachConfig::default();
-        c.cores = 0;
+        let c = MachConfig {
+            cores: 0,
+            ..MachConfig::default()
+        };
         assert_eq!(c.validate().unwrap_err(), SimError::NoCores);
-        let mut c = MachConfig::default();
-        c.btb_assoc = 0;
+        let c = MachConfig {
+            btb_assoc: 0,
+            ..MachConfig::default()
+        };
         assert!(matches!(
             c.validate().unwrap_err(),
             SimError::BadBtbGeometry(_)
         ));
-        let mut c = MachConfig::default();
-        c.btb_entries = 24;
-        c.btb_assoc = 2; // 12 sets: not a power of two
+        let c = MachConfig {
+            btb_entries: 24,
+            btb_assoc: 2, // 12 sets: not a power of two
+            ..MachConfig::default()
+        };
         assert!(matches!(
             c.validate().unwrap_err(),
             SimError::BadBtbGeometry(_)
         ));
-        let mut c = MachConfig::default();
-        c.mem_size = u32::MAX;
+        let c = MachConfig {
+            mem_size: u32::MAX,
+            ..MachConfig::default()
+        };
         assert!(matches!(
             c.validate().unwrap_err(),
             SimError::ProgramTooLarge { .. }

@@ -3,6 +3,7 @@
 use px_isa::Program;
 
 use crate::btb::Edge;
+use crate::fault::SimError;
 
 /// Tracks which static branch edges have been executed.
 ///
@@ -76,19 +77,61 @@ impl Coverage {
 
     /// Merges another tracker into this one (union of covered edges).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the trackers were built for different code sizes.
-    pub fn merge(&mut self, other: &Coverage) {
-        assert_eq!(
-            self.edges.len(),
-            other.edges.len(),
-            "coverage size mismatch"
-        );
+    /// Returns [`SimError::CoverageSizeMismatch`] — leaving `self`
+    /// untouched — if the trackers were built for different code sizes.
+    pub fn merge(&mut self, other: &Coverage) -> Result<(), SimError> {
+        if self.edges.len() != other.edges.len() {
+            return Err(SimError::CoverageSizeMismatch {
+                left: self.edges.len(),
+                right: other.edges.len(),
+            });
+        }
         for (a, b) in self.edges.iter_mut().zip(&other.edges) {
             a[0] |= b[0];
             a[1] |= b[1];
         }
+        Ok(())
+    }
+
+    /// Number of covered edges outside checker regions that are also in
+    /// `feasible` — the numerator of [`Coverage::branch_coverage_feasible`].
+    ///
+    /// `feasible[pc]` is the `[taken, not_taken]` mask from static analysis
+    /// (px-analyze `feasible_edges`); indexes beyond its length count as
+    /// infeasible. The intersection matters because NT-path spawns *force*
+    /// execution down statically-refuted edges, so covered ⊄ feasible.
+    #[must_use]
+    pub fn covered_feasible_edges(&self, program: &Program, feasible: &[[bool; 2]]) -> u32 {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|&(pc, _)| !program.in_checker_region(pc as u32))
+            .map(|(pc, e)| {
+                let f = feasible.get(pc).copied().unwrap_or([false; 2]);
+                u32::from(e[0] && f[0]) + u32::from(e[1] && f[1])
+            })
+            .sum()
+    }
+
+    /// Branch coverage over the *feasible* denominator: covered∩feasible
+    /// edges divided by feasible edges (checker regions excluded from
+    /// both). This is the honest version of [`Coverage::branch_coverage`]
+    /// — edges no input can ever take no longer depress the ratio. Returns
+    /// 1.0 when no feasible edges exist.
+    #[must_use]
+    pub fn branch_coverage_feasible(&self, program: &Program, feasible: &[[bool; 2]]) -> f64 {
+        let total: u32 = feasible
+            .iter()
+            .enumerate()
+            .filter(|&(pc, _)| pc < self.edges.len() && !program.in_checker_region(pc as u32))
+            .map(|(_, f)| u32::from(f[0]) + u32::from(f[1]))
+            .sum();
+        if total == 0 {
+            return 1.0;
+        }
+        f64::from(self.covered_feasible_edges(program, feasible)) / f64::from(total)
     }
 
     /// Renders a branch-coverage-annotated disassembly: each conditional
@@ -99,12 +142,36 @@ impl Coverage {
     /// fall-through edge.
     #[must_use]
     pub fn annotated_listing(program: &Program, taken: &Coverage, total: &Coverage) -> String {
+        Coverage::annotated_listing_feasible(program, taken, total, None)
+    }
+
+    /// Like [`Coverage::annotated_listing`], but when a static feasibility
+    /// mask is supplied, an uncovered edge that analysis proved infeasible
+    /// is marked `-` instead of `.` — "not covered, and no input ever
+    /// will". Covered-but-infeasible edges keep their `T`/`N` mark: an `N`
+    /// on an infeasible edge is an NT-path doing exactly what the paper
+    /// built it for.
+    #[must_use]
+    pub fn annotated_listing_feasible(
+        program: &Program,
+        taken: &Coverage,
+        total: &Coverage,
+        feasible: Option<&[[bool; 2]]>,
+    ) -> String {
         use core::fmt::Write as _;
         let mark = |pc: u32, edge: Edge| -> char {
             if taken.covered(pc, edge) {
                 'T'
             } else if total.covered(pc, edge) {
                 'N'
+            } else if feasible.is_some_and(|f| {
+                let slot = match edge {
+                    Edge::Taken => 0,
+                    Edge::NotTaken => 1,
+                };
+                !f.get(pc as usize).is_some_and(|e| e[slot])
+            }) {
+                '-'
             } else {
                 '.'
             }
@@ -180,8 +247,55 @@ mod tests {
         nt.record(1, Edge::Taken);
         assert_eq!(nt.newly_covered(&taken, &p), 2);
         let mut merged = taken.clone();
-        merged.merge(&nt);
+        merged.merge(&nt).unwrap();
         assert_eq!(merged.covered_edges(&p), 3);
+    }
+
+    #[test]
+    fn merge_size_mismatch_is_a_typed_error() {
+        let mut a = Coverage::new(3);
+        let b = Coverage::new(5);
+        let before = a.clone();
+        assert_eq!(
+            a.merge(&b),
+            Err(crate::fault::SimError::CoverageSizeMismatch { left: 3, right: 5 })
+        );
+        assert_eq!(a, before, "failed merge must not mutate");
+    }
+
+    #[test]
+    fn feasible_coverage_uses_the_honest_denominator() {
+        let p = two_branch_program();
+        // Static analysis says branch 0's taken edge is infeasible:
+        // 3 feasible edges out of 4 static ones.
+        let feasible = vec![[false, true], [true, true], [false, false]];
+        let mut c = Coverage::for_program(&p);
+        c.record(0, Edge::NotTaken);
+        c.record(1, Edge::Taken);
+        // Plain coverage: 2/4. Feasible coverage: 2/3.
+        assert!((c.branch_coverage(&p) - 0.5).abs() < 1e-12);
+        assert!((c.branch_coverage_feasible(&p, &feasible) - 2.0 / 3.0).abs() < 1e-12);
+        // An NT-forced cover of the infeasible edge raises the plain
+        // numerator but not the feasible one.
+        c.record(0, Edge::Taken);
+        assert_eq!(c.covered_edges(&p), 3);
+        assert_eq!(c.covered_feasible_edges(&p, &feasible), 2);
+        assert!((c.branch_coverage_feasible(&p, &feasible) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feasibility_marks_uncoverable_edges_in_the_listing() {
+        let p = two_branch_program();
+        let taken = Coverage::for_program(&p);
+        let mut total = taken.clone();
+        total.record(0, Edge::Taken);
+        let feasible = vec![[true, false], [false, true], [false, false]];
+        let listing = Coverage::annotated_listing_feasible(&p, &taken, &total, Some(&feasible));
+        let lines: Vec<&str> = listing.lines().collect();
+        // Branch 0: taken edge covered by NT, not-taken uncovered+infeasible.
+        assert!(lines[0].starts_with("[N-]"), "got {}", lines[0]);
+        // Branch 1: taken uncovered+infeasible, not-taken uncovered+feasible.
+        assert!(lines[1].starts_with("[-.]"), "got {}", lines[1]);
     }
 
     #[test]

@@ -55,6 +55,8 @@ pub enum SimError {
     ProgramTooLarge { mem_size: u32 },
     /// A data item does not fit in the program's data memory.
     BlobOutOfBounds { addr: u32, len: u32 },
+    /// Two coverage trackers built for different code sizes were merged.
+    CoverageSizeMismatch { left: usize, right: usize },
     /// An internal invariant did not hold (the message names it).
     Invariant(&'static str),
 }
@@ -71,6 +73,9 @@ impl core::fmt::Display for SimError {
             }
             SimError::BlobOutOfBounds { addr, len } => {
                 write!(f, "data item of {len} bytes at {addr:#x} does not fit")
+            }
+            SimError::CoverageSizeMismatch { left, right } => {
+                write!(f, "coverage size mismatch: {left} vs {right} instructions")
             }
             SimError::Invariant(m) => write!(f, "engine invariant violated: {m}"),
         }

@@ -263,11 +263,11 @@ impl Sandbox {
     /// function over the fields so callers can keep updating the sandbox's
     /// counters while the page is borrowed.
     #[inline]
-    fn page_mut<'p>(
-        pages: &'p mut Vec<Option<Box<ShadowPage>>>,
+    fn page_mut(
+        pages: &mut Vec<Option<Box<ShadowPage>>>,
         generation: u64,
         addr: u32,
-    ) -> (&'p mut ShadowPage, usize) {
+    ) -> (&mut ShadowPage, usize) {
         let idx = (addr >> PAGE_SHIFT) as usize;
         if idx >= pages.len() {
             pages.resize_with(idx + 1, || None);

@@ -163,15 +163,15 @@ px_prop! {
             cb.record(pc, Edge::from_taken(t));
         }
         let mut merged = ca.clone();
-        merged.merge(&cb);
+        merged.merge(&cb).unwrap();
         // Everything in either input is in the merge.
         for &(pc, t) in a.iter().chain(&b) {
             assert!(merged.covered(pc, Edge::from_taken(t)));
         }
         // Idempotent.
         let mut twice = merged.clone();
-        twice.merge(&cb);
-        twice.merge(&ca);
+        twice.merge(&cb).unwrap();
+        twice.merge(&ca).unwrap();
         assert_eq!(&twice, &merged);
     }
 

@@ -78,7 +78,7 @@ fn arb_addr() -> impl Strategy<Value = u32> + Clone + 'static {
 
 fn arb_op() -> impl Strategy<Value = Op> + 'static {
     (arb_addr(), any_i32(), 0u8..8).prop_map(|(addr, value, kind)| match kind {
-        0 | 1 | 2 => Op::Store {
+        0..=2 => Op::Store {
             addr,
             value,
             word: true,

@@ -172,7 +172,7 @@ macro_rules! any_int {
                 unused_comparisons
             )]
             fn generate(&self, rng: &mut Xoshiro256, size: u32) -> $t {
-                let bits = ($bits * size.min(MAX_SIZE) + MAX_SIZE - 1) / MAX_SIZE;
+                let bits = ($bits * size.min(MAX_SIZE)).div_ceil(MAX_SIZE);
                 if bits == 0 {
                     return 0;
                 }

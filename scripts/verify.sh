@@ -15,6 +15,15 @@ cargo test -q --offline
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+# Lint gate: warning-free under clippy. Skips gracefully on toolchains
+# without the clippy component installed.
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "==> cargo clippy: not installed, skipping"
+fi
+
 echo "==> fault-smoke: 64-case fault-injection campaign"
 cargo run --release --offline -q -p px-bench --bin fault_campaign -- --seed 1 --cases 64
 

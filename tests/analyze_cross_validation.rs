@@ -1,0 +1,199 @@
+//! Cross-validates px-analyze against the dynamic engines.
+//!
+//! Two properties over randomly generated forward-only programs:
+//!
+//! 1. **Soundness of infeasibility**: no branch edge that constant
+//!    propagation marks statically infeasible is ever covered by the
+//!    *taken* path of a dynamic run. (NT-paths are excluded on purpose:
+//!    PathExpander exists to force not-taken edges, including refuted
+//!    ones — that is the tool working, not the analysis failing.)
+//! 2. **Filter transparency**: enabling `static_nt_filter` never breaks
+//!    containment (the committed run stays bit-identical to a plain
+//!    baseline) and never changes taken-path coverage.
+//!
+//! Forward-only control flow (branches and jumps only target higher pcs)
+//! guarantees every generated program terminates, so no case depends on
+//! the instruction budget.
+
+use pathexpander::{differential_run, Mode, PxConfig};
+use px_analyze::{Analysis, BranchEdge};
+use px_isa::{
+    AluOp, BranchCond, CheckKind, Instruction, Program, ProgramBuilder, Reg, SyscallCode, Width,
+    DATA_BASE,
+};
+use px_mach::{Edge, IoState, MachConfig};
+use px_util::{Rng, Xoshiro256};
+
+/// Generates a terminating program with `n` instructions: random ALU work,
+/// in-bounds memory traffic, input syscalls (so some branches stay
+/// undecidable), checks, and forward-only branches/jumps ending in `exit`.
+fn random_forward_program(rng: &mut Xoshiro256, n: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let reg = |rng: &mut Xoshiro256| Reg::new(2 + (rng.next_u64() % 8) as u8);
+    let alu_op = |rng: &mut Xoshiro256| {
+        [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Mul,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Slt,
+            AluOp::Seq,
+        ][(rng.next_u64() % 8) as usize]
+    };
+    let cond = |rng: &mut Xoshiro256| {
+        [
+            BranchCond::Eq,
+            BranchCond::Ne,
+            BranchCond::Lt,
+            BranchCond::Ge,
+            BranchCond::Le,
+            BranchCond::Gt,
+        ][(rng.next_u64() % 6) as usize]
+    };
+    for pc in 0..n - 1 {
+        let insn = match rng.next_u64() % 12 {
+            0..=2 => Instruction::AluI {
+                op: alu_op(rng),
+                rd: reg(rng),
+                rs1: reg(rng),
+                imm: (rng.next_u64() % 17) as i32 - 8,
+            },
+            3..=4 => Instruction::Alu {
+                op: alu_op(rng),
+                rd: reg(rng),
+                rs1: reg(rng),
+                rs2: reg(rng),
+            },
+            5 => Instruction::Load {
+                width: Width::Word,
+                rd: reg(rng),
+                base: Reg::ZERO,
+                offset: (DATA_BASE + 4 * (rng.next_u64() % 16) as u32) as i32,
+            },
+            6 => Instruction::Store {
+                width: Width::Word,
+                rs: reg(rng),
+                base: Reg::ZERO,
+                offset: (DATA_BASE + 4 * (rng.next_u64() % 16) as u32) as i32,
+            },
+            // Forward branch: target strictly beyond pc, at most the exit.
+            7..=9 => Instruction::Branch {
+                cond: cond(rng),
+                rs1: reg(rng),
+                rs2: reg(rng),
+                target: pc + 1 + rng.next_u64() as u32 % (n - pc - 1),
+            },
+            10 => Instruction::Syscall {
+                code: [
+                    SyscallCode::Rand,
+                    SyscallCode::ReadInt,
+                    SyscallCode::PrintInt,
+                ][(rng.next_u64() % 3) as usize],
+            },
+            _ => Instruction::Check {
+                kind: CheckKind::Assertion,
+                cond: reg(rng),
+                site: pc,
+            },
+        };
+        b.push(insn, pc + 1);
+    }
+    b.push(
+        Instruction::Syscall {
+            code: SyscallCode::Exit,
+        },
+        n,
+    );
+    b.finish()
+}
+
+fn io(seed: u64) -> IoState {
+    // A short numeric line so ReadInt has something to parse.
+    IoState::new(format!("{}\n", seed % 97).into_bytes(), seed)
+}
+
+fn config(mode: Mode) -> PxConfig {
+    let px = PxConfig::default().with_max_instructions(500_000);
+    match mode {
+        Mode::Standard => px,
+        Mode::Cmp => px.cmp(),
+    }
+}
+
+fn machine(mode: Mode) -> MachConfig {
+    match mode {
+        Mode::Standard => MachConfig::single_core(),
+        Mode::Cmp => MachConfig::default(),
+    }
+}
+
+#[test]
+fn infeasible_edges_are_never_taken_dynamically() {
+    let mut rng = Xoshiro256::seeded(0xA11A_57A7);
+    for case in 0..150u64 {
+        let n = 8 + (rng.next_u64() % 48) as u32;
+        let program = random_forward_program(&mut rng, n);
+        let analysis = Analysis::of(&program);
+        let (r, report) = differential_run(
+            &program,
+            &machine(Mode::Standard),
+            &config(Mode::Standard),
+            io(case),
+            None,
+        );
+        assert!(
+            report.is_contained(),
+            "case {case}: generated program must be contained: {:?}",
+            report.violations
+        );
+        for pc in 0..program.code.len() as u32 {
+            for (edge, slot) in [
+                (BranchEdge::Taken, Edge::Taken),
+                (BranchEdge::NotTaken, Edge::NotTaken),
+            ] {
+                if r.taken_coverage.covered(pc, slot) {
+                    assert!(
+                        analysis.edge_feasible(pc, edge),
+                        "case {case}: taken path covered pc {pc} {} but the \
+                         analysis calls it infeasible\n{}",
+                        edge.name(),
+                        program.disassemble()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn static_filter_preserves_containment_and_taken_coverage() {
+    let mut rng = Xoshiro256::seeded(0xF117_E500);
+    for case in 0..60u64 {
+        let n = 8 + (rng.next_u64() % 48) as u32;
+        let program = random_forward_program(&mut rng, n);
+        for mode in [Mode::Standard, Mode::Cmp] {
+            let (plain, _) =
+                differential_run(&program, &machine(mode), &config(mode), io(case), None);
+            for k in [1u32, 4, 16] {
+                let px = config(mode).with_static_nt_filter(Some(k));
+                let (filtered, report) =
+                    differential_run(&program, &machine(mode), &px, io(case), None);
+                assert!(
+                    report.is_contained(),
+                    "case {case} k={k} {mode:?}: filter broke containment: {:?}",
+                    report.violations
+                );
+                assert_eq!(
+                    filtered.taken_coverage, plain.taken_coverage,
+                    "case {case} k={k} {mode:?}: the filter must not touch the taken path"
+                );
+                assert_eq!(
+                    filtered.exit, plain.exit,
+                    "case {case} k={k} {mode:?}: exit status unchanged"
+                );
+            }
+        }
+    }
+}
