@@ -8,13 +8,13 @@ use px_lang::{compile, parse, CompileOptions};
 use px_util::bench::{Bench, Throughput};
 use px_util::px_bench_main;
 
-fn biggest_source() -> &'static str {
+fn biggest_source() -> String {
     // print_tokens2 is the largest PXC source in the suite.
     px_workloads::by_name("print_tokens2").expect("pt2").source
 }
 
 fn toolchain(c: &mut Bench) {
-    let src = biggest_source();
+    let src = &biggest_source();
     let mut group = c.benchmark_group("compiler");
     group.throughput(Throughput::Bytes(src.len() as u64));
     group.bench_function("parse_pt2", |b| b.iter(|| parse(src).expect("parses")));
@@ -25,7 +25,7 @@ fn toolchain(c: &mut Bench) {
 }
 
 fn encoding(c: &mut Bench) {
-    let compiled = compile(biggest_source(), &CompileOptions::ccured()).expect("compiles");
+    let compiled = compile(&biggest_source(), &CompileOptions::ccured()).expect("compiles");
     let code = compiled.program.code;
     let bytes = encode_program(&code);
     let mut group = c.benchmark_group("encoding");

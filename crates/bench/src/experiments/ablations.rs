@@ -184,7 +184,7 @@ pub fn ablation_fix_strategy() -> Vec<FixStrategyResult> {
         ("profiled", &boundary, true),
     ];
     for (label, opts, fixes) in cases {
-        let mut compiled = px_lang::compile(w.source, opts).expect("compiles");
+        let mut compiled = px_lang::compile(&w.source, opts).expect("compiles");
         if label == "profiled" {
             let profile = px_lang::refit::collect_branch_profile(
                 &compiled.program,

@@ -9,6 +9,7 @@ pub mod perf;
 pub mod sensitivity;
 pub mod static_filter;
 pub mod tables;
+pub mod zoo;
 
 pub use ablations::{ablation_nt_from_nt, ablation_sandbox};
 pub use coverage::coverage;
@@ -19,6 +20,7 @@ pub use perf::{throughput_report, ThroughputReport, ThroughputRow};
 pub use sensitivity::sensitivity;
 pub use static_filter::{static_filter, static_filter_summary, StaticFilterRow};
 pub use tables::{table3, table4, table5};
+pub use zoo::{zoo_report, ZooReport, ZooRow};
 
 use pathexpander::{PxConfig, PxRunResult};
 use px_detect::Tool;

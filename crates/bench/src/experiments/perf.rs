@@ -19,11 +19,13 @@
 use std::time::Instant;
 
 use pathexpander::{run_cmp, run_standard, PxConfig, PxRunResult};
+use px_detect::Tool;
 use px_isa::asm::assemble;
 use px_isa::Program;
 use px_mach::{run_baseline, IoState, MachConfig, RunExit};
 use px_soft::{run_soft, SoftConfig};
-use px_util::{Json, ToJson};
+use px_util::{fnv1a64, Json, ToJson};
+use px_workloads::zoo::{self, ZooSpec};
 
 /// Schema tag of `BENCH_throughput.json`. Bump on any shape change.
 pub const SCHEMA: &str = "px-bench/throughput-v1";
@@ -107,6 +109,17 @@ pub const ENGINES: [&str; 4] = ["baseline", "standard", "cmp", "software"];
 
 /// The workloads measured, in row order.
 pub const WORKLOADS: [(&str, &str); 2] = [("nt-heavy", NT_HEAVY), ("taken-stride", TAKEN_STRIDE)];
+
+/// Generated-zoo workloads measured alongside the asm hot loops. Their
+/// profile is distinct from both: a dispatch loop with frequent short
+/// NT-paths that stop at the next `readint` (unsafe event) — syscall-bounded
+/// NT work rather than sandbox-bounded. The op stream is long enough that
+/// every engine runs to `RUN_BUDGET`, so instruction counts stay
+/// mode-independent.
+pub const ZOO_WORKLOADS: [&str; 2] = ["zoo:interpreter:1", "zoo:state-machine:1"];
+
+/// Common-op count of the zoo perf input stream (budget-saturating).
+const ZOO_PERF_OPS: u32 = 60_000;
 
 /// One engine × workload measurement.
 #[derive(Debug, Clone)]
@@ -195,19 +208,6 @@ impl ToJson for ThroughputReport {
     }
 }
 
-pub(crate) fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
-    let mut h = if seed == 0 {
-        0xCBF2_9CE4_8422_2325
-    } else {
-        seed
-    };
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
-
 /// Architectural summary of one run — everything the digest covers.
 struct ArchResult {
     exit: String,
@@ -258,8 +258,21 @@ fn px_config() -> PxConfig {
         .with_max_nt_path_len(2_000)
 }
 
-fn run_engine(engine: &str, program: &Program) -> ArchResult {
-    let io = IoState::new(Vec::new(), 0xC0FFEE);
+/// Builds `(program, input stream)` for a zoo throughput workload.
+fn zoo_program(spec_str: &str) -> (Program, Vec<u8>) {
+    let spec = ZooSpec::parse(spec_str).unwrap_or_else(|e| panic!("perf zoo spec {spec_str}: {e}"));
+    let w = zoo::generate(&spec);
+    let compiled = w
+        .compile_for(Tool::Assertions)
+        .unwrap_or_else(|e| panic!("perf zoo workload {spec_str}: {e}"));
+    (
+        compiled.program,
+        zoo::input_bytes_n(&spec, 0xC0FFEE, ZOO_PERF_OPS),
+    )
+}
+
+fn run_engine(engine: &str, program: &Program, input: &[u8]) -> ArchResult {
+    let io = IoState::new(input.to_vec(), 0xC0FFEE);
     match engine {
         "baseline" => {
             let r = run_baseline(program, &MachConfig::single_core(), io, RUN_BUDGET);
@@ -294,12 +307,18 @@ fn run_engine(engine: &str, program: &Program) -> ArchResult {
 }
 
 /// Measures one engine on one workload: `reps` timed runs, median wall time.
-fn measure(engine: &str, workload: &str, program: &Program, reps: u32) -> ThroughputRow {
-    let arch = run_engine(engine, program);
+fn measure(
+    engine: &str,
+    workload: &str,
+    program: &Program,
+    input: &[u8],
+    reps: u32,
+) -> ThroughputRow {
+    let arch = run_engine(engine, program, input);
     let mut samples: Vec<u64> = (0..reps.max(1))
         .map(|_| {
             let start = Instant::now();
-            std::hint::black_box(run_engine(engine, program));
+            std::hint::black_box(run_engine(engine, program, input));
             u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
         })
         .collect();
@@ -331,7 +350,13 @@ pub fn throughput_report(quick: bool) -> ThroughputReport {
     for (wname, src) in WORKLOADS {
         let program = assemble(src).unwrap_or_else(|e| panic!("perf workload {wname}: {e}"));
         for engine in ENGINES {
-            rows.push(measure(engine, wname, &program, reps));
+            rows.push(measure(engine, wname, &program, &[], reps));
+        }
+    }
+    for spec in ZOO_WORKLOADS {
+        let (program, input) = zoo_program(spec);
+        for engine in ENGINES {
+            rows.push(measure(engine, spec, &program, &input, reps));
         }
     }
     let mut h = 0u64;
@@ -352,8 +377,8 @@ mod tests {
     #[test]
     fn digests_are_deterministic_and_mode_independent() {
         let program = assemble(NT_HEAVY).unwrap();
-        let a = run_engine("standard", &program);
-        let b = run_engine("standard", &program);
+        let a = run_engine("standard", &program, &[]);
+        let b = run_engine("standard", &program, &[]);
         assert_eq!(a.digest(), b.digest());
         assert!(a.instructions > 0);
         assert!(a.nt_paths > 0, "nt-heavy must actually spawn NT-paths");
@@ -385,8 +410,15 @@ mod tests {
         for (wname, src) in WORKLOADS {
             let program = assemble(src).unwrap();
             for engine in ENGINES {
-                let arch = run_engine(engine, &program);
+                let arch = run_engine(engine, &program, &[]);
                 assert!(arch.instructions > 0, "{engine}/{wname}");
+            }
+        }
+        for spec in ZOO_WORKLOADS {
+            let (program, input) = zoo_program(spec);
+            for engine in ENGINES {
+                let arch = run_engine(engine, &program, &input);
+                assert!(arch.instructions > 0, "{engine}/{spec}");
             }
         }
     }
@@ -403,6 +435,9 @@ mod tests {
             "{dumped}"
         );
         assert!(dumped.contains(r#""arch_digest":""#));
-        assert_eq!(report.rows.len(), ENGINES.len() * WORKLOADS.len());
+        assert_eq!(
+            report.rows.len(),
+            ENGINES.len() * (WORKLOADS.len() + ZOO_WORKLOADS.len())
+        );
     }
 }

@@ -1,0 +1,307 @@
+//! E15 — the Table 4/5 shape reproduced at zoo scale.
+//!
+//! The paper evaluates 38 hand-seeded bugs in 7 applications. This
+//! experiment runs the same baseline-vs-PathExpander protocol over the
+//! generated zoo roster: 28 synthesized families × 4 shapes × up to 8
+//! injected bugs each — an order of magnitude more programs and bugs, with
+//! machine-checkable ground truth (`expected_detected` per bug instead of
+//! a hand-transcribed table).
+//!
+//! Per family the harness reports, for each detection tool with bugs:
+//!
+//! * coverage uplift, with *feasible-edge* denominators from px-analyze
+//!   (taken-only vs taken+NT covered edges over statically feasible ones);
+//! * baseline / standard / CMP true positives against the union of all
+//!   injected bug lines (an overflow line trips both CCured's bound check
+//!   and iWatcher's red zone — either witness counts, as the paper counts
+//!   bugs, not records);
+//! * NT-only false positives (the Table 5 column); and
+//! * detection latency: the simulated cycle of the first true positive.
+//!
+//! Everything is simulated time and counters — the whole report is
+//! byte-deterministic, which `zoo_claims.rs` gates.
+
+use pathexpander::PxConfig;
+use px_analyze::Analysis;
+use px_detect::{classify, first_true_positive_cycle, report, Tool};
+use px_mach::run_baseline;
+use px_util::{Json, ToJson};
+use px_workloads::zoo::{self, ZooSpec};
+use px_workloads::Workload;
+
+use super::{compile, io_for, run_px, BUDGET, SEED};
+
+/// Per-bug outcome with its ground truth.
+#[derive(Debug, Clone)]
+pub struct ZooBugOutcome {
+    /// Bug id within the family (`"bo-cold"`, `"sd-deep"`, ...).
+    pub id: String,
+    /// Taxonomy class name.
+    pub class: String,
+    /// Marker line.
+    pub line: u32,
+    /// Ground truth: should PathExpander expose it?
+    pub expected: bool,
+    /// Detected under the standard engine.
+    pub detected: bool,
+    /// Detected under the CMP engine.
+    pub detected_cmp: bool,
+}
+
+impl ToJson for ZooBugOutcome {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", self.id.to_json()),
+            ("class", self.class.to_json()),
+            ("line", self.line.to_json()),
+            ("expected", self.expected.to_json()),
+            ("detected", self.detected.to_json()),
+            ("detected_cmp", self.detected_cmp.to_json()),
+        ])
+    }
+}
+
+/// One (family, tool) row of the E15 report.
+#[derive(Debug, Clone)]
+pub struct ZooRow {
+    /// Canonical spec string.
+    pub spec: String,
+    /// Shape name.
+    pub shape: String,
+    /// Tool this row's runs were compiled for.
+    pub tool: String,
+    /// Statically feasible edges (the coverage denominator).
+    pub feasible_edges: u32,
+    /// Feasible edges covered by the taken path alone (= baseline).
+    pub taken_covered: u32,
+    /// Feasible edges covered including NT-paths.
+    pub total_covered: u32,
+    /// Bugs evaluated with this tool.
+    pub tested: usize,
+    /// True positives without PathExpander.
+    pub baseline_tp: usize,
+    /// True positives under the standard engine.
+    pub standard_tp: usize,
+    /// True positives under the CMP engine.
+    pub cmp_tp: usize,
+    /// NT-only false positives under the standard engine (Table 5).
+    pub false_positives: usize,
+    /// Simulated cycle of the first true positive (standard engine).
+    pub first_tp_cycle: Option<u64>,
+    /// NT-paths spawned by the standard engine.
+    pub spawns: u64,
+    /// Per-bug outcomes.
+    pub bugs: Vec<ZooBugOutcome>,
+}
+
+impl ZooRow {
+    /// Coverage uplift in feasible-edge percentage points.
+    #[must_use]
+    pub fn uplift_points(&self) -> f64 {
+        if self.feasible_edges == 0 {
+            return 0.0;
+        }
+        f64::from(self.total_covered - self.taken_covered) / f64::from(self.feasible_edges) * 100.0
+    }
+}
+
+impl ToJson for ZooRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("spec", self.spec.to_json()),
+            ("shape", self.shape.to_json()),
+            ("tool", self.tool.to_json()),
+            ("feasible_edges", self.feasible_edges.to_json()),
+            ("taken_covered", self.taken_covered.to_json()),
+            ("total_covered", self.total_covered.to_json()),
+            ("uplift_points", self.uplift_points().to_json()),
+            ("tested", self.tested.to_json()),
+            ("baseline_tp", self.baseline_tp.to_json()),
+            ("standard_tp", self.standard_tp.to_json()),
+            ("cmp_tp", self.cmp_tp.to_json()),
+            ("false_positives", self.false_positives.to_json()),
+            (
+                "first_tp_cycle",
+                self.first_tp_cycle.map_or(Json::Null, Json::UInt),
+            ),
+            ("spawns", self.spawns.to_json()),
+            (
+                "bugs",
+                Json::Arr(self.bugs.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// The E15 report: every roster family × every tool with bugs.
+#[derive(Debug, Clone)]
+pub struct ZooReport {
+    /// Families evaluated.
+    pub families: usize,
+    /// Per-(family, tool) rows.
+    pub rows: Vec<ZooRow>,
+}
+
+impl ZooReport {
+    /// `(expected, detected-on-some-engine)` totals over every bug.
+    #[must_use]
+    pub fn detection_totals(&self) -> (usize, usize) {
+        let expected = self
+            .rows
+            .iter()
+            .flat_map(|r| &r.bugs)
+            .filter(|b| b.expected)
+            .count();
+        let detected = self
+            .rows
+            .iter()
+            .flat_map(|r| &r.bugs)
+            .filter(|b| b.expected && (b.detected || b.detected_cmp))
+            .count();
+        (expected, detected)
+    }
+
+    /// Distinct bug classes evaluated.
+    #[must_use]
+    pub fn classes(&self) -> Vec<String> {
+        let mut classes: Vec<String> = self
+            .rows
+            .iter()
+            .flat_map(|r| &r.bugs)
+            .map(|b| b.class.clone())
+            .collect();
+        classes.sort();
+        classes.dedup();
+        classes
+    }
+
+    /// Distinct shapes evaluated.
+    #[must_use]
+    pub fn shapes(&self) -> Vec<String> {
+        let mut shapes: Vec<String> = self.rows.iter().map(|r| r.shape.clone()).collect();
+        shapes.sort();
+        shapes.dedup();
+        shapes
+    }
+}
+
+impl ToJson for ZooReport {
+    fn to_json(&self) -> Json {
+        let (expected, detected) = self.detection_totals();
+        Json::obj([
+            ("schema", Json::Str("px-bench/zoo-v1".to_owned())),
+            ("families", self.families.to_json()),
+            (
+                "shapes",
+                Json::Arr(self.shapes().iter().map(|s| s.to_json()).collect()),
+            ),
+            (
+                "classes",
+                Json::Arr(self.classes().iter().map(|s| s.to_json()).collect()),
+            ),
+            ("expected_bugs", expected.to_json()),
+            ("detected_bugs", detected.to_json()),
+            (
+                "rows",
+                Json::Arr(self.rows.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Runs E15 over the full roster (or a reduced prefix with `quick`, for CI
+/// smoke: two families per shape).
+#[must_use]
+pub fn zoo_report(quick: bool) -> ZooReport {
+    let mut specs = zoo::roster();
+    if quick {
+        specs.retain(|s| s.seed <= 2);
+    }
+    let families = specs.len();
+    let rows = specs.iter().flat_map(family_rows).collect();
+    ZooReport { families, rows }
+}
+
+/// Every per-tool row of one family.
+fn family_rows(spec: &ZooSpec) -> Vec<ZooRow> {
+    let w = zoo::generate(spec);
+    let all_lines: Vec<u32> = w.bugs.iter().map(|b| w.marker_line(&b.marker)).collect();
+    let mut rows = Vec::new();
+    for &tool in &[Tool::Ccured, Tool::Iwatcher, Tool::Assertions] {
+        let bugs: Vec<_> = w.bugs.iter().filter(|b| b.tool == tool).collect();
+        if bugs.is_empty() {
+            continue;
+        }
+        rows.push(tool_row(spec, &w, tool, &all_lines));
+    }
+    rows
+}
+
+fn tool_row(spec: &ZooSpec, w: &Workload, tool: Tool, all_lines: &[u32]) -> ZooRow {
+    let compiled = compile(w, tool);
+    let analysis = Analysis::of(&compiled.program);
+    let feasible = analysis.feasible_edges();
+
+    let base = run_baseline(
+        &compiled.program,
+        &px_mach::MachConfig::single_core(),
+        io_for(w, SEED),
+        BUDGET,
+    );
+    let base_c = classify(&report(&compiled, &base.monitor, tool), all_lines, false);
+
+    let std_r = run_px(w, &compiled, SEED, |c| c);
+    let std_dets = report(&compiled, &std_r.monitor, tool);
+    let std_c = classify(&std_dets, all_lines, false);
+    let nt_fp = classify(&std_dets, all_lines, true)
+        .false_positive_lines
+        .len();
+    let latency = first_true_positive_cycle(&compiled, &std_r.monitor, tool, all_lines);
+
+    // CMP with an ample outstanding budget, the configuration the engine
+    // equivalence suite shows architecturally identical to standard.
+    let cmp_r = run_px(w, &compiled, SEED, |c: PxConfig| {
+        c.cmp().with_max_outstanding(512)
+    });
+    let cmp_c = classify(&report(&compiled, &cmp_r.monitor, tool), all_lines, false);
+
+    let outcomes: Vec<ZooBugOutcome> = w
+        .bugs
+        .iter()
+        .filter(|b| b.tool == tool)
+        .map(|b| {
+            let line = w.marker_line(&b.marker);
+            ZooBugOutcome {
+                id: b.id.clone(),
+                class: zoo::bug_class_of(&b.id)
+                    .map_or("?", |c| c.name())
+                    .to_owned(),
+                line,
+                expected: b.escape.expected_detected(),
+                detected: std_c.true_positive_lines.contains(&line),
+                detected_cmp: cmp_c.true_positive_lines.contains(&line),
+            }
+        })
+        .collect();
+
+    ZooRow {
+        spec: spec.to_string(),
+        shape: spec.shape.name().to_owned(),
+        tool: tool.name().to_owned(),
+        feasible_edges: analysis.feasible_edge_count(),
+        taken_covered: std_r
+            .taken_coverage
+            .covered_feasible_edges(&compiled.program, feasible),
+        total_covered: std_r
+            .total_coverage
+            .covered_feasible_edges(&compiled.program, feasible),
+        tested: outcomes.len(),
+        baseline_tp: base_c.true_positive_lines.len(),
+        standard_tp: std_c.true_positive_lines.len(),
+        cmp_tp: cmp_c.true_positive_lines.len(),
+        false_positives: nt_fp,
+        first_tp_cycle: latency,
+        spawns: std_r.stats.spawns,
+        bugs: outcomes,
+    }
+}

@@ -1,0 +1,60 @@
+//! Tier-1 gate on the E15 acceptance criteria, at the quick (CI) roster
+//! scale: ground truth must hold exactly, NT-only false positives must be
+//! zero, and the whole report must be byte-deterministic.
+
+use px_bench::experiments::zoo::zoo_report;
+use px_util::ToJson;
+
+#[test]
+fn quick_roster_meets_the_acceptance_criteria() {
+    let report = zoo_report(true);
+    // Quick scale: two structure seeds per shape, full bug mixes.
+    assert_eq!(report.families, 8, "quick roster size");
+    assert_eq!(report.shapes().len(), 4, "every shape represented");
+    assert_eq!(report.classes().len(), 6, "every bug class represented");
+
+    let (expected, detected) = report.detection_totals();
+    assert!(expected > 0);
+    assert_eq!(
+        detected, expected,
+        "every expected-detected bug must be found on at least one engine"
+    );
+
+    for row in &report.rows {
+        assert_eq!(
+            row.false_positives, 0,
+            "{}/{}: NT-only false positives",
+            row.spec, row.tool
+        );
+        // Bugs marked expect-escape must actually escape: the ground truth
+        // is falsifiable in both directions.
+        for bug in &row.bugs {
+            if !bug.expected {
+                assert!(
+                    !bug.detected && !bug.detected_cmp,
+                    "{}/{}: {} was expected to escape but was detected",
+                    row.spec,
+                    row.tool,
+                    bug.id
+                );
+            }
+        }
+        // PathExpander must strictly beat the baseline wherever it detects
+        // anything (the baseline never sees the rare opcodes).
+        assert_eq!(row.baseline_tp, 0, "{}/{}", row.spec, row.tool);
+        assert!(
+            row.total_covered >= row.taken_covered,
+            "{}/{}: NT coverage can only add edges",
+            row.spec,
+            row.tool
+        );
+    }
+}
+
+#[test]
+fn zoo_report_is_byte_deterministic() {
+    let a = zoo_report(true).to_json().dump();
+    let b = zoo_report(true).to_json().dump();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "two same-process runs must serialize identically");
+}

@@ -21,8 +21,9 @@ use px_mach::{IoState, MachConfig};
 mod analyze;
 mod options;
 mod report;
+mod zoo;
 
-use options::{Action, Options};
+use options::{Action, Options, ZooCmd};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -114,6 +115,18 @@ fn run(opts: &Options) -> Result<ExitCode, String> {
             }
             Ok(ExitCode::SUCCESS)
         }
+        Action::Zoo(cmd) => {
+            let text = match cmd {
+                ZooCmd::List => zoo::list(opts.json),
+                ZooCmd::Generate(spec) => zoo::generate(spec, opts.json)?,
+                ZooCmd::Run(spec) => zoo::run(spec, opts)?,
+            };
+            print!("{text}");
+            if !text.ends_with('\n') {
+                println!();
+            }
+            Ok(ExitCode::SUCCESS)
+        }
         Action::Bench(name) => {
             let workload = px_workloads::by_name(name)
                 .ok_or_else(|| format!("unknown workload `{name}` (try `pxc list`)"))?;
@@ -123,6 +136,9 @@ fn run(opts: &Options) -> Result<ExitCode, String> {
                 .map_err(|e| format!("compile error: {e}"))?;
             let io = IoState::new(workload.general_input(opts.seed), opts.seed);
             let mut opts = opts.clone();
+            // Pin the resolved tool so `execute` reports with the same tool
+            // the workload was compiled for (not the Assertions default).
+            opts.tool = Some(tool);
             if opts.px.max_nt_path_len == PxConfig::default().max_nt_path_len {
                 opts.px.max_nt_path_len = workload.max_nt_path_len;
             }

@@ -15,7 +15,15 @@ USAGE:
     pxc bench <workload>          [options]   run a bundled workload
     pxc analyze <file|workload>   [options]   static CFG analysis + lint
     pxc list                                  list bundled workloads
+    pxc zoo list                              list the generated-zoo roster
+    pxc zoo generate <spec>       [options]   print a generated program
+    pxc zoo run <spec>            [options]   run a generated program
     pxc help                                  this text
+
+    Zoo specs name generated programs: zoo:<shape>:<seed>[:n<size>][:<mix>]
+    with shapes state-machine|parser|interpreter|recursive, sizes n1..n4 and
+    bug mixes full|cold|lean|none (e.g. `zoo:parser:3:n3:lean`). Zoo names
+    are also accepted by `pxc bench` and `pxc analyze`.
 
 OPTIONS:
     --tool <ccured|iwatcher|assertions>  detector to arm (default: assertions)
@@ -56,7 +64,19 @@ pub enum Action {
     Bench(String),
     Analyze(String),
     List,
+    Zoo(ZooCmd),
     Help,
+}
+
+/// `pxc zoo` subcommands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZooCmd {
+    /// Print the E15 roster.
+    List,
+    /// Print the generated program and its bug manifest.
+    Generate(String),
+    /// Run the generated program under PathExpander.
+    Run(String),
 }
 
 /// Parsed options.
@@ -108,6 +128,26 @@ impl Options {
                     _ => Action::Bench(target),
                 }
             }
+            Some("zoo") => match it.next().map(String::as_str) {
+                Some("list") => Action::Zoo(ZooCmd::List),
+                Some(sub @ ("generate" | "run")) => {
+                    let spec = it
+                        .next()
+                        .ok_or_else(|| format!("`zoo {sub}` needs a spec (e.g. zoo:parser:3)"))?
+                        .clone();
+                    if sub == "generate" {
+                        Action::Zoo(ZooCmd::Generate(spec))
+                    } else {
+                        Action::Zoo(ZooCmd::Run(spec))
+                    }
+                }
+                Some(other) => {
+                    return Err(format!(
+                        "unknown zoo subcommand `{other}` (expected list, generate or run)"
+                    ))
+                }
+                None => return Err("`zoo` needs a subcommand: list, generate or run".to_owned()),
+            },
             Some(other) => return Err(format!("unknown command `{other}`")),
         };
 
@@ -286,6 +326,33 @@ mod tests {
         assert!(parse(&["analyze"]).is_err());
         assert!(parse(&["run"]).is_err());
         assert!(parse(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn zoo_verbs_parse() {
+        assert_eq!(
+            parse(&["zoo", "list"]).unwrap().action,
+            Action::Zoo(ZooCmd::List)
+        );
+        assert_eq!(
+            parse(&["zoo", "generate", "zoo:parser:3"]).unwrap().action,
+            Action::Zoo(ZooCmd::Generate("zoo:parser:3".into()))
+        );
+        let o = parse(&[
+            "zoo",
+            "run",
+            "zoo:recursive:1",
+            "--tool",
+            "ccured",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(o.action, Action::Zoo(ZooCmd::Run("zoo:recursive:1".into())));
+        assert_eq!(o.tool, Some(Tool::Ccured));
+        assert!(o.json);
+        assert!(parse(&["zoo"]).is_err());
+        assert!(parse(&["zoo", "generate"]).is_err());
+        assert!(parse(&["zoo", "feed"]).is_err());
     }
 
     #[test]

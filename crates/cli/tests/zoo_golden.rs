@@ -1,0 +1,66 @@
+//! Golden test for `pxc zoo --json`: the generate output is the zoo's
+//! machine interface (the E15 harness and external scripts parse it), so
+//! its exact bytes are pinned against a committed fixture, and the three
+//! subcommands are re-verified byte-identical across process invocations
+//! for one family of every sampled shape.
+
+use std::process::Command;
+
+fn pxc(args: &[&str]) -> (String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pxc"))
+        .args(args)
+        .output()
+        .expect("spawn pxc");
+    (
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn zoo_generate_json_matches_the_committed_golden() {
+    let (stdout, ok) = pxc(&["zoo", "generate", "zoo:parser:1", "--json"]);
+    assert!(ok, "pxc zoo generate failed:\n{stdout}");
+    let golden = include_str!("golden/zoo_parser_1.json");
+    assert_eq!(
+        stdout, golden,
+        "pxc zoo generate --json drifted from the golden file; if the \
+         change is intentional, regenerate tests/golden/zoo_parser_1.json"
+    );
+    // The fixture must keep pinning the interface surface: the schema tag,
+    // ground-truth bug manifest with taxonomy classes, and the source.
+    for needle in [
+        "\"schema\":\"pxc/zoo-generate-v1\"",
+        "\"expected_detected\":true",
+        "\"expected_detected\":false",
+        "\"class\":\"panic-safety\"",
+        "\"class\":\"lifetime-confusion\"",
+        "/*ZBUG:bo-cold*/",
+    ] {
+        assert!(golden.contains(needle), "golden lost coverage of {needle}");
+    }
+}
+
+#[test]
+fn zoo_json_is_byte_identical_across_invocations() {
+    for spec in [
+        "zoo:parser:1",
+        "zoo:state-machine:2:n3",
+        "zoo:recursive:5:lean",
+    ] {
+        for verb in ["generate", "run"] {
+            let (first, ok1) = pxc(&["zoo", verb, spec, "--json"]);
+            let (second, ok2) = pxc(&["zoo", verb, spec, "--json"]);
+            assert!(ok1 && ok2, "pxc zoo {verb} {spec} failed");
+            assert!(!first.is_empty(), "{spec}: empty {verb} output");
+            assert_eq!(
+                first, second,
+                "{spec}: zoo {verb} --json must be deterministic across runs"
+            );
+        }
+    }
+    let (first, ok1) = pxc(&["zoo", "list", "--json"]);
+    let (second, ok2) = pxc(&["zoo", "list", "--json"]);
+    assert!(ok1 && ok2, "pxc zoo list failed");
+    assert_eq!(first, second, "zoo list --json must be deterministic");
+}

@@ -46,6 +46,11 @@ struct NtPath {
     sandbox: Sandbox,
     /// §3.2 OS-sandbox extension: the NT-path's disposable I/O snapshot.
     scratch_io: IoState,
+    /// The path's disposable view of the watch table, cloned at spawn:
+    /// watch hits must fire on NT-paths exactly as on the taken path
+    /// (iWatcher's whole mechanism), but registrations made inside the
+    /// path must not leak into committed state.
+    scratch_watches: WatchTable,
     /// Monotonic spawn order, used to pick the "oldest" for forced commits.
     seq: u64,
 }
@@ -306,6 +311,7 @@ pub fn run_cmp_with(
                             state,
                             sandbox: Sandbox::new(),
                             scratch_io,
+                            scratch_watches: watches.clone(),
                             seq: next_seq,
                         };
                         next_seq += 1;
@@ -474,13 +480,13 @@ fn step_nt_path(
     fault: Option<&mut dyn FaultHook>,
     static_veto: Option<&[[bool; 2]]>,
 ) -> (Option<NtStop>, u32) {
-    // NT-paths get a throwaway watch view (mutations must not leak); under
-    // the OS-sandbox extension their system calls run against the path's
-    // I/O snapshot instead of stopping the path.
-    let mut scratch_watches = WatchTable::new();
+    // NT-paths run against their spawn-time clone of the watch table
+    // (mutations must not leak; hits must still fire); under the OS-sandbox
+    // extension their system calls run against the path's I/O snapshot
+    // instead of stopping the path.
     let mut env = StepEnv {
         io: &mut path.scratch_io,
-        watches: &mut scratch_watches,
+        watches: &mut path.scratch_watches,
         suppress_syscalls: !px.os_sandbox_unsafe,
         now_cycles: now,
         costs: &mach.costs,

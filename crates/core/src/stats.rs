@@ -1,6 +1,6 @@
 //! Run statistics and results shared by the standard and CMP engines.
 
-use px_isa::SyscallCode;
+use px_isa::{Program, SyscallCode};
 use px_mach::{CoreState, Coverage, CrashKind, IoState, Memory, MonitorArea, RunExit};
 
 /// Why an NT-path terminated (paper §4.2(3), plus the implicit sandbox
@@ -146,6 +146,21 @@ pub struct PxRunResult {
     pub core: CoreState,
     /// Aggregate statistics.
     pub stats: PxStats,
+}
+
+impl PxRunResult {
+    /// FNV-1a-64 digest of the run's *taken-path* architectural results:
+    /// exact exit status, committed program output, and the taken-coverage
+    /// bitmap. Cycles and NT-path bookkeeping are deliberately excluded —
+    /// NT scheduling (standard vs CMP vs software, spawn vetoes) changes
+    /// timing and exploration, never the committed path, so two engines
+    /// that agree architecturally produce the same digest.
+    #[must_use]
+    pub fn taken_path_digest(&self, program: &Program) -> u64 {
+        let mut h = px_util::fnv1a64(0, format!("{:?}", self.exit).as_bytes());
+        h = px_util::fnv1a64(h, self.io.output());
+        self.taken_coverage.digest(program, h)
+    }
 }
 
 #[cfg(test)]

@@ -73,6 +73,80 @@ impl Tool {
     }
 }
 
+/// An injectable bug class — the taxonomy the workload zoo seeds programs
+/// with.
+///
+/// The first three are the paper's memory-bug kinds (Table 3's CCured /
+/// iWatcher material); the last three are analogues of Rudra's Rust bug
+/// classes (panic-safety, unchecked-index-arithmetic, lifetime confusion)
+/// expressed as the PXC patterns a dynamic checker can witness. Each class
+/// maps to the one detection [`Tool`] whose mechanism observes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BugClass {
+    /// Write past a buffer's end at a fixed offset (classic overflow).
+    BufferOverflow,
+    /// Index derived from untrusted input used without a bounds check
+    /// (Rudra's unchecked-index analogue, but caught by CCured's inserted
+    /// check at runtime).
+    UncheckedIndex,
+    /// Loop bound off by one: the last iteration runs into the red zone
+    /// after the array (iWatcher material).
+    OffByOne,
+    /// Use of a handle after its slot was released and restamped — the
+    /// lifetime-confusion / use-after-free analogue.
+    LifetimeConfusion,
+    /// An error path applies half of a two-part state update before
+    /// bailing out, leaving the invariant broken (Rudra's panic-safety
+    /// analogue).
+    PanicSafety,
+    /// A rare path perturbs redundant state (checksums, mirrored
+    /// counters) out of sync — the paper's semantic-bug material.
+    StateDesync,
+}
+
+impl BugClass {
+    /// Every class, in taxonomy order.
+    pub const ALL: [BugClass; 6] = [
+        BugClass::BufferOverflow,
+        BugClass::UncheckedIndex,
+        BugClass::OffByOne,
+        BugClass::LifetimeConfusion,
+        BugClass::PanicSafety,
+        BugClass::StateDesync,
+    ];
+
+    /// Stable kebab-case name (used in zoo JSON and bug ids).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BugClass::BufferOverflow => "buffer-overflow",
+            BugClass::UncheckedIndex => "unchecked-index",
+            BugClass::OffByOne => "off-by-one",
+            BugClass::LifetimeConfusion => "lifetime-confusion",
+            BugClass::PanicSafety => "panic-safety",
+            BugClass::StateDesync => "state-desync",
+        }
+    }
+
+    /// The detection tool whose mechanism witnesses this class.
+    #[must_use]
+    pub fn tool(self) -> Tool {
+        match self {
+            BugClass::BufferOverflow | BugClass::UncheckedIndex => Tool::Ccured,
+            BugClass::OffByOne => Tool::Iwatcher,
+            BugClass::LifetimeConfusion | BugClass::PanicSafety | BugClass::StateDesync => {
+                Tool::Assertions
+            }
+        }
+    }
+
+    /// Parses a [`BugClass::name`] rendering.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<BugClass> {
+        BugClass::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
 /// One deduplicated detection, attributed to a source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Detection {
@@ -145,6 +219,36 @@ impl Classification {
     pub fn false_positives(&self) -> usize {
         self.false_positive_lines.len()
     }
+}
+
+/// Simulated cycle of the first monitor record owned by `tool` whose
+/// source line is in `bug_lines` — the run's detection latency for the
+/// seeded bugs, in deterministic simulated time. `None` when no seeded bug
+/// was detected.
+#[must_use]
+pub fn first_true_positive_cycle(
+    compiled: &CompiledProgram,
+    monitor: &MonitorArea,
+    tool: Tool,
+    bug_lines: &[u32],
+) -> Option<u64> {
+    monitor
+        .records()
+        .iter()
+        .filter(|rec| tool.owns(&rec.kind))
+        .filter(|rec| {
+            let line = match rec.kind {
+                RecordKind::Check(_) => compiled
+                    .sites
+                    .iter()
+                    .find(|s| s.id == rec.site)
+                    .map_or_else(|| compiled.program.source_line(rec.pc), |s| s.line),
+                RecordKind::Watch { .. } => compiled.program.source_line(rec.pc),
+            };
+            bug_lines.contains(&line)
+        })
+        .map(|rec| rec.cycle)
+        .min()
 }
 
 /// Classifies detections against the seeded-bug lines of a workload.

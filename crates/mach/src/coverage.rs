@@ -189,6 +189,23 @@ impl Coverage {
         out
     }
 
+    /// FNV-1a-64 digest of the covered-edge bitmap (checker regions
+    /// excluded, so instrumentation differences between tools do not leak
+    /// into otherwise-identical coverage). Chainable: pass a previous
+    /// digest as `seed`, or 0 to start fresh.
+    #[must_use]
+    pub fn digest(&self, program: &Program, seed: u64) -> u64 {
+        let mut h = seed;
+        for (pc, e) in self.edges.iter().enumerate() {
+            if program.in_checker_region(pc as u32) {
+                continue;
+            }
+            let bits = u8::from(e[0]) | (u8::from(e[1]) << 1);
+            h = px_util::fnv1a64(h, &[bits]);
+        }
+        h
+    }
+
     /// Edges covered in `self` but not in `other` (what NT-paths added).
     #[must_use]
     pub fn newly_covered(&self, other: &Coverage, program: &Program) -> u32 {

@@ -1,0 +1,50 @@
+//! FNV-1a-64 digests for architectural results.
+//!
+//! Every determinism gate in the workspace (the E13 throughput rows, the
+//! static-filter taken-path comparison, the zoo differential suite) hashes
+//! architectural state — exit status, output bytes, coverage bitmaps — with
+//! the same chainable FNV-1a-64. It lives here so the bench crate, the core
+//! engines and the test suites agree on one definition.
+
+/// FNV-1a-64 offset basis.
+const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a-64 prime.
+const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Chainable FNV-1a-64: `seed == 0` starts a fresh digest (the offset
+/// basis), any other value continues a previous one.
+#[must_use]
+pub fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = if seed == 0 { OFFSET } else { seed };
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Canonical 16-hex-digit rendering of a digest (what reports print).
+#[must_use]
+pub fn hex64(digest: u64) -> String {
+    format!("{digest:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Classic FNV-1a test vectors.
+        assert_eq!(fnv1a64(0, b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(0, b"a"), 0xAF63_DC4C_8601_EC8C);
+    }
+
+    #[test]
+    fn chaining_equals_concatenation() {
+        let one = fnv1a64(0, b"hello world");
+        let two = fnv1a64(fnv1a64(0, b"hello "), b"world");
+        assert_eq!(one, two);
+        assert_eq!(hex64(one).len(), 16);
+    }
+}

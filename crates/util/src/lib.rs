@@ -18,16 +18,20 @@
 //!   rows).
 //! * [`bench`] — a self-timing warmup + median-of-N bench harness with
 //!   JSON output (replaces `criterion`).
+//! * [`digest`] — the chainable FNV-1a-64 every determinism gate hashes
+//!   architectural results with.
 //!
 //! Nothing in here depends on any other workspace crate, so every crate —
 //! including `px-isa` at the bottom of the graph — can use it from tests.
 
 pub mod bench;
+pub mod digest;
 pub mod json;
 pub mod par;
 pub mod prop;
 pub mod rng;
 
+pub use digest::{fnv1a64, hex64};
 pub use json::{Json, ToJson};
 pub use par::par_map;
 pub use prop::{any_bool, any_i32, any_i64, any_u32, any_u8, just, vec_exact, vec_of, Strategy};

@@ -18,7 +18,7 @@
 use px_detect::Tool;
 
 use crate::input::InputGen;
-use crate::{BugSpec, EscapeClass, Family, Workload};
+use crate::{BugSpec, EscapeClass, Family, InputSource, Workload};
 
 pub(crate) const SOURCE: &str = r#"
 char inbuf[800];
@@ -331,39 +331,41 @@ pub fn workload() -> Workload {
         vec![
             BugSpec {
                 id: if suffix == "c" {
-                    "bc-1-ccured"
+                    "bc-1-ccured".to_owned()
                 } else {
-                    "bc-1-iwatcher"
+                    "bc-1-iwatcher".to_owned()
                 },
                 tool,
-                marker: "/*BUG:bc-1*/",
+                marker: "/*BUG:bc-1*/".to_owned(),
                 escape: EscapeClass::Helped,
                 description: "storage growth copies cap+1 entries (off-by-one, modeled \
-                              on bc's more_arrays bug)",
+                              on bc's more_arrays bug)"
+                    .to_owned(),
             },
             BugSpec {
                 id: if suffix == "c" {
-                    "bc-2-ccured"
+                    "bc-2-ccured".to_owned()
                 } else {
-                    "bc-2-iwatcher"
+                    "bc-2-iwatcher".to_owned()
                 },
                 tool,
-                marker: "/*BUG:bc-2*/",
+                marker: "/*BUG:bc-2*/".to_owned(),
                 escape: EscapeClass::HotEntry,
                 description: "unguarded trace write: the pending>0 edge saturates its \
-                              exercise counter before histpos runs past capacity",
+                              exercise counter before histpos runs past capacity"
+                    .to_owned(),
             },
         ]
     };
     let mut all = bugs(Tool::Ccured, "c");
     all.extend(bugs(Tool::Iwatcher, "i"));
     Workload {
-        name: "bc",
-        source: SOURCE,
+        name: "bc".to_owned(),
+        source: SOURCE.to_owned(),
         family: Family::OpenSource,
-        tools: &[Tool::Ccured, Tool::Iwatcher],
+        tools: vec![Tool::Ccured, Tool::Iwatcher],
         bugs: all,
         max_nt_path_len: 1000,
-        input: general_input,
+        input: InputSource::Fn(general_input),
     }
 }

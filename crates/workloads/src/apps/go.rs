@@ -18,7 +18,7 @@
 use px_detect::Tool;
 
 use crate::input::InputGen;
-use crate::{BugSpec, EscapeClass, Family, Workload};
+use crate::{BugSpec, EscapeClass, Family, InputSource, Workload};
 
 pub(crate) const SOURCE: &str = r#"
 int board[81];
@@ -255,35 +255,36 @@ pub fn workload() -> Workload {
     for (tool, sfx) in [(Tool::Ccured, "ccured"), (Tool::Iwatcher, "iwatcher")] {
         bugs.push(BugSpec {
             id: if sfx == "ccured" {
-                "go-1-ccured"
+                "go-1-ccured".to_owned()
             } else {
-                "go-1-iwatcher"
+                "go-1-iwatcher".to_owned()
             },
             tool,
-            marker: "/*BUG:go-1*/",
+            marker: "/*BUG:go-1*/".to_owned(),
             escape: EscapeClass::Helped,
-            description: "capture handler clears capbuf[0..=16] — one past the end",
+            description: "capture handler clears capbuf[0..=16] — one past the end".to_owned(),
         });
         bugs.push(BugSpec {
             id: if sfx == "ccured" {
-                "go-2-ccured"
+                "go-2-ccured".to_owned()
             } else {
-                "go-2-iwatcher"
+                "go-2-iwatcher".to_owned()
             },
             tool,
-            marker: "/*BUG:go-2*/",
+            marker: "/*BUG:go-2*/".to_owned(),
             escape: EscapeClass::NeedsSpecialInput,
             description: "endgame scorer bug: the two 81-cell sweeps exceed \
-                          MaxNTPathLength before the buggy inner branch",
+                          MaxNTPathLength before the buggy inner branch"
+                .to_owned(),
         });
     }
     Workload {
-        name: "099.go",
-        source: SOURCE,
+        name: "099.go".to_owned(),
+        source: SOURCE.to_owned(),
         family: Family::OpenSource,
-        tools: &[Tool::Ccured, Tool::Iwatcher],
+        tools: vec![Tool::Ccured, Tool::Iwatcher],
         bugs,
         max_nt_path_len: 1000,
-        input: general_input,
+        input: InputSource::Fn(general_input),
     }
 }

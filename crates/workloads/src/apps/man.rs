@@ -11,7 +11,7 @@
 use px_detect::Tool;
 
 use crate::input::InputGen;
-use crate::{BugSpec, EscapeClass, Family, Workload};
+use crate::{BugSpec, EscapeClass, Family, InputSource, Workload};
 
 pub(crate) const SOURCE: &str = r#"
 struct Entry {
@@ -231,28 +231,29 @@ pub(crate) fn general_input(seed: u64) -> Vec<u8> {
 #[must_use]
 pub fn workload() -> Workload {
     Workload {
-        name: "man",
-        source: SOURCE,
+        name: "man".to_owned(),
+        source: SOURCE.to_owned(),
         family: Family::OpenSource,
-        tools: &[Tool::Ccured, Tool::Iwatcher],
+        tools: vec![Tool::Ccured, Tool::Iwatcher],
         bugs: vec![
             BugSpec {
-                id: "man-1-ccured",
+                id: "man-1-ccured".to_owned(),
                 tool: Tool::Ccured,
-                marker: "/*BUG:man-1*/",
+                marker: "/*BUG:man-1*/".to_owned(),
                 escape: EscapeClass::Helped,
                 description: "cross-reference formatter overruns namebuf[8]; reachable \
-                              on an NT-path only via the blank-structure pointer fix",
+                              on an NT-path only via the blank-structure pointer fix"
+                    .to_owned(),
             },
             BugSpec {
-                id: "man-1-iwatcher",
+                id: "man-1-iwatcher".to_owned(),
                 tool: Tool::Iwatcher,
-                marker: "/*BUG:man-1*/",
+                marker: "/*BUG:man-1*/".to_owned(),
                 escape: EscapeClass::Helped,
-                description: "same overrun, caught by the red zone after namebuf",
+                description: "same overrun, caught by the red zone after namebuf".to_owned(),
             },
         ],
         max_nt_path_len: 1000,
-        input: general_input,
+        input: InputSource::Fn(general_input),
     }
 }

@@ -24,6 +24,7 @@ mod apps;
 mod input;
 mod siemens;
 mod spec;
+pub mod zoo;
 
 pub use input::InputGen;
 
@@ -40,6 +41,9 @@ pub enum Family {
     OpenSource,
     /// SPEC-style kernels (latency and overhead measurements).
     Spec,
+    /// Generated zoo programs ([`zoo`]): synthesized families with an
+    /// injectable bug taxonomy.
+    Zoo,
 }
 
 /// Why a seeded bug escapes PathExpander — the paper's §7.1 taxonomy — or
@@ -71,35 +75,51 @@ impl EscapeClass {
 #[derive(Debug, Clone)]
 pub struct BugSpec {
     /// Stable identifier, e.g. `"pt-3"` or `"bc-1"`.
-    pub id: &'static str,
+    pub id: String,
     /// The tool that can detect this class of bug.
     pub tool: Tool,
-    /// The `/*BUG:id*/` marker to locate the buggy source line.
-    pub marker: &'static str,
+    /// The `/*BUG:id*/` (or zoo `/*ZBUG:id*/`) marker to locate the buggy
+    /// source line.
+    pub marker: String,
     /// Expected outcome under PathExpander.
     pub escape: EscapeClass,
     /// Short description.
-    pub description: &'static str,
+    pub description: String,
+}
+
+/// Where a workload's general input comes from.
+///
+/// Hand-written workloads carry a plain generator function; generated zoo
+/// programs derive their input stream from the [`zoo::ZooSpec`] so that the
+/// same spec always drives the same bytes.
+#[derive(Debug, Clone)]
+pub enum InputSource {
+    /// Seeded generator function (the hand-written Table 3 programs).
+    Fn(fn(u64) -> Vec<u8>),
+    /// Derived from a zoo spec.
+    Zoo(zoo::ZooSpec),
 }
 
 /// A benchmark program with its manifest.
+#[derive(Debug, Clone)]
 pub struct Workload {
-    /// Short name as the paper writes it (`"print_tokens"`, `"099.go"`, ...).
-    pub name: &'static str,
+    /// Short name as the paper writes it (`"print_tokens"`, `"099.go"`, ...)
+    /// or the canonical spec string for generated programs (`"zoo:parser:3"`).
+    pub name: String,
     /// PXC source text.
-    pub source: &'static str,
+    pub source: String,
     /// Table 3 group.
     pub family: Family,
     /// Detection tools this workload is evaluated with.
-    pub tools: &'static [Tool],
+    pub tools: Vec<Tool>,
     /// Seeded bugs.
     pub bugs: Vec<BugSpec>,
     /// `MaxNTPathLength` for this workload (100 for Siemens, 1000 otherwise,
-    /// §6.3).
+    /// §6.3; 250 for zoo programs).
     pub max_nt_path_len: u32,
-    /// Seeded general-input generator (inputs that do **not** trigger the
+    /// Seeded general-input source (inputs that do **not** trigger the
     /// seeded bugs).
-    pub input: fn(u64) -> Vec<u8>,
+    pub input: InputSource,
 }
 
 impl Workload {
@@ -124,7 +144,7 @@ impl Workload {
         self.bugs
             .iter()
             .filter(|b| b.tool == tool)
-            .map(|b| self.marker_line(b.marker))
+            .map(|b| self.marker_line(&b.marker))
             .collect()
     }
 
@@ -140,7 +160,7 @@ impl Workload {
     ///
     /// Propagates compiler errors (the test suite guarantees none).
     pub fn compile_for(&self, tool: Tool) -> Result<CompiledProgram, CompileError> {
-        px_lang::compile(self.source, &tool.compile_options())
+        px_lang::compile(&self.source, &tool.compile_options())
     }
 
     /// The PathExpander configuration the paper uses for this workload.
@@ -152,7 +172,10 @@ impl Workload {
     /// A general (non-bug-triggering) input.
     #[must_use]
     pub fn general_input(&self, seed: u64) -> Vec<u8> {
-        (self.input)(seed)
+        match &self.input {
+            InputSource::Fn(f) => f(seed),
+            InputSource::Zoo(spec) => zoo::input_bytes(spec, seed),
+        }
     }
 
     /// Lines of source (for the Table 3 LOC column).
@@ -194,9 +217,14 @@ pub fn all() -> Vec<Workload> {
     v
 }
 
-/// Looks a workload up by name.
+/// Looks a workload up by name. Names starting with `zoo:` are parsed as
+/// [`zoo::ZooSpec`] strings and generated on the fly, so every CLI surface
+/// (`pxc run`, `pxc bench`, `pxc analyze`) accepts zoo programs unchanged.
 #[must_use]
 pub fn by_name(name: &str) -> Option<Workload> {
+    if name.starts_with("zoo:") {
+        return zoo::ZooSpec::parse(name).ok().map(|s| zoo::generate(&s));
+    }
     all().into_iter().find(|w| w.name == name)
 }
 
@@ -206,7 +234,7 @@ mod tests {
 
     #[test]
     fn registry_matches_table3() {
-        let names: Vec<&str> = buggy().iter().map(|w| w.name).collect();
+        let names: Vec<String> = buggy().iter().map(|w| w.name.clone()).collect();
         assert_eq!(
             names,
             vec![
@@ -232,7 +260,7 @@ mod tests {
     #[test]
     fn every_workload_compiles_for_its_tools() {
         for w in all() {
-            for &tool in w.tools {
+            for &tool in &w.tools {
                 let compiled = w
                     .compile_for(tool)
                     .unwrap_or_else(|e| panic!("{} ({}): {e}", w.name, tool.name()));
@@ -249,7 +277,7 @@ mod tests {
     fn every_bug_marker_resolves() {
         for w in buggy() {
             for b in &w.bugs {
-                let line = w.marker_line(b.marker);
+                let line = w.marker_line(&b.marker);
                 assert!(line > 0);
                 assert!(
                     w.tools.contains(&b.tool),

@@ -23,7 +23,7 @@
 use px_detect::Tool;
 
 use crate::input::InputGen;
-use crate::{BugSpec, EscapeClass, Family, Workload};
+use crate::{BugSpec, EscapeClass, Family, InputSource, Workload};
 
 pub(crate) const SOURCE: &str = r#"
 char inbuf[600];
@@ -335,64 +335,66 @@ pub(crate) fn general_input(seed: u64) -> Vec<u8> {
 #[must_use]
 pub fn workload() -> Workload {
     Workload {
-        name: "print_tokens",
-        source: SOURCE,
+        name: "print_tokens".to_owned(),
+        source: SOURCE.to_owned(),
         family: Family::Siemens,
-        tools: &[Tool::Assertions],
+        tools: vec![Tool::Assertions],
         bugs: vec![
             BugSpec {
-                id: "pt-1",
+                id: "pt-1".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:pt-1*/",
+                marker: "/*BUG:pt-1*/".to_owned(),
                 escape: EscapeClass::Helped,
-                description: "string token double-counts str_count",
+                description: "string token double-counts str_count".to_owned(),
             },
             BugSpec {
-                id: "pt-2",
+                id: "pt-2".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:pt-2*/",
+                marker: "/*BUG:pt-2*/".to_owned(),
                 escape: EscapeClass::Helped,
-                description: "comment token never counted in comment_count",
+                description: "comment token never counted in comment_count".to_owned(),
             },
             BugSpec {
-                id: "pt-3",
+                id: "pt-3".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:pt-3*/",
+                marker: "/*BUG:pt-3*/".to_owned(),
                 escape: EscapeClass::Helped,
-                description: "% operator double-counts op_count",
+                description: "% operator double-counts op_count".to_owned(),
             },
             BugSpec {
-                id: "pt-4",
+                id: "pt-4".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:pt-4*/",
+                marker: "/*BUG:pt-4*/".to_owned(),
                 escape: EscapeClass::Helped,
-                description: "over-long numbers double-count num_count",
+                description: "over-long numbers double-count num_count".to_owned(),
             },
             BugSpec {
-                id: "pt-5",
+                id: "pt-5".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:pt-5*/",
+                marker: "/*BUG:pt-5*/".to_owned(),
                 escape: EscapeClass::Helped,
-                description: "over-long identifiers double-count special_count",
+                description: "over-long identifiers double-count special_count".to_owned(),
             },
             BugSpec {
-                id: "pt-6",
+                id: "pt-6".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:pt-6*/",
+                marker: "/*BUG:pt-6*/".to_owned(),
                 escape: EscapeClass::Inconsistency,
                 description: "deep-nesting bug fails only for nesting >= 6; the boundary \
-                              fix pins nesting to 5",
+                              fix pins nesting to 5"
+                    .to_owned(),
             },
             BugSpec {
-                id: "pt-7",
+                id: "pt-7".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:pt-7*/",
+                marker: "/*BUG:pt-7*/".to_owned(),
                 escape: EscapeClass::NeedsSpecialInput,
                 description: "input-overflow handling: the 60-iteration re-scan exceeds \
-                              MaxNTPathLength before the buggy inner branch",
+                              MaxNTPathLength before the buggy inner branch"
+                    .to_owned(),
             },
         ],
         max_nt_path_len: 100,
-        input: general_input,
+        input: InputSource::Fn(general_input),
     }
 }

@@ -10,7 +10,7 @@
 use px_detect::Tool;
 
 use crate::input::InputGen;
-use crate::{BugSpec, EscapeClass, Family, Workload};
+use crate::{BugSpec, EscapeClass, Family, InputSource, Workload};
 
 pub(crate) const SOURCE: &str = r#"
 char inbuf[600];
@@ -425,95 +425,100 @@ pub(crate) fn general_input(seed: u64) -> Vec<u8> {
 #[must_use]
 pub fn workload() -> Workload {
     Workload {
-        name: "print_tokens2",
-        source: SOURCE,
+        name: "print_tokens2".to_owned(),
+        source: SOURCE.to_owned(),
         family: Family::Siemens,
-        tools: &[Tool::Ccured, Tool::Iwatcher, Tool::Assertions],
+        tools: vec![Tool::Ccured, Tool::Iwatcher, Tool::Assertions],
         bugs: vec![
             BugSpec {
-                id: "pt2-v10-ccured",
+                id: "pt2-v10-ccured".to_owned(),
                 tool: Tool::Ccured,
-                marker: "/*BUG:pt2-v10*/",
+                marker: "/*BUG:pt2-v10*/".to_owned(),
                 escape: EscapeClass::Helped,
                 description: "Figure 1: closing-quote scan without terminator check \
-                              overruns the token buffer",
+                              overruns the token buffer"
+                    .to_owned(),
             },
             BugSpec {
-                id: "pt2-v10-iwatcher",
+                id: "pt2-v10-iwatcher".to_owned(),
                 tool: Tool::Iwatcher,
-                marker: "/*BUG:pt2-v10*/",
+                marker: "/*BUG:pt2-v10*/".to_owned(),
                 escape: EscapeClass::Helped,
-                description: "Figure 1 overrun, caught by the red zone after tok[]",
+                description: "Figure 1 overrun, caught by the red zone after tok[]".to_owned(),
             },
             BugSpec {
-                id: "pt2-v1",
+                id: "pt2-v1".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:pt2-v1*/",
+                marker: "/*BUG:pt2-v1*/".to_owned(),
                 escape: EscapeClass::Helped,
-                description: "directive token double-counts kw_count",
+                description: "directive token double-counts kw_count".to_owned(),
             },
             BugSpec {
-                id: "pt2-v2",
+                id: "pt2-v2".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:pt2-v2*/",
+                marker: "/*BUG:pt2-v2*/".to_owned(),
                 escape: EscapeClass::Helped,
-                description: "ampersand token double-counts cmp_count",
+                description: "ampersand token double-counts cmp_count".to_owned(),
             },
             BugSpec {
-                id: "pt2-v3",
+                id: "pt2-v3".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:pt2-v3*/",
+                marker: "/*BUG:pt2-v3*/".to_owned(),
                 escape: EscapeClass::Inconsistency,
                 description: "deep-paren bug fails only at depth >= 5; the boundary fix \
-                              pins depth to 4",
+                              pins depth to 4"
+                    .to_owned(),
             },
             BugSpec {
-                id: "pt2-v4",
+                id: "pt2-v4".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:pt2-v4*/",
+                marker: "/*BUG:pt2-v4*/".to_owned(),
                 escape: EscapeClass::Helped,
-                description: "long-statement path counts a phantom token",
+                description: "long-statement path counts a phantom token".to_owned(),
             },
             BugSpec {
-                id: "pt2-v5",
+                id: "pt2-v5".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:pt2-v5*/",
+                marker: "/*BUG:pt2-v5*/".to_owned(),
                 escape: EscapeClass::Helped,
-                description: "tilde token double-counts token_count",
+                description: "tilde token double-counts token_count".to_owned(),
             },
             BugSpec {
-                id: "pt2-v6",
+                id: "pt2-v6".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:pt2-v6*/",
+                marker: "/*BUG:pt2-v6*/".to_owned(),
                 escape: EscapeClass::NeedsSpecialInput,
                 description: "overflow-mode re-scan exceeds MaxNTPathLength before the \
-                              buggy inner branch",
+                              buggy inner branch"
+                    .to_owned(),
             },
             BugSpec {
-                id: "pt2-v7",
+                id: "pt2-v7".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:pt2-v7*/",
+                marker: "/*BUG:pt2-v7*/".to_owned(),
                 escape: EscapeClass::Helped,
-                description: "`ret` keyword double-counts kw_count",
+                description: "`ret` keyword double-counts kw_count".to_owned(),
             },
             BugSpec {
-                id: "pt2-v8",
+                id: "pt2-v8".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:pt2-v8*/",
+                marker: "/*BUG:pt2-v8*/".to_owned(),
                 escape: EscapeClass::NeedsSpecialInput,
                 description: "dollar token: 40-iteration warm-up exceeds MaxNTPathLength \
-                              before the buggy inner branch",
+                              before the buggy inner branch"
+                    .to_owned(),
             },
             BugSpec {
-                id: "pt2-v9",
+                id: "pt2-v9".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:pt2-v9*/",
+                marker: "/*BUG:pt2-v9*/".to_owned(),
                 escape: EscapeClass::ValueCoverage,
                 description: "checksum negation is wrong only for INT_MIN — a value \
-                              coverage problem, not a path coverage problem",
+                              coverage problem, not a path coverage problem"
+                    .to_owned(),
             },
         ],
         max_nt_path_len: 100,
-        input: general_input,
+        input: InputSource::Fn(general_input),
     }
 }

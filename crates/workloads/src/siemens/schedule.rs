@@ -7,7 +7,7 @@
 use px_detect::Tool;
 
 use crate::input::InputGen;
-use crate::{BugSpec, EscapeClass, Family, Workload};
+use crate::{BugSpec, EscapeClass, Family, InputSource, Workload};
 
 pub(crate) const SOURCE: &str = r#"
 int q0[20];
@@ -218,51 +218,54 @@ pub(crate) fn general_input(seed: u64) -> Vec<u8> {
 #[must_use]
 pub fn workload() -> Workload {
     Workload {
-        name: "schedule",
-        source: SOURCE,
+        name: "schedule".to_owned(),
+        source: SOURCE.to_owned(),
         family: Family::Siemens,
-        tools: &[Tool::Assertions],
+        tools: vec![Tool::Assertions],
         bugs: vec![
             BugSpec {
-                id: "sch-1",
+                id: "sch-1".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:sch-1*/",
+                marker: "/*BUG:sch-1*/".to_owned(),
                 escape: EscapeClass::ValueCoverage,
                 description: "average-wait bug manifests only when total_wait overflows \
-                              negative — value coverage, the paper's schedule v1",
+                              negative — value coverage, the paper's schedule v1"
+                    .to_owned(),
             },
             BugSpec {
-                id: "sch-2",
+                id: "sch-2".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:sch-2*/",
+                marker: "/*BUG:sch-2*/".to_owned(),
                 escape: EscapeClass::Helped,
-                description: "block path drops the process: blen never incremented",
+                description: "block path drops the process: blen never incremented".to_owned(),
             },
             BugSpec {
-                id: "sch-3",
+                id: "sch-3".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:sch-3*/",
+                marker: "/*BUG:sch-3*/".to_owned(),
                 escape: EscapeClass::ValueCoverage,
                 description: "tick accounting wrong only at integer overflow — value \
-                              coverage, the paper's schedule v3",
+                              coverage, the paper's schedule v3"
+                    .to_owned(),
             },
             BugSpec {
-                id: "sch-4",
+                id: "sch-4".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:sch-4*/",
+                marker: "/*BUG:sch-4*/".to_owned(),
                 escape: EscapeClass::Helped,
-                description: "flush path counts one phantom process",
+                description: "flush path counts one phantom process".to_owned(),
             },
             BugSpec {
-                id: "sch-5",
+                id: "sch-5".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:sch-5*/",
+                marker: "/*BUG:sch-5*/".to_owned(),
                 escape: EscapeClass::NeedsSpecialInput,
                 description: "rebalance: the 20-iteration load scan exceeds \
-                              MaxNTPathLength before the buggy inner branch",
+                              MaxNTPathLength before the buggy inner branch"
+                    .to_owned(),
             },
         ],
         max_nt_path_len: 100,
-        input: general_input,
+        input: InputSource::Fn(general_input),
     }
 }

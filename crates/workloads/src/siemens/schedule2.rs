@@ -6,7 +6,7 @@
 use px_detect::Tool;
 
 use crate::input::InputGen;
-use crate::{BugSpec, EscapeClass, Family, Workload};
+use crate::{BugSpec, EscapeClass, Family, InputSource, Workload};
 
 pub(crate) const SOURCE: &str = r#"
 int queues[80];
@@ -199,51 +199,54 @@ pub(crate) fn general_input(seed: u64) -> Vec<u8> {
 #[must_use]
 pub fn workload() -> Workload {
     Workload {
-        name: "schedule2",
-        source: SOURCE,
+        name: "schedule2".to_owned(),
+        source: SOURCE.to_owned(),
         family: Family::Siemens,
-        tools: &[Tool::Assertions],
+        tools: vec![Tool::Assertions],
         bugs: vec![
             BugSpec {
-                id: "sch2-1",
+                id: "sch2-1".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:sch2-1*/",
+                marker: "/*BUG:sch2-1*/".to_owned(),
                 escape: EscapeClass::Helped,
-                description: "cancel path double-counts cancelled",
+                description: "cancel path double-counts cancelled".to_owned(),
             },
             BugSpec {
-                id: "sch2-2",
+                id: "sch2-2".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:sch2-2*/",
+                marker: "/*BUG:sch2-2*/".to_owned(),
                 escape: EscapeClass::ValueCoverage,
-                description: "aging wraps only at INT_MAX — value coverage",
+                description: "aging wraps only at INT_MAX — value coverage".to_owned(),
             },
             BugSpec {
-                id: "sch2-3",
+                id: "sch2-3".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:sch2-3*/",
+                marker: "/*BUG:sch2-3*/".to_owned(),
                 escape: EscapeClass::ValueCoverage,
                 description: "credit accounting wrong only at integer overflow — value \
-                              coverage",
+                              coverage"
+                    .to_owned(),
             },
             BugSpec {
-                id: "sch2-4",
+                id: "sch2-4".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:sch2-4*/",
+                marker: "/*BUG:sch2-4*/".to_owned(),
                 escape: EscapeClass::Inconsistency,
                 description: "burst bug fails only at burst >= 8; the boundary fix pins \
-                              burst to 7",
+                              burst to 7"
+                    .to_owned(),
             },
             BugSpec {
-                id: "sch2-5",
+                id: "sch2-5".to_owned(),
                 tool: Tool::Assertions,
-                marker: "/*BUG:sch2-5*/",
+                marker: "/*BUG:sch2-5*/".to_owned(),
                 escape: EscapeClass::NeedsSpecialInput,
                 description: "aging audit: the full queue scan exceeds MaxNTPathLength \
-                              before the buggy inner branch",
+                              before the buggy inner branch"
+                    .to_owned(),
             },
         ],
         max_nt_path_len: 100,
-        input: general_input,
+        input: InputSource::Fn(general_input),
     }
 }

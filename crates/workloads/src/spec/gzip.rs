@@ -7,7 +7,7 @@
 use px_detect::Tool;
 
 use crate::input::InputGen;
-use crate::{Family, Workload};
+use crate::{Family, InputSource, Workload};
 
 pub(crate) const SOURCE: &str = r#"
 char inbuf[1600];
@@ -118,12 +118,12 @@ pub(crate) fn general_input(seed: u64) -> Vec<u8> {
 #[must_use]
 pub fn workload() -> Workload {
     Workload {
-        name: "164.gzip",
-        source: SOURCE,
+        name: "164.gzip".to_owned(),
+        source: SOURCE.to_owned(),
         family: Family::Spec,
-        tools: &[Tool::Ccured, Tool::Assertions],
+        tools: vec![Tool::Ccured, Tool::Assertions],
         bugs: Vec::new(),
         max_nt_path_len: 1000,
-        input: general_input,
+        input: InputSource::Fn(general_input),
     }
 }

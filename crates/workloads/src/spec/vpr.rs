@@ -6,7 +6,7 @@
 use px_detect::Tool;
 
 use crate::input::InputGen;
-use crate::{Family, Workload};
+use crate::{Family, InputSource, Workload};
 
 pub(crate) const SOURCE: &str = r#"
 int cellx[40];
@@ -127,12 +127,12 @@ pub(crate) fn general_input(seed: u64) -> Vec<u8> {
 #[must_use]
 pub fn workload() -> Workload {
     Workload {
-        name: "175.vpr",
-        source: SOURCE,
+        name: "175.vpr".to_owned(),
+        source: SOURCE.to_owned(),
         family: Family::Spec,
-        tools: &[Tool::Ccured, Tool::Assertions],
+        tools: vec![Tool::Ccured, Tool::Assertions],
         bugs: Vec::new(),
         max_nt_path_len: 1000,
-        input: general_input,
+        input: InputSource::Fn(general_input),
     }
 }

@@ -1,0 +1,493 @@
+//! Shape emitters — the program synthesizer proper.
+//!
+//! Each [`ZooShape`] has one emitter that renders a complete PXC program
+//! from a [`ZooSpec`]. All four shapes share the evaluation's driver idiom
+//! (an integer op stream decoded as `op = v % 16`, a flat `if (op == K)`
+//! dispatch chain) because that is the structure PathExpander's NT-spawning
+//! exploits: every rare opcode arm is a cold edge, and every injected bug
+//! sits within `MaxNTPathLength` of one — or, for *deep* placements,
+//! deliberately beyond it.
+//!
+//! Determinism contract: the emitted text is a pure function of the spec.
+//! No clock, no global RNG — structural choices (which opcode hosts which
+//! bug, helper constants) come from a `SplitMix64` seeded from the spec.
+
+use px_detect::BugClass;
+use px_util::{Rng, SplitMix64};
+
+use super::{ZooShape, ZooSpec};
+
+/// One injected bug, positionally resolved by its `/*ZBUG:id*/` marker.
+pub(crate) struct ZooBug {
+    /// Taxonomy class (decides the detecting tool).
+    pub class: BugClass,
+    /// Stable id within the program, e.g. `"bo-cold"`.
+    pub id: String,
+    /// Deep placement: a scan loop longer than the zoo's `MaxNTPathLength`
+    /// precedes the bug, so NT-paths stop before reaching it.
+    pub deep: bool,
+}
+
+/// Short tag a bug class uses in ids and markers.
+fn short(class: BugClass) -> &'static str {
+    match class {
+        BugClass::BufferOverflow => "bo",
+        BugClass::UncheckedIndex => "ui",
+        BugClass::OffByOne => "obo",
+        BugClass::LifetimeConfusion => "lc",
+        BugClass::PanicSafety => "ps",
+        BugClass::StateDesync => "sd",
+    }
+}
+
+/// Emits the program for a spec. Returns the source text and the injected
+/// bugs in opcode order.
+pub(crate) fn emit(spec: &ZooSpec) -> (String, Vec<ZooBug>) {
+    let shape_salt = match spec.shape {
+        ZooShape::StateMachine => 0x5A53_4D31_u64,
+        ZooShape::Parser => 0x5A50_5253,
+        ZooShape::Interpreter => 0x5A49_4E54,
+        ZooShape::Recursive => 0x5A52_4543,
+    };
+    let mut rng = SplitMix64::new(spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ shape_salt);
+
+    // Assign each injected bug a rare opcode (6..16) by seeded shuffle, so
+    // distinct seeds produce structurally distinct dispatch chains.
+    let mut rare: Vec<u32> = (6..16).collect();
+    for i in (1..rare.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        rare.swap(i, j);
+    }
+    let plan = spec.mix.classes();
+    let bugs: Vec<(u32, ZooBug)> = plan
+        .iter()
+        .enumerate()
+        .map(|(i, &(class, deep))| {
+            let id = format!("{}-{}", short(class), if deep { "deep" } else { "cold" });
+            (rare[i], ZooBug { class, id, deep })
+        })
+        .collect();
+
+    let mut s = String::new();
+    let p = |s: &mut String, line: &str| {
+        s.push_str(line);
+        s.push('\n');
+    };
+
+    p(&mut s, &format!("/* {spec} — generated zoo program */"));
+    p(&mut s, "int ztick = 0;");
+    p(&mut s, "int zsum = 0;");
+    p(&mut s, "int zcheck = 0;");
+    p(&mut s, "int zacc = 0;");
+
+    // Support globals for the bug classes present in this program.
+    let has = |class: BugClass| bugs.iter().any(|(_, b)| b.class == class);
+    if has(BugClass::BufferOverflow) {
+        p(&mut s, "int zb_data[12];");
+        p(&mut s, "int zb_datapad[8];");
+    }
+    if has(BugClass::UncheckedIndex) {
+        p(&mut s, "int zt_tbl[10];");
+        p(&mut s, "int zt_tblpad[8];");
+    }
+    if has(BugClass::OffByOne) {
+        p(&mut s, "int zb_buf[8];");
+        p(&mut s, "int zb_bufpad[8];");
+    }
+    if has(BugClass::LifetimeConfusion) {
+        p(&mut s, "int zslot_gen[4];");
+        p(&mut s, "int zslot_live[4];");
+    }
+    if has(BugClass::PanicSafety) {
+        p(&mut s, "int zops_started = 0;");
+        p(&mut s, "int zops_done = 0;");
+    }
+
+    emit_shape_globals(&mut s, spec, &mut rng);
+
+    if has(BugClass::LifetimeConfusion) {
+        p(&mut s, "int zalloc() {");
+        p(&mut s, "    int i;");
+        p(&mut s, "    for (i = 0; i < 4; i = i + 1) {");
+        p(
+            &mut s,
+            "        if (zslot_live[i] == 0) { zslot_live[i] = 1; return i; }",
+        );
+        p(&mut s, "    }");
+        p(&mut s, "    return -1;");
+        p(&mut s, "}");
+        p(&mut s, "void zfree(int h) {");
+        p(&mut s, "    zslot_live[h] = 0;");
+        p(&mut s, "    zslot_gen[h] = zslot_gen[h] + 1;");
+        p(&mut s, "}");
+    }
+
+    emit_shape_helpers(&mut s, spec);
+
+    p(&mut s, "int main() {");
+    p(&mut s, "    int v = readint();");
+    p(&mut s, "    while (v >= 0) {");
+    p(&mut s, "        int op = v % 16;");
+    p(&mut s, "        int arg = v / 16;");
+    p(&mut s, "        ztick = ztick + 1;");
+    p(&mut s, "        zsum = zsum + 1;");
+    p(
+        &mut s,
+        "        zcheck = (zcheck * 31 + v % 997 + op) % 1000003;",
+    );
+    emit_shape_handlers(&mut s, spec);
+    for (op, bug) in &bugs {
+        emit_bug_arm(&mut s, *op, bug);
+    }
+    p(&mut s, "        v = readint();");
+    p(&mut s, "    }");
+    p(&mut s, "    printint(zcheck);");
+    p(&mut s, "    printint(ztick);");
+    emit_shape_epilogue(&mut s, spec);
+    p(&mut s, "    assert(zsum == ztick);");
+    p(&mut s, "    return 0;");
+    p(&mut s, "}");
+
+    let ordered = bugs.into_iter().map(|(_, b)| b).collect();
+    (s, ordered)
+}
+
+/// One rare-opcode arm hosting one bug. Cold placements put the buggy
+/// statement first (well within `MaxNTPathLength` of the spawn edge); deep
+/// placements prefix a 90-iteration scan loop that exhausts the NT budget
+/// first.
+fn emit_bug_arm(s: &mut String, op: u32, bug: &ZooBug) {
+    let p = |s: &mut String, line: &str| {
+        s.push_str(line);
+        s.push('\n');
+    };
+    p(s, &format!("        if (op == {op}) {{"));
+    if bug.deep {
+        p(s, "            int zj;");
+        p(
+            s,
+            "            for (zj = 0; zj < 90; zj = zj + 1) { zacc = (zacc + zj % 7) % 100000; }",
+        );
+    }
+    let m = format!("/*ZBUG:{}*/", bug.id);
+    match bug.class {
+        BugClass::BufferOverflow => {
+            p(s, &format!("            zb_data[14] = arg; {m}"));
+        }
+        BugClass::UncheckedIndex => {
+            p(
+                s,
+                &format!("            zt_tbl[10 + arg % 4] = arg + 1; {m}"),
+            );
+        }
+        BugClass::OffByOne => {
+            p(s, "            int zi;");
+            p(s, "            for (zi = 0; zi <= 8; zi = zi + 1) {");
+            p(s, &format!("                zb_buf[zi] = zi + op; {m}"));
+            p(s, "            }");
+        }
+        BugClass::LifetimeConfusion => {
+            p(s, "            int zh = zalloc();");
+            p(s, "            if (zh >= 0) {");
+            p(s, "                int zg = zslot_gen[zh];");
+            p(s, "                zfree(zh);");
+            p(
+                s,
+                &format!("                assert(zslot_gen[zh] == zg); {m}"),
+            );
+            p(s, "            }");
+        }
+        BugClass::PanicSafety => {
+            p(s, "            zops_started = zops_started + 1;");
+            p(
+                s,
+                &format!("            assert(zops_started == zops_done); {m}"),
+            );
+            p(s, "            zops_done = zops_done + 1;");
+        }
+        BugClass::StateDesync => {
+            p(s, "            zsum = zsum + 1;");
+            p(s, &format!("            assert(zsum == ztick); {m}"));
+            p(s, "            zsum = zsum - 1;");
+        }
+    }
+    p(s, "        }");
+}
+
+/// Number of states a state machine of this size has.
+fn nstates(spec: &ZooSpec) -> u32 {
+    3 + spec.size
+}
+
+fn emit_shape_globals(s: &mut String, spec: &ZooSpec, rng: &mut SplitMix64) {
+    let p = |s: &mut String, line: &str| {
+        s.push_str(line);
+        s.push('\n');
+    };
+    match spec.shape {
+        ZooShape::StateMachine => {
+            p(s, "int zstate = 0;");
+            p(s, "int zvisits[8];");
+            p(s, "int ztrans = 0;");
+            p(s, "int zresets = 0;");
+            let watermark = 40 + (rng.next_u64() % 20) as u32;
+            p(s, &format!("int zwatermark = {watermark};"));
+        }
+        ZooShape::Parser => {
+            p(s, "int zdepth = 0;");
+            p(s, "int znum = 0;");
+            p(s, "int zstack[16];");
+            p(s, "int zouts = 0;");
+            p(s, "int zerrs = 0;");
+        }
+        ZooShape::Interpreter => {
+            p(s, "int zreg[8];");
+            p(s, "int zexec = 0;");
+            p(s, "int zhalts = 0;");
+        }
+        ZooShape::Recursive => {
+            p(s, "int zkey[32];");
+            p(s, "int zleft[32];");
+            p(s, "int zright[32];");
+            p(s, "int znodes = 0;");
+            p(s, "int zroot = -1;");
+            p(s, "int zhits = 0;");
+        }
+    }
+}
+
+fn emit_shape_helpers(s: &mut String, spec: &ZooSpec) {
+    let p = |s: &mut String, line: &str| {
+        s.push_str(line);
+        s.push('\n');
+    };
+    match spec.shape {
+        ZooShape::StateMachine => {
+            let ns = nstates(spec);
+            p(s, "int zadvance(int st, int d) {");
+            p(s, "    int n = st + d;");
+            p(s, &format!("    while (n >= {ns}) {{ n = n - {ns}; }}"));
+            p(s, "    return n;");
+            p(s, "}");
+        }
+        ZooShape::Parser | ZooShape::Interpreter => {}
+        ZooShape::Recursive => {
+            p(s, "int zinsert(int at, int k) {");
+            p(s, "    if (at == -1) {");
+            p(s, "        if (znodes < 32) {");
+            p(s, "            zkey[znodes] = k;");
+            p(s, "            zleft[znodes] = -1;");
+            p(s, "            zright[znodes] = -1;");
+            p(s, "            znodes = znodes + 1;");
+            p(s, "            return znodes - 1;");
+            p(s, "        }");
+            p(s, "        return -1;");
+            p(s, "    }");
+            p(
+                s,
+                "    if (k < zkey[at]) { zleft[at] = zinsert(zleft[at], k); }",
+            );
+            p(
+                s,
+                "    else { if (k > zkey[at]) { zright[at] = zinsert(zright[at], k); } }",
+            );
+            p(s, "    return at;");
+            p(s, "}");
+            p(s, "int zfind(int at, int k) {");
+            p(s, "    if (at == -1) { return 0; }");
+            p(s, "    if (zkey[at] == k) { return 1; }");
+            p(s, "    if (k < zkey[at]) { return zfind(zleft[at], k); }");
+            p(s, "    return zfind(zright[at], k);");
+            p(s, "}");
+            p(s, "int zsumtree(int at) {");
+            p(s, "    if (at == -1) { return 0; }");
+            p(
+                s,
+                "    return zkey[at] + zsumtree(zleft[at]) + zsumtree(zright[at]);",
+            );
+            p(s, "}");
+        }
+    }
+}
+
+fn emit_shape_handlers(s: &mut String, spec: &ZooSpec) {
+    let p = |s: &mut String, line: &str| {
+        s.push_str(line);
+        s.push('\n');
+    };
+    match spec.shape {
+        ZooShape::StateMachine => {
+            let ns = nstates(spec);
+            p(s, "        if (op == 0) {");
+            p(s, "            zstate = zadvance(zstate, 1);");
+            p(s, "            zvisits[zstate] = zvisits[zstate] + 1;");
+            p(s, "            ztrans = ztrans + 1;");
+            p(s, "        }");
+            p(s, "        if (op == 1) {");
+            p(
+                s,
+                &format!("            zstate = zadvance(zstate, arg % {ns});"),
+            );
+            p(s, "            zvisits[zstate] = zvisits[zstate] + 1;");
+            p(s, "            ztrans = ztrans + 1;");
+            p(s, "        }");
+            p(s, "        if (op == 2) {");
+            p(
+                s,
+                &format!(
+                    "            if (zstate == {}) {{ zstate = 0; zresets = zresets + 1; }}",
+                    ns - 1
+                ),
+            );
+            p(s, "        }");
+            p(s, "        if (op == 3) {");
+            p(s, "            putchar('a' + zstate);");
+            p(s, "        }");
+            if spec.size >= 2 {
+                p(s, "        if (op == 4) {");
+                p(
+                    s,
+                    &format!("            zacc = (zacc + zvisits[arg % {ns}]) % 100000;"),
+                );
+                p(s, "        }");
+            }
+            if spec.size >= 3 {
+                p(s, "        if (op == 5) {");
+                p(
+                    s,
+                    "            if (zvisits[0] > zwatermark) { zacc = zacc % 9973; }",
+                );
+                p(s, "        }");
+            }
+        }
+        ZooShape::Parser => {
+            p(s, "        if (op == 0) {");
+            p(s, "            znum = (znum * 10 + arg % 10) % 100000;");
+            p(s, "        }");
+            p(s, "        if (op == 1) {");
+            p(s, "            if (zdepth < 16) {");
+            p(s, "                zstack[zdepth] = znum;");
+            p(s, "                zdepth = zdepth + 1;");
+            p(s, "                znum = 0;");
+            p(s, "            }");
+            p(s, "        }");
+            p(s, "        if (op == 2) {");
+            p(s, "            if (zdepth > 0) {");
+            p(s, "                zdepth = zdepth - 1;");
+            p(
+                s,
+                "                znum = (znum + zstack[zdepth]) % 100000;",
+            );
+            p(s, "            }");
+            p(s, "        }");
+            p(s, "        if (op == 3) {");
+            p(s, "            putchar('0' + znum % 10);");
+            p(s, "            zouts = zouts + 1;");
+            p(s, "        }");
+            if spec.size >= 2 {
+                p(s, "        if (op == 4) {");
+                p(
+                    s,
+                    "            if (znum > 90000) { zerrs = zerrs + 1; znum = 0; }",
+                );
+                p(s, "        }");
+            }
+            if spec.size >= 3 {
+                p(s, "        if (op == 5) {");
+                p(s, "            assert(zdepth >= 0 && zdepth <= 16);");
+                p(s, "        }");
+            }
+        }
+        ZooShape::Interpreter => {
+            p(s, "        if (op == 0) {");
+            p(s, "            zreg[arg % 8] = (arg / 8) % 1000;");
+            p(s, "            zexec = zexec + 1;");
+            p(s, "        }");
+            p(s, "        if (op == 1) {");
+            p(
+                s,
+                "            zreg[arg % 8] = (zreg[arg % 8] + zreg[(arg / 8) % 8]) % 100000;",
+            );
+            p(s, "            zexec = zexec + 1;");
+            p(s, "        }");
+            p(s, "        if (op == 2) {");
+            p(s, "            zacc = (zacc + zreg[arg % 8]) % 100000;");
+            p(s, "            zexec = zexec + 1;");
+            p(s, "        }");
+            p(s, "        if (op == 3) {");
+            p(s, "            printint(zacc % 100);");
+            p(s, "        }");
+            if spec.size >= 2 {
+                p(s, "        if (op == 4) {");
+                p(
+                    s,
+                    "            if (zacc > 50000) { zacc = zacc - 50000; zhalts = zhalts + 1; }",
+                );
+                p(s, "        }");
+            }
+            if spec.size >= 3 {
+                p(s, "        if (op == 5) {");
+                p(s, "            int zt = zreg[0];");
+                p(s, "            zreg[0] = zreg[arg % 8];");
+                p(s, "            zreg[arg % 8] = zt;");
+                p(s, "        }");
+            }
+        }
+        ZooShape::Recursive => {
+            p(s, "        if (op == 0) {");
+            p(s, "            zroot = zinsert(zroot, arg % 97);");
+            p(s, "        }");
+            p(s, "        if (op == 1) {");
+            p(s, "            zhits = zhits + zfind(zroot, arg % 97);");
+            p(s, "        }");
+            p(s, "        if (op == 2) {");
+            p(s, "            zacc = (zacc + zsumtree(zroot)) % 100000;");
+            p(s, "        }");
+            p(s, "        if (op == 3) {");
+            p(s, "            putchar('a' + znodes % 26);");
+            p(s, "        }");
+            if spec.size >= 2 {
+                p(s, "        if (op == 4) {");
+                p(
+                    s,
+                    "            zhits = zhits + zfind(zroot, (arg + 13) % 97);",
+                );
+                p(s, "        }");
+            }
+            if spec.size >= 3 {
+                p(s, "        if (op == 5) {");
+                p(s, "            assert(znodes <= 32);");
+                p(s, "        }");
+            }
+        }
+    }
+}
+
+fn emit_shape_epilogue(s: &mut String, spec: &ZooSpec) {
+    let p = |s: &mut String, line: &str| {
+        s.push_str(line);
+        s.push('\n');
+    };
+    match spec.shape {
+        ZooShape::StateMachine => {
+            p(s, "    printint(ztrans);");
+            p(s, "    printint(zresets);");
+            p(s, "    printint(zstate);");
+        }
+        ZooShape::Parser => {
+            p(s, "    printint(znum);");
+            p(s, "    printint(zdepth);");
+            p(s, "    printint(zouts);");
+        }
+        ZooShape::Interpreter => {
+            p(s, "    printint(zacc);");
+            p(s, "    printint(zexec);");
+            p(s, "    printint(zhalts);");
+        }
+        ZooShape::Recursive => {
+            p(s, "    printint(znodes);");
+            p(s, "    printint(zhits);");
+            p(s, "    printint(zacc);");
+        }
+    }
+}

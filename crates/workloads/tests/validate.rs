@@ -17,7 +17,7 @@ fn io(w: &Workload, seed: u64) -> IoState {
 #[test]
 fn all_programs_run_cleanly_on_general_inputs() {
     for w in buggy().iter().chain(spec_kernels().iter()) {
-        for &tool in w.tools {
+        for &tool in &w.tools {
             let compiled = w.compile_for(tool).unwrap();
             for seed in [1u64, 2, 3] {
                 let r = run_baseline(
@@ -42,7 +42,7 @@ fn all_programs_run_cleanly_on_general_inputs() {
 #[test]
 fn baseline_detects_no_seeded_bugs() {
     for w in buggy() {
-        for &tool in w.tools {
+        for &tool in &w.tools {
             let compiled = w.compile_for(tool).unwrap();
             let r = run_baseline(
                 &compiled.program,
@@ -67,7 +67,7 @@ fn baseline_detects_no_seeded_bugs() {
 #[test]
 fn pathexpander_detects_exactly_the_helped_bugs() {
     for w in buggy() {
-        for &tool in w.tools {
+        for &tool in &w.tools {
             let compiled = w.compile_for(tool).unwrap();
             let r = run_standard(
                 &compiled.program,
@@ -85,7 +85,7 @@ fn pathexpander_detects_exactly_the_helped_bugs() {
             let dets = report(&compiled, &r.monitor, tool);
             let c = classify(&dets, &w.bug_lines_for(tool), false);
             for bug in w.bugs_for(tool) {
-                let line = w.marker_line(bug.marker);
+                let line = w.marker_line(&bug.marker);
                 let detected = c.true_positive_lines.contains(&line);
                 if bug.escape.expected_detected() {
                     assert!(

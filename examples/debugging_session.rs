@@ -17,7 +17,7 @@ fn main() {
     let mut tested = 0usize;
     for workload in px_workloads::buggy() {
         println!("=== {} ({} LOC) ===", workload.name, workload.loc());
-        for &tool in workload.tools {
+        for &tool in &workload.tools {
             let bugs = workload.bugs_for(tool);
             if bugs.is_empty() {
                 continue;
@@ -48,7 +48,7 @@ fn main() {
             println!("  [{}] {} seeded bugs:", tool.name(), bugs.len());
             for bug in bugs {
                 tested += 1;
-                let line = workload.marker_line(bug.marker);
+                let line = workload.marker_line(&bug.marker);
                 let in_base = base_lines.contains(&line);
                 let in_px = c.true_positive_lines.contains(&line);
                 let verdict = match (in_base, in_px, bug.escape) {

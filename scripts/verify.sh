@@ -27,6 +27,18 @@ fi
 echo "==> fault-smoke: 64-case fault-injection campaign"
 cargo run --release --offline -q -p px-bench --bin fault_campaign -- --seed 1 --cases 64
 
+# Zoo smoke: the quick E15 roster must meet the acceptance criteria
+# (every expected bug detected on some engine, zero NT-only false
+# positives), and the zoo CLI must be byte-deterministic.
+echo "==> zoo-smoke: quick E15 roster + CLI determinism"
+cargo run --release --offline -q -p px-bench --bin zoo_tables -- --quick --check
+a=$(cargo run --release --offline -q -p px-cli --bin pxc -- zoo run zoo:parser:1 --json)
+b=$(cargo run --release --offline -q -p px-cli --bin pxc -- zoo run zoo:parser:1 --json)
+if [ "$a" != "$b" ]; then
+    echo "zoo-smoke FAILED: pxc zoo run --json is not deterministic" >&2
+    exit 1
+fi
+
 # Throughput gate: the committed BENCH_throughput.json must carry the
 # current schema and this machine's freshly-computed *architectural* digest.
 # Wall-clock numbers are machine-specific and are never compared.

@@ -197,3 +197,95 @@ fn static_filter_preserves_containment_and_taken_coverage() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Zoo cross-validation: the same two directions of trust, but over the
+// generated workload zoo instead of random instruction soup — real
+// structured control flow with known bug sites.
+// ---------------------------------------------------------------------------
+
+/// One zoo family per shape, compiled for every tool it supports.
+fn zoo_compiled() -> Vec<(String, px_workloads::Workload)> {
+    [
+        "zoo:state-machine:1",
+        "zoo:parser:3:n1",
+        "zoo:interpreter:2",
+        "zoo:recursive:6:lean",
+    ]
+    .iter()
+    .map(|s| ((*s).to_owned(), px_workloads::by_name(s).expect("zoo spec")))
+    .collect()
+}
+
+#[test]
+fn zoo_infeasible_edges_are_never_taken_dynamically() {
+    // The synthesizer must not emit programs whose dynamic taken path
+    // contradicts the static analysis; together with the feasible-edge
+    // coverage denominators in E15 this keeps "coverage uplift" honest.
+    for (spec, w) in zoo_compiled() {
+        for &tool in &w.tools {
+            let compiled = w.compile_for(tool).unwrap();
+            let analysis = Analysis::of(&compiled.program);
+            let (r, report) = differential_run(
+                &compiled.program,
+                &machine(Mode::Standard),
+                &w.px_config(),
+                IoState::new(w.general_input(42), 42),
+                None,
+            );
+            assert!(
+                report.is_contained(),
+                "{spec}/{}: zoo program must be contained: {:?}",
+                tool.name(),
+                report.violations
+            );
+            for pc in 0..compiled.program.code.len() as u32 {
+                for (edge, slot) in [
+                    (BranchEdge::Taken, Edge::Taken),
+                    (BranchEdge::NotTaken, Edge::NotTaken),
+                ] {
+                    if r.taken_coverage.covered(pc, slot) {
+                        assert!(
+                            analysis.edge_feasible(pc, edge),
+                            "{spec}/{}: taken path covered pc {pc} {} but the \
+                             analysis calls it infeasible",
+                            tool.name(),
+                            edge.name(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn zoo_bug_markers_sit_in_feasible_code() {
+    // Ground truth sanity: every injected bug line must be statically
+    // reachable — a bug in code the analysis proves dead could never be
+    // detected and would poison the expected/detected bookkeeping.
+    for (spec, w) in zoo_compiled() {
+        for &tool in &w.tools {
+            let compiled = w.compile_for(tool).unwrap();
+            let analysis = Analysis::of(&compiled.program);
+            for bug in &w.bugs {
+                let line = w.marker_line(&bug.marker);
+                let pcs: Vec<u32> = (0..compiled.program.code.len() as u32)
+                    .filter(|&pc| compiled.program.source_line(pc) == line)
+                    .collect();
+                assert!(
+                    !pcs.is_empty(),
+                    "{spec}/{}: bug {} line {line} compiled to no instructions",
+                    tool.name(),
+                    bug.id
+                );
+                assert!(
+                    pcs.iter().any(|&pc| analysis.constprop().reachable(pc)),
+                    "{spec}/{}: bug {} line {line} is statically unreachable",
+                    tool.name(),
+                    bug.id
+                );
+            }
+        }
+    }
+}

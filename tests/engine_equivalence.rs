@@ -88,3 +88,97 @@ fn software_and_hardware_standard_agree_everywhere() {
         );
     }
 }
+
+/// A cross-shape sample of the generated zoo — small enough for tier-1,
+/// wide enough to hit every shape and both deep-loop variants.
+fn zoo_sample() -> Vec<px_workloads::Workload> {
+    [
+        "zoo:state-machine:3",
+        "zoo:parser:2:n1",
+        "zoo:interpreter:5:n3",
+        "zoo:recursive:4",
+    ]
+    .iter()
+    .map(|s| px_workloads::by_name(s).expect("zoo spec parses"))
+    .collect()
+}
+
+#[test]
+fn zoo_engines_agree_on_taken_path_digests() {
+    // The generated programs exercise the engines differently from the
+    // hand-written workloads (dense dispatch chains, syscall-bounded
+    // NT-paths), but the transparency contract is the same: the committed
+    // (taken-path) results must be identical under standard, CMP-with-ample-
+    // queue, and the software implementation.
+    for w in zoo_sample() {
+        for &tool in &w.tools {
+            let compiled = w.compile_for(tool).unwrap();
+            let io = || IoState::new(w.general_input(12345), 12345);
+            let std_r = run_standard(
+                &compiled.program,
+                &MachConfig::single_core(),
+                &w.px_config(),
+                io(),
+            );
+            let cmp_r = run_cmp(
+                &compiled.program,
+                &MachConfig::default(),
+                &w.px_config().cmp().with_max_outstanding(512),
+                io(),
+            );
+            let sw = px_soft::run_soft(
+                &compiled.program,
+                &w.px_config(),
+                &px_soft::SoftConfig::default(),
+                io(),
+            );
+            let std_d = std_r.taken_path_digest(&compiled.program);
+            assert_eq!(
+                std_d,
+                cmp_r.taken_path_digest(&compiled.program),
+                "{}/{}: standard and CMP taken-path digests",
+                w.name,
+                tool.name()
+            );
+            assert_eq!(
+                std_d,
+                sw.run.taken_path_digest(&compiled.program),
+                "{}/{}: standard and software taken-path digests",
+                w.name,
+                tool.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn zoo_nt_faults_stay_contained() {
+    // Seed-1 uniform fault mix injected into NT-paths only: the committed
+    // run must be bit-identical to a fault-free one (paper §3.3 isolation).
+    use px_mach::{FaultMix, FaultPlan};
+
+    for w in zoo_sample() {
+        let tool = w.tools[0];
+        let compiled = w.compile_for(tool).unwrap();
+        let io = IoState::new(w.general_input(999), 999);
+        let mut plan = FaultPlan::new(1, FaultMix::uniform(), 4);
+        let (r, report) = pathexpander::differential_run(
+            &compiled.program,
+            &MachConfig::single_core(),
+            &w.px_config(),
+            io,
+            Some(&mut plan),
+        );
+        assert!(
+            r.stats.faults_injected > 0,
+            "{}: the campaign must actually fire",
+            w.name
+        );
+        assert!(
+            report.is_contained(),
+            "{}: NT faults leaked into committed state: {:?}",
+            w.name,
+            report.violations
+        );
+    }
+}

@@ -16,7 +16,7 @@ fn signature(exit: RunExit, out: &str) -> String {
 #[test]
 fn every_engine_and_option_is_transparent_on_every_workload() {
     for w in px_workloads::all() {
-        for &tool in w.tools {
+        for &tool in &w.tools {
             let compiled = w.compile_for(tool).expect("compiles");
             for seed in [3u64, 99] {
                 let io = || IoState::new(w.general_input(seed), seed);
