@@ -1,0 +1,474 @@
+//! The append-only NDJSON journal — the campaign's single source of truth.
+//!
+//! Line 1 is a `meta` record pinning the manifest, watchdog timeout and
+//! total case count; every finished case appends one self-digesting `case`
+//! record; every `checkpoint_every` cases the driver appends a `ckpt`
+//! record carrying the running aggregate digest and fsyncs. Nothing is ever
+//! rewritten, so a crash can lose at most the bytes after the last newline.
+//!
+//! [`load`] replays a journal: it verifies every case record's stored
+//! digest, folds the records *in file order* into an [`Aggregate`], checks
+//! each `ckpt` against the fold so far, and — because the aggregate is
+//! commutative — hands back exactly the state an uninterrupted run would
+//! hold. A torn tail (no trailing newline, or an unparseable/mis-digested
+//! final line) is dropped and reported via `valid_len`, which
+//! [`Journal::resume`] truncates to before appending; corruption anywhere
+//! *else* is a hard [`CampaignError::Corrupt`], never silently skipped.
+
+use std::collections::BTreeSet;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use px_util::{hex64, parse_hex64, Json, ToJson};
+
+use crate::outcome::{Aggregate, CaseRecord};
+use crate::CampaignError;
+
+/// Journal schema tag (line 1 of every journal).
+pub const SCHEMA: &str = "px-campaign/journal-v1";
+
+/// The journal's identity: what campaign this file belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalMeta {
+    /// Canonical manifest spec.
+    pub manifest: String,
+    /// Watchdog timeout (instructions).
+    pub timeout: u64,
+    /// Total cases in the manifest.
+    pub total: u64,
+}
+
+impl JournalMeta {
+    fn to_line(&self) -> String {
+        Json::obj([
+            ("t", "meta".to_json()),
+            ("schema", SCHEMA.to_json()),
+            ("manifest", self.manifest.to_json()),
+            ("timeout", self.timeout.to_json()),
+            ("total", self.total.to_json()),
+        ])
+        .dump()
+    }
+
+    fn from_json(v: &Json) -> Result<JournalMeta, String> {
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("meta record missing `schema`")?;
+        if schema != SCHEMA {
+            return Err(format!("journal schema `{schema}` (expected `{SCHEMA}`)"));
+        }
+        Ok(JournalMeta {
+            manifest: v
+                .get("manifest")
+                .and_then(Json::as_str)
+                .ok_or("meta record missing `manifest`")?
+                .to_owned(),
+            timeout: v
+                .get("timeout")
+                .and_then(Json::as_u64)
+                .ok_or("meta record missing `timeout`")?,
+            total: v
+                .get("total")
+                .and_then(Json::as_u64)
+                .ok_or("meta record missing `total`")?,
+        })
+    }
+}
+
+/// Everything a resume needs, replayed from a journal file.
+#[derive(Debug)]
+pub struct JournalState {
+    /// The journal's identity record.
+    pub meta: JournalMeta,
+    /// Case records, in file order.
+    pub records: Vec<CaseRecord>,
+    /// Ids of finished cases (the resume skip-set).
+    pub done: BTreeSet<u64>,
+    /// The commutative fold of all case records.
+    pub aggregate: Aggregate,
+    /// Checkpoint records seen (all verified).
+    pub checkpoints: u64,
+    /// Bytes of the file that are intact; a torn tail lies beyond.
+    pub valid_len: u64,
+    /// Whether a torn tail was dropped.
+    pub torn: bool,
+}
+
+/// Replays and verifies the journal at `path`.
+///
+/// # Errors
+///
+/// I/O failures, a missing/foreign meta line, or corruption anywhere
+/// before the final line (which alone is treated as a torn tail).
+pub fn load(path: &Path) -> Result<JournalState, CampaignError> {
+    let io_err = |e: std::io::Error| CampaignError::Io {
+        path: path.to_path_buf(),
+        err: e.to_string(),
+    };
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(io_err)?;
+
+    // Split into newline-terminated lines, keeping byte offsets so a torn
+    // tail can be truncated away precisely.
+    let mut lines: Vec<(u64, &str)> = Vec::new();
+    let mut start = 0usize;
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            lines.push((i as u64 + 1, &text[start..i]));
+            start = i + 1;
+        }
+    }
+    let mut torn = start < text.len();
+    let mut valid_len = lines.last().map_or(0, |(end, _)| *end);
+
+    let mut meta = None;
+    let mut records = Vec::new();
+    let mut done = BTreeSet::new();
+    let mut aggregate = Aggregate::default();
+    let mut checkpoints = 0u64;
+    let mut prev_valid = 0u64;
+    for (idx, (end, line)) in lines.iter().enumerate() {
+        let lineno = idx as u64 + 1;
+        let last = idx + 1 == lines.len();
+        // A terminated-but-bad final line is still a torn tail: the crash
+        // can land between the payload write and the newline of the *next*
+        // record. Anything earlier is corruption.
+        let fail = |why: String| -> Result<(), CampaignError> {
+            if last {
+                Ok(())
+            } else {
+                Err(CampaignError::Corrupt { line: lineno, why })
+            }
+        };
+        let parsed = match px_util::json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                fail(e.to_string())?;
+                torn = true;
+                valid_len = prev_valid;
+                break;
+            }
+        };
+        let tag = parsed.get("t").and_then(Json::as_str).unwrap_or("");
+        let step = match (lineno, tag) {
+            (1, "meta") => JournalMeta::from_json(&parsed).map(|m| {
+                meta = Some(m);
+            }),
+            (1, t) => Err(format!("first record is `{t}`, not `meta`")),
+            (_, "meta") => Err("duplicate meta record".to_owned()),
+            (_, "case") => CaseRecord::from_json(&parsed).and_then(|rec| {
+                if !done.insert(rec.id) {
+                    return Err(format!("duplicate case id {}", rec.id));
+                }
+                aggregate
+                    .absorb(&rec)
+                    .map_err(|e| e.to_string())
+                    .map(|()| records.push(rec))
+            }),
+            (_, "ckpt") => {
+                verify_ckpt(&parsed, records.len() as u64, &aggregate).map(|()| checkpoints += 1)
+            }
+            (_, t) => Err(format!("unknown record type `{t}`")),
+        };
+        if let Err(why) = step {
+            fail(why)?;
+            // Roll back what the bad final case record may have absorbed by
+            // replaying the intact prefix.
+            let mut redo = Aggregate::default();
+            let mut redone = BTreeSet::new();
+            for rec in &records {
+                redo.absorb(rec).expect("prefix absorbed once already");
+                redone.insert(rec.id);
+            }
+            aggregate = redo;
+            done = redone;
+            torn = true;
+            valid_len = prev_valid;
+            break;
+        }
+        prev_valid = *end;
+    }
+    let meta = meta.ok_or(CampaignError::Corrupt {
+        line: 1,
+        why: "journal has no meta record".to_owned(),
+    })?;
+    Ok(JournalState {
+        meta,
+        records,
+        done,
+        aggregate,
+        checkpoints,
+        valid_len,
+        torn,
+    })
+}
+
+fn verify_ckpt(v: &Json, done: u64, aggregate: &Aggregate) -> Result<(), String> {
+    let n = v
+        .get("done")
+        .and_then(Json::as_u64)
+        .ok_or("ckpt record missing `done`")?;
+    let agg = v
+        .get("agg")
+        .and_then(Json::as_str)
+        .and_then(parse_hex64)
+        .ok_or("ckpt record missing `agg`")?;
+    if n != done {
+        return Err(format!("ckpt claims {n} cases, journal holds {done}"));
+    }
+    if agg != aggregate.digest() {
+        return Err(format!(
+            "ckpt aggregate digest {} does not match replay {}",
+            hex64(agg),
+            hex64(aggregate.digest())
+        ));
+    }
+    Ok(())
+}
+
+/// An open journal being appended to.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Creates a fresh journal (truncating any existing file) and writes
+    /// the meta record.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn create(path: &Path, meta: &JournalMeta) -> Result<Journal, CampaignError> {
+        let file = File::create(path).map_err(|e| CampaignError::Io {
+            path: path.to_path_buf(),
+            err: e.to_string(),
+        })?;
+        let mut j = Journal {
+            file,
+            path: path.to_path_buf(),
+        };
+        j.line(&meta.to_line())?;
+        Ok(j)
+    }
+
+    /// Reopens an existing journal for appending, first truncating away a
+    /// torn tail (`valid_len` from [`load`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn resume(path: &Path, valid_len: u64) -> Result<Journal, CampaignError> {
+        let io_err = |e: std::io::Error| CampaignError::Io {
+            path: path.to_path_buf(),
+            err: e.to_string(),
+        };
+        let mut file = OpenOptions::new().write(true).open(path).map_err(io_err)?;
+        file.set_len(valid_len).map_err(io_err)?;
+        file.seek(SeekFrom::End(0)).map_err(io_err)?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    fn line(&mut self, s: &str) -> Result<(), CampaignError> {
+        let mut buf = String::with_capacity(s.len() + 1);
+        buf.push_str(s);
+        buf.push('\n');
+        self.file
+            .write_all(buf.as_bytes())
+            .map_err(|e| CampaignError::Io {
+                path: self.path.clone(),
+                err: e.to_string(),
+            })
+    }
+
+    /// Appends one case record.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn case(&mut self, rec: &CaseRecord) -> Result<(), CampaignError> {
+        self.line(&rec.to_line())
+    }
+
+    /// Appends a checkpoint record and fsyncs the file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn ckpt(&mut self, done: u64, aggregate: &Aggregate) -> Result<(), CampaignError> {
+        self.line(
+            &Json::obj([
+                ("t", "ckpt".to_json()),
+                ("done", done.to_json()),
+                ("agg", Json::Str(hex64(aggregate.digest()))),
+            ])
+            .dump(),
+        )?;
+        self.file.sync_all().map_err(|e| CampaignError::Io {
+            path: self.path.clone(),
+            err: e.to_string(),
+        })
+    }
+
+    /// Writes *half* of a case record with no newline — the crash-simulation
+    /// hook the kill/resume tests use to exercise torn-tail truncation.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn tear(&mut self, rec: &CaseRecord) -> Result<(), CampaignError> {
+        let line = rec.to_line();
+        let half = &line[..line.len() / 2];
+        self.file
+            .write_all(half.as_bytes())
+            .map_err(|e| CampaignError::Io {
+                path: self.path.clone(),
+                err: e.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::CaseOutcome;
+
+    fn meta(total: u64) -> JournalMeta {
+        JournalMeta {
+            manifest: format!("chaos:1:{total}"),
+            timeout: 10_000,
+            total,
+        }
+    }
+
+    fn record(id: u64) -> CaseRecord {
+        CaseRecord {
+            id,
+            case: format!("chaos:1:8#{id}"),
+            outcome: CaseOutcome::Done,
+            exit: "exited".to_owned(),
+            faults: 0,
+            nt_paths: 0,
+            detections: 0,
+            covered_edges: 0,
+            program_key: String::new(),
+            code_len: 0,
+            cov_bits: Vec::new(),
+            detail: String::new(),
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("px-journal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn journals_round_trip_through_load() {
+        let path = tmp("roundtrip");
+        let mut j = Journal::create(&path, &meta(8)).unwrap();
+        let mut agg = Aggregate::default();
+        for id in 0..4 {
+            let rec = record(id);
+            j.case(&rec).unwrap();
+            agg.absorb(&rec).unwrap();
+        }
+        j.ckpt(4, &agg).unwrap();
+        drop(j);
+
+        let state = load(&path).unwrap();
+        assert_eq!(state.meta, meta(8));
+        assert_eq!(state.records.len(), 4);
+        assert_eq!(state.checkpoints, 1);
+        assert!(!state.torn);
+        assert_eq!(state.aggregate.digest(), agg.digest());
+        assert!(state.done.contains(&3));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tails_are_dropped_and_resume_truncates() {
+        let path = tmp("torn");
+        let mut j = Journal::create(&path, &meta(8)).unwrap();
+        j.case(&record(0)).unwrap();
+        j.tear(&record(1)).unwrap();
+        drop(j);
+
+        let state = load(&path).unwrap();
+        assert!(state.torn);
+        assert_eq!(state.records.len(), 1, "the torn record is dropped");
+        let full_len = std::fs::metadata(&path).unwrap().len();
+        assert!(state.valid_len < full_len);
+
+        let mut j = Journal::resume(&path, state.valid_len).unwrap();
+        j.case(&record(1)).unwrap();
+        drop(j);
+        let state = load(&path).unwrap();
+        assert!(!state.torn, "truncate + clean append heals the file");
+        assert_eq!(state.records.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_fatal() {
+        let path = tmp("corrupt");
+        let mut j = Journal::create(&path, &meta(8)).unwrap();
+        j.case(&record(0)).unwrap();
+        j.case(&record(1)).unwrap();
+        drop(j);
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Tamper with the *first* case line (not the tail).
+        let bad = text.replacen("\"faults\":0", "\"faults\":9", 1);
+        std::fs::write(&path, bad).unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(
+            matches!(err, CampaignError::Corrupt { line: 2, .. }),
+            "{err}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn duplicate_case_ids_are_corruption() {
+        let path = tmp("dup");
+        let mut j = Journal::create(&path, &meta(8)).unwrap();
+        j.case(&record(0)).unwrap();
+        j.case(&record(0)).unwrap();
+        j.case(&record(1)).unwrap();
+        drop(j);
+        let err = load(&path).unwrap_err();
+        assert!(
+            matches!(err, CampaignError::Corrupt { line: 3, .. }),
+            "{err}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_checkpoints_are_detected() {
+        let path = tmp("badckpt");
+        let mut j = Journal::create(&path, &meta(8)).unwrap();
+        let mut agg = Aggregate::default();
+        let rec = record(0);
+        j.case(&rec).unwrap();
+        agg.absorb(&rec).unwrap();
+        j.ckpt(4, &agg).unwrap();
+        j.case(&record(1)).unwrap();
+        drop(j);
+        let err = load(&path).unwrap_err();
+        assert!(
+            matches!(err, CampaignError::Corrupt { line: 3, .. }),
+            "{err}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,307 @@
+//! Executes one manifest case and renders it as a journal [`CaseRecord`].
+//!
+//! [`run_case`] is the pure per-case function the campaign pool fans out:
+//! `(manifest, watchdog, id) → CaseRecord`, no shared state, no ambient
+//! configuration — which is what makes records byte-identical across
+//! workers, runs and resumes. It does **not** catch panics; the campaign
+//! driver wraps it in `catch_unwind` so a panicking case becomes a
+//! [`CaseRecord::panicked`] quarantine entry instead of a dead worker.
+//!
+//! The `chaos` generator exists to prove exactly that: it deliberately
+//! produces a seeded mixture of well-behaved, panicking and runaway cases
+//! with a known ground truth ([`chaos_truth`]), which the CI campaign gate
+//! checks the quarantine list against.
+
+use pathexpander::PxConfig;
+use px_detect::{classify, report, Tool};
+use px_isa::asm::assemble;
+use px_mach::{run_baseline, IoState, MachConfig};
+use px_util::{Rng, SplitMix64};
+use px_workloads::zoo::{self, ZooSpec};
+
+use crate::fault;
+use crate::manifest::{CaseGen, Manifest};
+use crate::outcome::{CaseOutcome, CaseRecord};
+use crate::watchdog::Watchdog;
+
+/// Native instruction budget for zoo cases (the watchdog clamps it).
+pub const ZOO_BUDGET: u64 = 5_000_000;
+
+/// Nominal native budget for chaos cases — far above any sane watchdog, so
+/// a runaway chaos case always counts as a watchdog trip.
+pub const CHAOS_BUDGET: u64 = 1_000_000_000;
+
+/// Runs global case `id` of `manifest` under `wd`.
+///
+/// # Panics
+///
+/// Panics when `id` is outside the manifest (a driver bug, not a case
+/// failure) — and whenever the case itself panics, by design: chaos cases
+/// do, and the campaign driver's `catch_unwind` is the layer that turns
+/// that into a quarantine record.
+#[must_use]
+pub fn run_case(manifest: &Manifest, wd: &Watchdog, id: u64) -> CaseRecord {
+    let (gen, local) = manifest
+        .locate(id)
+        .unwrap_or_else(|| panic!("case id {id} outside manifest `{manifest}`"));
+    let case = format!("{gen}#{local}");
+    match gen {
+        CaseGen::Fault { seed, mix, .. } => run_fault(id, case, *seed, local, mix, wd),
+        CaseGen::Zoo { spec, .. } => {
+            let tools = Tool::ALL.len() as u64;
+            run_zoo(id, case, spec, local / tools + 1, tool_at(local), wd)
+        }
+        CaseGen::ZooRoster { quick } => {
+            let roster = zoo::roster();
+            let family = if *quick {
+                local
+            } else {
+                local / Tool::ALL.len() as u64
+            };
+            let spec = &roster[family as usize];
+            run_zoo(id, case, spec, 1, tool_at(local), wd)
+        }
+        CaseGen::Chaos { seed, .. } => run_chaos(id, case, *seed, local, wd),
+    }
+}
+
+fn tool_at(local: u64) -> Tool {
+    Tool::ALL[(local % Tool::ALL.len() as u64) as usize]
+}
+
+fn run_fault(
+    id: u64,
+    case: String,
+    seed: u64,
+    local: u64,
+    mix: &px_mach::FaultMix,
+    wd: &Watchdog,
+) -> CaseRecord {
+    let fc = fault::run_case_budget(seed, local, mix, wd.clamp(fault::CASE_BUDGET));
+    let (outcome, detail) = if !fc.violations.is_empty() {
+        (CaseOutcome::Violated, fc.violations.join("; "))
+    } else if wd.tripped(fault::CASE_BUDGET, &fc.exit) {
+        (CaseOutcome::TimedOut, String::new())
+    } else {
+        (CaseOutcome::Done, String::new())
+    };
+    CaseRecord {
+        id,
+        case,
+        outcome,
+        exit: fc.exit,
+        faults: fc.faults,
+        nt_paths: fc.nt_paths,
+        detections: 0,
+        covered_edges: 0,
+        program_key: String::new(),
+        code_len: 0,
+        cov_bits: Vec::new(),
+        detail,
+    }
+}
+
+fn run_zoo(
+    id: u64,
+    case: String,
+    spec: &ZooSpec,
+    input_seed: u64,
+    tool: Tool,
+    wd: &Watchdog,
+) -> CaseRecord {
+    let w = zoo::generate(spec);
+    let compiled = w
+        .compile_for(tool)
+        .unwrap_or_else(|e| panic!("{} ({}): {e}", w.name, tool.name()));
+    let px = PxConfig::default()
+        .with_max_nt_path_len(w.max_nt_path_len)
+        .with_max_instructions(wd.clamp(ZOO_BUDGET));
+    let io = IoState::new(w.general_input(input_seed), input_seed);
+    let r = pathexpander::run(&compiled.program, &MachConfig::single_core(), &px, io);
+
+    let all_lines: Vec<u32> = w.bugs.iter().map(|b| w.marker_line(&b.marker)).collect();
+    let dets = report(&compiled, &r.monitor, tool);
+    let c = classify(&dets, &all_lines, false);
+    let exit = r.exit.class().to_owned();
+    let outcome = if wd.tripped(ZOO_BUDGET, &exit) {
+        CaseOutcome::TimedOut
+    } else {
+        CaseOutcome::Done
+    };
+    CaseRecord {
+        id,
+        case,
+        outcome,
+        exit,
+        faults: 0,
+        nt_paths: r.stats.spawns,
+        detections: c.true_positive_lines.len() as u64,
+        covered_edges: u64::from(r.total_coverage.covered_edges(&compiled.program)),
+        program_key: format!("{spec}/{}", tool.name()),
+        code_len: compiled.program.code.len() as u64,
+        cov_bits: r.total_coverage.pack_bits(),
+        detail: String::new(),
+    }
+}
+
+/// The chaos case classes, drawn from one seeded roll per case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChaosKind {
+    Ok,
+    Panic,
+    Runaway,
+}
+
+fn chaos_kind(seed: u64, local: u64) -> ChaosKind {
+    let mut rng = SplitMix64::new(seed ^ local.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    match rng.next_u64() % 8 {
+        0 => ChaosKind::Panic,
+        1 | 2 => ChaosKind::Runaway,
+        _ => ChaosKind::Ok,
+    }
+}
+
+/// The ground-truth outcome of every case of `chaos:<seed>:<n>`, in local
+/// order — what a campaign's quarantine must match exactly (assuming the
+/// watchdog timeout is below [`CHAOS_BUDGET`], which any sane one is).
+#[must_use]
+pub fn chaos_truth(seed: u64, n: u64) -> Vec<CaseOutcome> {
+    (0..n)
+        .map(|local| match chaos_kind(seed, local) {
+            ChaosKind::Ok => CaseOutcome::Done,
+            ChaosKind::Panic => CaseOutcome::Panicked,
+            ChaosKind::Runaway => CaseOutcome::TimedOut,
+        })
+        .collect()
+}
+
+fn run_chaos(id: u64, case: String, seed: u64, local: u64, wd: &Watchdog) -> CaseRecord {
+    let kind = chaos_kind(seed, local);
+    let src = match kind {
+        ChaosKind::Panic => {
+            panic!("chaos case {local} panicked by design (seed {seed})");
+        }
+        ChaosKind::Runaway => {
+            r"
+            .code
+            main:
+            spin:
+                addi r8, r8, 1
+                jmp spin
+            "
+        }
+        ChaosKind::Ok => {
+            r"
+            .code
+            main:
+                li r4, 40
+            loop:
+                subi r4, r4, 1
+                bgt r4, zero, loop
+                li r2, 0
+                exit
+            "
+        }
+    };
+    let program = assemble(src).unwrap_or_else(|e| panic!("chaos template: {e}"));
+    let io = IoState::new(Vec::new(), seed ^ local);
+    let r = run_baseline(
+        &program,
+        &MachConfig::single_core(),
+        io,
+        wd.clamp(CHAOS_BUDGET),
+    );
+    let exit = r.exit.class().to_owned();
+    let outcome = if wd.tripped(CHAOS_BUDGET, &exit) {
+        CaseOutcome::TimedOut
+    } else {
+        CaseOutcome::Done
+    };
+    CaseRecord {
+        id,
+        case,
+        outcome,
+        exit,
+        faults: 0,
+        nt_paths: 0,
+        detections: 0,
+        covered_edges: 0,
+        program_key: String::new(),
+        code_len: 0,
+        cov_bits: Vec::new(),
+        detail: String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn wd(timeout: u64) -> Watchdog {
+        Watchdog { timeout }
+    }
+
+    #[test]
+    fn fault_cases_render_as_records() {
+        let m = Manifest::parse("fault:1:8").unwrap();
+        let rec = run_case(&m, &Watchdog::default_budget(), 3);
+        assert_eq!(rec.id, 3);
+        assert_eq!(rec.case, "fault:1:8#3");
+        assert_eq!(rec.outcome, CaseOutcome::Done);
+        assert!(rec.program_key.is_empty());
+        // Records are pure: the same id renders byte-identically.
+        let again = run_case(&m, &Watchdog::default_budget(), 3);
+        assert_eq!(rec.to_line(), again.to_line());
+    }
+
+    #[test]
+    fn zoo_cases_carry_coverage_shards() {
+        let m = Manifest::parse("zoo:parser:3*2").unwrap();
+        let rec = run_case(&m, &Watchdog::default_budget(), 0);
+        assert_eq!(rec.case, "zoo:parser:3*2#0");
+        assert_eq!(rec.outcome, CaseOutcome::Done);
+        assert_eq!(rec.program_key, "zoo:parser:3/CCured");
+        assert!(rec.code_len > 0);
+        assert!(!rec.cov_bits.is_empty());
+        assert!(rec.covered_edges > 0, "zoo runs cover edges");
+        assert!(rec.detections > 0, "cold zoo bugs are detected");
+        // Same family, different tool: the shard key differs.
+        let other = run_case(&m, &Watchdog::default_budget(), 1);
+        assert_ne!(other.program_key, rec.program_key);
+    }
+
+    #[test]
+    fn chaos_matches_its_ground_truth() {
+        let m = Manifest::parse("chaos:5:24").unwrap();
+        let truth = chaos_truth(5, 24);
+        assert!(truth.contains(&CaseOutcome::Panicked), "mix has panics");
+        assert!(truth.contains(&CaseOutcome::TimedOut), "mix has runaways");
+        assert!(truth.contains(&CaseOutcome::Done), "mix has clean cases");
+        for (local, want) in truth.iter().enumerate() {
+            let got = catch_unwind(AssertUnwindSafe(|| run_case(&m, &wd(10_000), local as u64)));
+            match want {
+                CaseOutcome::Panicked => assert!(got.is_err(), "case {local} must panic"),
+                other => assert_eq!(got.unwrap().outcome, *other, "case {local}"),
+            }
+        }
+    }
+
+    #[test]
+    fn roster_cases_resolve_every_family_and_tool() {
+        let quick = Manifest::parse("zoo-roster:quick").unwrap();
+        let rec = run_case(&quick, &Watchdog::default_budget(), 1);
+        assert!(rec.case.starts_with("zoo-roster:quick#"));
+        assert_eq!(rec.outcome, CaseOutcome::Done);
+        assert!(!rec.program_key.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_ids_are_a_driver_bug() {
+        let m = Manifest::parse("chaos:1:2").unwrap();
+        let got = catch_unwind(AssertUnwindSafe(|| {
+            run_case(&m, &Watchdog::default_budget(), 99)
+        }));
+        assert!(got.is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! SIGINT → graceful drain, with no dependency on the `libc` crate.
+//!
+//! The campaign driver polls a shared [`AtomicBool`]; [`install`] arranges
+//! for the first `SIGINT` (ctrl-C) to set it, so in-flight cases finish,
+//! the final checkpoint lands and the journal stays resumable. A second
+//! `SIGINT` falls back to the default disposition — i.e. actually kills the
+//! process — so a wedged campaign can still be stopped, and the next run
+//! exercises exactly the crash-recovery path the journal is designed for.
+//!
+//! The raw `signal(2)` binding is declared here (one `extern "C"` line)
+//! because the workspace is zero-dependency by policy; on non-Unix targets
+//! [`install`] is a no-op returning the same flag, which then only ever
+//! trips via the in-process shutdown hooks.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The process-wide shutdown-requested flag.
+pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod unix {
+    use super::{AtomicBool, Ordering, SHUTDOWN};
+
+    pub(super) const SIGINT: i32 = 2;
+    pub(super) const SIG_DFL: usize = 0;
+
+    extern "C" {
+        pub(super) fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub(super) static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+    pub(super) extern "C" fn on_sigint(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+        // Restore the default disposition: the second ctrl-C terminates.
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+}
+
+/// Installs the SIGINT handler (idempotent) and returns the shutdown flag.
+pub fn install() -> &'static AtomicBool {
+    #[cfg(unix)]
+    if !unix::INSTALLED.swap(true, Ordering::SeqCst) {
+        unsafe {
+            let handler = unix::on_sigint as extern "C" fn(i32) as *const () as usize;
+            unix::signal(unix::SIGINT, handler);
+        }
+    }
+    &SHUTDOWN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_is_idempotent_and_returns_the_flag() {
+        let a = install();
+        let b = install();
+        assert!(std::ptr::eq(a, b));
+        assert!(!a.load(Ordering::SeqCst));
+    }
+}

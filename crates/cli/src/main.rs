@@ -19,6 +19,7 @@ use px_lang::{CompileOptions, CompiledProgram};
 use px_mach::{IoState, MachConfig};
 
 mod analyze;
+mod campaign;
 mod options;
 mod report;
 mod zoo;
@@ -127,6 +128,7 @@ fn run(opts: &Options) -> Result<ExitCode, String> {
             }
             Ok(ExitCode::SUCCESS)
         }
+        Action::Campaign(c) => campaign::campaign(c),
         Action::Bench(name) => {
             let workload = px_workloads::by_name(name)
                 .ok_or_else(|| format!("unknown workload `{name}` (try `pxc list`)"))?;

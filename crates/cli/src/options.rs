@@ -18,6 +18,7 @@ USAGE:
     pxc zoo list                              list the generated-zoo roster
     pxc zoo generate <spec>       [options]   print a generated program
     pxc zoo run <spec>            [options]   run a generated program
+    pxc campaign --cases <manifest> [opts]    crash-safe case campaign
     pxc help                                  this text
 
     Zoo specs name generated programs: zoo:<shape>:<seed>[:n<size>][:<mix>]
@@ -53,6 +54,22 @@ OPTIONS:
     --annotate                           (run) print coverage-annotated
                                          disassembly: [T./N] per branch edge
     --verbose                            print NT-path stop breakdown
+
+CAMPAIGN OPTIONS (pxc campaign):
+    --cases <manifest>                   case manifest: `+`-joined generators
+                                         fault:<seed>:<n>[:<mix>],
+                                         zoo:<spec>[*K], zoo-roster[:quick],
+                                         chaos:<seed>:<n>
+    --journal <path>                     NDJSON journal (default
+                                         px-campaign.ndjson); an existing
+                                         journal for the same manifest is
+                                         resumed, torn tail healed
+    --timeout <n>                        per-case instruction watchdog
+    --workers <n>                        worker threads (default: cores)
+    --max-quarantine <n>                 abort (resumably) past n quarantined
+    --only <id>                          replay one case inline, no journal
+    --no-resume                          start fresh, overwriting any journal
+    --json                               machine-readable report
 ";
 
 /// What to do.
@@ -65,7 +82,30 @@ pub enum Action {
     Analyze(String),
     List,
     Zoo(ZooCmd),
+    Campaign(CampaignOpts),
     Help,
+}
+
+/// Options for `pxc campaign` (parsed by a dedicated loop — campaign flags
+/// describe a whole fleet of runs, not one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignOpts {
+    /// The case manifest spec (`fault:…+zoo:…+chaos:…`).
+    pub cases: String,
+    /// Journal path (default `px-campaign.ndjson`).
+    pub journal: String,
+    /// Per-case instruction watchdog.
+    pub timeout: u64,
+    /// Worker threads (0 = one per core).
+    pub workers: usize,
+    /// Abort (resumably) once more than this many cases are quarantined.
+    pub max_quarantine: Option<u64>,
+    /// Replay a single case id inline (the quarantine replay command).
+    pub only: Option<u64>,
+    /// Start fresh, overwriting any existing journal.
+    pub no_resume: bool,
+    /// Emit the report as JSON.
+    pub json: bool,
 }
 
 /// `pxc zoo` subcommands.
@@ -148,6 +188,7 @@ impl Options {
                 }
                 None => return Err("`zoo` needs a subcommand: list, generate or run".to_owned()),
             },
+            Some("campaign") => Action::Campaign(parse_campaign(&mut it)?),
             Some(other) => return Err(format!("unknown command `{other}`")),
         };
 
@@ -285,6 +326,56 @@ impl Options {
     }
 }
 
+/// Drains the remaining arguments as `pxc campaign` flags.
+fn parse_campaign(
+    it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+) -> Result<CampaignOpts, String> {
+    let mut c = CampaignOpts {
+        cases: String::new(),
+        journal: "px-campaign.ndjson".to_owned(),
+        timeout: px_campaign::Watchdog::DEFAULT_TIMEOUT,
+        workers: 0,
+        max_quarantine: None,
+        only: None,
+        no_resume: false,
+        json: false,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{name}` needs a value"))
+        };
+        match flag.as_str() {
+            "--cases" => c.cases = value("--cases")?,
+            "--journal" => c.journal = value("--journal")?,
+            "--timeout" => {
+                let n = parse_u64("--timeout", &value("--timeout")?)?;
+                if n == 0 {
+                    return Err("`--timeout` must be at least 1 instruction".to_owned());
+                }
+                c.timeout = n;
+            }
+            "--workers" => c.workers = parse_num(&value("--workers")?)? as usize,
+            "--max-quarantine" => {
+                c.max_quarantine =
+                    Some(parse_u64("--max-quarantine", &value("--max-quarantine")?)?);
+            }
+            "--only" => c.only = Some(parse_u64("--only", &value("--only")?)?),
+            "--no-resume" => c.no_resume = true,
+            "--json" => c.json = true,
+            other => return Err(format!("unknown campaign option `{other}`")),
+        }
+    }
+    if c.cases.is_empty() {
+        return Err(
+            "`campaign` needs `--cases <manifest>` (e.g. --cases chaos:1:64+zoo:parser:3)"
+                .to_owned(),
+        );
+    }
+    Ok(c)
+}
+
 fn parse_num(s: &str) -> Result<u32, String> {
     s.replace('_', "")
         .parse()
@@ -353,6 +444,50 @@ mod tests {
         assert!(parse(&["zoo"]).is_err());
         assert!(parse(&["zoo", "generate"]).is_err());
         assert!(parse(&["zoo", "feed"]).is_err());
+    }
+
+    #[test]
+    fn campaign_flags_parse() {
+        let o = parse(&[
+            "campaign",
+            "--cases",
+            "chaos:1:8+zoo:parser:3*2",
+            "--journal",
+            "j.ndjson",
+            "--timeout",
+            "50000",
+            "--workers",
+            "3",
+            "--max-quarantine",
+            "10",
+            "--no-resume",
+            "--json",
+        ])
+        .unwrap();
+        let Action::Campaign(c) = o.action else {
+            panic!("expected a campaign action");
+        };
+        assert_eq!(c.cases, "chaos:1:8+zoo:parser:3*2");
+        assert_eq!(c.journal, "j.ndjson");
+        assert_eq!(c.timeout, 50_000);
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.max_quarantine, Some(10));
+        assert!(c.no_resume && c.json && c.only.is_none());
+
+        let c = match parse(&["campaign", "--cases", "fault:1:4", "--only", "2"])
+            .unwrap()
+            .action
+        {
+            Action::Campaign(c) => c,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(c.only, Some(2));
+        assert_eq!(c.timeout, px_campaign::Watchdog::DEFAULT_TIMEOUT);
+        assert_eq!(c.journal, "px-campaign.ndjson");
+
+        assert!(parse(&["campaign"]).is_err(), "--cases is mandatory");
+        assert!(parse(&["campaign", "--cases", "x", "--timeout", "0"]).is_err());
+        assert!(parse(&["campaign", "--cases", "x", "--wat"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! End-to-end tests of `pxc campaign`, driving the real binary: fresh run,
+//! resume-from-journal digest identity, quarantine replay via `--only`,
+//! and flag validation.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A small mixed manifest: chaos cases (2 panic + 3 runaway under this
+/// seed), real fault-injection cases, and one zoo family.
+const MANIFEST: &str = "chaos:5:20+fault:2:6+zoo:parser:3";
+const TIMEOUT: &str = "10000";
+
+fn pxc(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_pxc"))
+        .args(args)
+        .output()
+        .expect("pxc runs")
+}
+
+fn stdout_of(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn journal(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pxc-cli-{}-{name}.ndjson", std::process::id()))
+}
+
+fn cleanup(j: &PathBuf) {
+    let _ = std::fs::remove_file(j);
+    let mut q = j.as_os_str().to_owned();
+    q.push(".quarantine");
+    let _ = std::fs::remove_file(PathBuf::from(q));
+}
+
+fn field<'a>(json: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":");
+    let at = json
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {key} in {json}"));
+    let rest = &json[at + pat.len()..];
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or_else(|| panic!("unterminated {key}"));
+    rest[..end].trim_matches('"')
+}
+
+#[test]
+fn campaign_runs_resumes_and_keeps_its_digest() {
+    let j = journal("resume");
+    cleanup(&j);
+    let jarg = j.to_str().unwrap();
+
+    let first = pxc(&[
+        "campaign",
+        "--cases",
+        MANIFEST,
+        "--journal",
+        jarg,
+        "--timeout",
+        TIMEOUT,
+        "--workers",
+        "2",
+        "--json",
+    ]);
+    assert!(first.status.success(), "{first:?}");
+    let out1 = stdout_of(&first);
+    assert_eq!(field(&out1, "complete"), "true");
+    assert_eq!(field(&out1, "ran"), "29");
+    let digest = field(&out1, "digest").to_owned();
+
+    // A second invocation resumes the complete journal: nothing re-runs and
+    // the aggregate digest is byte-identical.
+    let second = pxc(&[
+        "campaign",
+        "--cases",
+        MANIFEST,
+        "--journal",
+        jarg,
+        "--timeout",
+        TIMEOUT,
+        "--json",
+    ]);
+    assert!(second.status.success(), "{second:?}");
+    let out2 = stdout_of(&second);
+    assert_eq!(field(&out2, "resumed"), "29");
+    assert_eq!(field(&out2, "ran"), "0");
+    assert_eq!(field(&out2, "digest"), digest);
+
+    // The quarantine file sits next to the journal and names replay commands.
+    let mut q = j.as_os_str().to_owned();
+    q.push(".quarantine");
+    let qtext = std::fs::read_to_string(PathBuf::from(q)).expect("quarantine file");
+    assert!(
+        qtext.contains(&format!(
+            "pxc campaign --cases {MANIFEST} --timeout {TIMEOUT} --only"
+        )),
+        "{qtext}"
+    );
+
+    // A different campaign must refuse the same journal.
+    let wrong = pxc(&[
+        "campaign",
+        "--cases",
+        "chaos:9:4",
+        "--journal",
+        jarg,
+        "--timeout",
+        TIMEOUT,
+    ]);
+    assert!(!wrong.status.success());
+    let err = String::from_utf8_lossy(&wrong.stderr).into_owned();
+    assert!(err.contains("belongs to campaign"), "{err}");
+    cleanup(&j);
+}
+
+#[test]
+fn only_replays_a_quarantined_case_with_containment() {
+    // Chaos case 1 under seed 5 panics by design; the replay command the
+    // quarantine file emits must reproduce that verdict inline and "fail".
+    let out = pxc(&[
+        "campaign",
+        "--cases",
+        MANIFEST,
+        "--timeout",
+        TIMEOUT,
+        "--only",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = stdout_of(&out);
+    assert!(text.contains("panicked"), "{text}");
+
+    // A clean case replays successfully.
+    let ok = pxc(&[
+        "campaign",
+        "--cases",
+        MANIFEST,
+        "--timeout",
+        TIMEOUT,
+        "--only",
+        "2",
+        "--json",
+    ]);
+    assert!(ok.status.success(), "{ok:?}");
+    assert_eq!(field(&stdout_of(&ok), "outcome"), "done");
+}
+
+#[test]
+fn campaign_flag_errors_are_usage_errors() {
+    let out = pxc(&["campaign"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--cases"));
+
+    let out = pxc(&["campaign", "--cases", "gremlins:1:2"]);
+    assert_eq!(out.status.code(), Some(1), "bad manifests fail loudly");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--cases"));
+
+    let out = pxc(&["campaign", "--cases", MANIFEST, "--only", "999"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+
+    let out = pxc(&["campaign", "--cases", MANIFEST, "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("campaign option"));
+}

@@ -206,6 +206,43 @@ impl Coverage {
         h
     }
 
+    /// Packs the edge bitmap into bytes — 2 bits per instruction (bit 0 =
+    /// taken seen, bit 1 = not-taken seen), four instructions per byte,
+    /// low bits first. The campaign journal stores coverage shards in this
+    /// form so a resumed run can rebuild and [`Coverage::merge`] them
+    /// exactly; [`Coverage::unpack_bits`] is the inverse.
+    #[must_use]
+    pub fn pack_bits(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.edges.len().div_ceil(4)];
+        for (pc, e) in self.edges.iter().enumerate() {
+            let bits = u8::from(e[0]) | (u8::from(e[1]) << 1);
+            out[pc / 4] |= bits << ((pc % 4) * 2);
+        }
+        out
+    }
+
+    /// Rebuilds a tracker from [`Coverage::pack_bits`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CoverageSizeMismatch`] when `bytes` is not the
+    /// packed size for `code_len` (a corrupt or foreign shard).
+    pub fn unpack_bits(code_len: usize, bytes: &[u8]) -> Result<Coverage, SimError> {
+        if bytes.len() != code_len.div_ceil(4) {
+            return Err(SimError::CoverageSizeMismatch {
+                left: code_len,
+                right: bytes.len() * 4,
+            });
+        }
+        let mut cov = Coverage::new(code_len);
+        for (pc, e) in cov.edges.iter_mut().enumerate() {
+            let bits = bytes[pc / 4] >> ((pc % 4) * 2);
+            e[0] = bits & 1 != 0;
+            e[1] = bits & 2 != 0;
+        }
+        Ok(cov)
+    }
+
     /// Edges covered in `self` but not in `other` (what NT-paths added).
     #[must_use]
     pub fn newly_covered(&self, other: &Coverage, program: &Program) -> u32 {
@@ -336,6 +373,47 @@ mod tests {
             "non-branch unmarked: {}",
             lines[2]
         );
+    }
+
+    #[test]
+    fn pack_bits_round_trips_and_rejects_bad_sizes() {
+        for code_len in [0usize, 1, 3, 4, 5, 9, 257] {
+            let mut c = Coverage::new(code_len);
+            // A deterministic sprinkle across both slots.
+            for pc in 0..code_len {
+                if pc % 3 == 0 {
+                    c.record(pc as u32, Edge::Taken);
+                }
+                if pc % 5 == 0 {
+                    c.record(pc as u32, Edge::NotTaken);
+                }
+            }
+            let packed = c.pack_bits();
+            assert_eq!(packed.len(), code_len.div_ceil(4));
+            let back = Coverage::unpack_bits(code_len, &packed).unwrap();
+            assert_eq!(back, c, "code_len {code_len} round-trips");
+        }
+        assert!(matches!(
+            Coverage::unpack_bits(8, &[0u8; 3]),
+            Err(crate::fault::SimError::CoverageSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn packed_shards_merge_like_live_trackers() {
+        let p = two_branch_program();
+        let mut a = Coverage::for_program(&p);
+        a.record(0, Edge::Taken);
+        let mut b = Coverage::for_program(&p);
+        b.record(1, Edge::NotTaken);
+        // Ship both through the packed form, then merge the shards.
+        let mut merged = Coverage::unpack_bits(p.code.len(), &a.pack_bits()).unwrap();
+        merged
+            .merge(&Coverage::unpack_bits(p.code.len(), &b.pack_bits()).unwrap())
+            .unwrap();
+        let mut live = a.clone();
+        live.merge(&b).unwrap();
+        assert_eq!(merged, live);
     }
 
     #[test]

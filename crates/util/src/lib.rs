@@ -12,10 +12,13 @@
 //!   seeded case generation, size ramping, shrinking-lite, and the
 //!   [`px_prop!`] macro.
 //! * [`par`] — a scoped-thread parallel map on `std::thread::scope`
-//!   (replaces `crossbeam::thread::scope` in the bench sweep harness).
-//! * [`json`] — a hand-rolled JSON value model and emitter with
+//!   (replaces `crossbeam::thread::scope` in the bench sweep harness),
+//!   with per-item panic containment ([`try_par_map`], [`par_map_catch`]).
+//! * [`pool`] — a work-stealing job pool (per-worker deques, block refill,
+//!   bounded streaming results) — the campaign runner's scheduler.
+//! * [`json`] — a hand-rolled JSON value model, emitter **and parser** with
 //!   deterministic float formatting (replaces `serde` for typed result
-//!   rows).
+//!   rows and the campaign journal reader).
 //! * [`bench`] — a self-timing warmup + median-of-N bench harness with
 //!   JSON output (replaces `criterion`).
 //! * [`digest`] — the chainable FNV-1a-64 every determinism gate hashes
@@ -28,11 +31,13 @@ pub mod bench;
 pub mod digest;
 pub mod json;
 pub mod par;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 
-pub use digest::{fnv1a64, hex64};
+pub use digest::{fnv1a64, from_hex, hex64, parse_hex64, to_hex};
 pub use json::{Json, ToJson};
-pub use par::par_map;
+pub use par::{panic_message, par_map, par_map_catch, try_par_map, WorkerPanic};
+pub use pool::{run_stealing, PoolConfig, PoolRun};
 pub use prop::{any_bool, any_i32, any_i64, any_u32, any_u8, just, vec_exact, vec_of, Strategy};
 pub use rng::{Rng, SplitMix64, XorShift64Star, Xoshiro256};

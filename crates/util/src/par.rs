@@ -6,8 +6,45 @@
 //! bounded pool (one worker per available core) instead of one thread
 //! per item: a 10 000-case fault campaign costs ~10 thread spawns, not
 //! 10 000, and each worker amortises its stack over many items.
+//!
+//! Panics are contained per *item*, not per worker: `f` runs under
+//! `catch_unwind`, so one panicking item never takes down a worker's whole
+//! share of the sweep. [`par_map`] still panics afterwards (with the first
+//! item's panic message and index), while [`try_par_map`] returns the
+//! failure as a typed [`WorkerPanic`] and [`par_map_catch`] hands back a
+//! per-item `Result` — the campaign runner's quarantine path.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A panic captured from one item of a parallel map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the item whose closure panicked.
+    pub index: usize,
+    /// The panic payload, if it was a string (the common `panic!` case).
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "item {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Renders a `catch_unwind` payload as a message.
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
 
 /// Applies `f` to every item on a bounded worker pool and collects the
 /// results in input order.
@@ -19,8 +56,61 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 ///
 /// # Panics
 ///
-/// Propagates the first worker panic after the scope joins.
+/// If `f` panicked for any item, re-panics with the lowest-index
+/// [`WorkerPanic`]'s message — but only after every *other* item has
+/// completed, so one bad item cannot poison unrelated work.
 pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    match try_par_map(items, f) {
+        Ok(out) => out,
+        Err(p) => panic!("par_map {p}"),
+    }
+}
+
+/// [`par_map`] with worker panics propagated as a typed error instead of a
+/// re-panic: returns the lowest-index [`WorkerPanic`] if any item's closure
+/// panicked. All other items still run to completion first.
+///
+/// # Errors
+///
+/// The first (lowest-index) captured panic.
+pub fn try_par_map<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Result<Vec<R>, WorkerPanic> {
+    let mut first: Option<WorkerPanic> = None;
+    let mut out = Vec::with_capacity(items.len());
+    for (i, r) in par_map_catch(items, f).into_iter().enumerate() {
+        match r {
+            Ok(v) => out.push(v),
+            Err(p) => {
+                if first.as_ref().is_none_or(|w| i < w.index) {
+                    first = Some(p);
+                }
+            }
+        }
+    }
+    match first {
+        None => Ok(out),
+        Some(p) => Err(p),
+    }
+}
+
+/// Per-item panic containment: every item maps to `Ok(f(item))` or to the
+/// [`WorkerPanic`] its closure raised, in input order. No panic escapes.
+pub fn par_map_catch<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<Result<R, WorkerPanic>> {
+    let run_one = |i: usize| -> Result<R, WorkerPanic> {
+        // `f` is shared by reference across workers; catching a panic
+        // cannot observe broken invariants in it (it is `Fn`, not `FnMut`),
+        // so the unwind-safety assertion is sound.
+        catch_unwind(AssertUnwindSafe(|| f(&items[i]))).map_err(|payload| WorkerPanic {
+            index: i,
+            message: panic_message(payload.as_ref()),
+        })
+    };
+
     if items.is_empty() {
         return Vec::new();
     }
@@ -29,13 +119,13 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
         .unwrap_or(1)
         .min(items.len());
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        return (0..items.len()).map(run_one).collect();
     }
 
     let next = AtomicUsize::new(0);
-    let mut chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
-        let f = &f;
+    let mut chunks: Vec<Vec<(usize, Result<R, WorkerPanic>)>> = std::thread::scope(|s| {
         let next = &next;
+        let run_one = &run_one;
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(move || {
@@ -45,18 +135,18 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
                         if i >= items.len() {
                             return local;
                         }
-                        local.push((i, f(&items[i])));
+                        local.push((i, run_one(i)));
                     }
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("par_map worker panicked"))
+            .map(|h| h.join().expect("par_map workers never panic themselves"))
             .collect()
     });
 
-    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    let mut out: Vec<Option<Result<R, WorkerPanic>>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
     for (i, r) in chunks.drain(..).flatten() {
         out[i] = Some(r);
@@ -102,5 +192,70 @@ mod tests {
             par_map(&items, |x| x * x),
             items.iter().map(|x| x * x).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn one_panicking_item_does_not_poison_the_rest() {
+        use std::sync::atomic::AtomicU32;
+        let completed = AtomicU32::new(0);
+        let items: Vec<u32> = (0..64).collect();
+        let err = try_par_map(&items, |&x| {
+            if x == 13 {
+                panic!("injected panic on item {x}");
+            }
+            completed.fetch_add(1, Ordering::SeqCst);
+            x
+        })
+        .unwrap_err();
+        assert_eq!(err.index, 13);
+        assert!(err.message.contains("injected panic on item 13"), "{err}");
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            63,
+            "every other item still completed"
+        );
+    }
+
+    #[test]
+    fn catch_variant_returns_per_item_results() {
+        let items: Vec<u32> = (0..8).collect();
+        let out = par_map_catch(&items, |&x| {
+            assert!(x % 3 != 1, "boom {x}");
+            x * 2
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i % 3 == 1 {
+                let p = r.as_ref().unwrap_err();
+                assert_eq!(p.index, i);
+                assert!(p.message.contains(&format!("boom {i}")));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), (i as u32) * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn try_par_map_reports_the_lowest_index_panic() {
+        let items: Vec<u32> = (0..32).collect();
+        let err = try_par_map(&items, |&x| {
+            assert!(!(x == 5 || x == 20), "first is {x}");
+            x
+        })
+        .unwrap_err();
+        assert_eq!(err.index, 5, "deterministic: lowest index wins");
+    }
+
+    #[test]
+    fn par_map_still_panics_with_context() {
+        let items = [0u32, 1];
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            par_map(&items, |&x| {
+                assert!(x == 0, "only zero survives");
+                x
+            })
+        }))
+        .unwrap_err();
+        let msg = panic_message(caught.as_ref());
+        assert!(msg.contains("item 1 panicked"), "{msg}");
     }
 }

@@ -27,6 +27,14 @@ fi
 echo "==> fault-smoke: 64-case fault-injection campaign"
 cargo run --release --offline -q -p px-bench --bin fault_campaign -- --seed 1 --cases 64
 
+# Campaign gate (E16): a 512-case manifest with deliberately panicking and
+# runaway chaos cases is run straight through, killed mid-flight (torn
+# journal tail), and resumed. The resumed aggregate digest must be
+# byte-identical, every case accounted for exactly once, and the
+# quarantine must match chaos ground truth.
+echo "==> campaign-gate: E16 kill+resume digest identity, 512 cases"
+cargo run --release --offline -q -p px-bench --bin campaign_gate -- --check
+
 # Zoo smoke: the quick E15 roster must meet the acceptance criteria
 # (every expected bug detected on some engine, zero NT-only false
 # positives), and the zoo CLI must be byte-deterministic.
